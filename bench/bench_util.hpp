@@ -1,0 +1,78 @@
+// Shared plumbing for the figure/table regeneration binaries.
+//
+// Each bench binary reproduces one table or figure from the paper's
+// evaluation; these helpers cover the steps every experiment shares:
+// acquiring a screened probe instance (§4), measuring a layout five times
+// (average and standard deviation, as the paper reports), and fitting the
+// affine predictor of Eqs. (1)-(4).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "cloud/app_profile.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/workload.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "model/predictor.hpp"
+#include "sim/simulation.hpp"
+
+namespace reshape::bench {
+
+inline const cloud::AvailabilityZone kZone{cloud::Region::kUsEast, 0};
+
+/// Mean and stddev of five measured runs (the paper's repetition count).
+struct Measured {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;
+};
+
+inline Measured measure5(const cloud::AppCostProfile& app,
+                         const cloud::DataLayout& layout,
+                         const cloud::Instance& instance,
+                         const cloud::StorageBinding& storage, Rng& noise) {
+  RunningStats reps;
+  for (int r = 0; r < 5; ++r) {
+    reps.add(cloud::run_time(app, layout, instance, storage, noise).value());
+  }
+  return Measured{reps.mean(), reps.stddev(), reps.cv()};
+}
+
+/// Fits the affine volume->time model from (volume, mean time) pairs
+/// measured on `instance` at the given unit size.
+inline model::Predictor fit_at_unit(const cloud::AppCostProfile& app,
+                                    const cloud::Instance& instance,
+                                    const std::vector<Bytes>& volumes,
+                                    Bytes unit, Rng& noise,
+                                    std::vector<double>* xs_out = nullptr,
+                                    std::vector<double>* ys_out = nullptr) {
+  std::vector<double> xs, ys;
+  for (const Bytes v : volumes) {
+    const Measured m = measure5(app, cloud::DataLayout::reshaped(v, unit),
+                                instance, cloud::LocalStorage{}, noise);
+    xs.push_back(v.as_double());
+    ys.push_back(m.mean);
+  }
+  if (xs_out) *xs_out = xs;
+  if (ys_out) *ys_out = ys;
+  return model::Predictor::fit(xs, ys);
+}
+
+/// Prints a header naming the experiment.
+inline void banner(const char* figure, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("================================================================\n");
+}
+
+/// A proportional ASCII bar for per-instance execution-time charts.
+inline std::string bar(double value, double scale, std::size_t width = 40) {
+  const auto n = static_cast<std::size_t>(
+      std::min(1.5, value / scale) * static_cast<double>(width));
+  return std::string(n, '#');
+}
+
+}  // namespace reshape::bench

@@ -1,0 +1,46 @@
+// Figure 4 — grep execution times on a 5 GB volume across unit file
+// sizes: the plateau.
+//
+// Once unit files reach ~10 MB, per-file overhead is fully amortized and
+// execution time flattens at the disk-rate floor, staying flat up to
+// 2 GB units.  Below 10 MB, the curve climbs steeply as file count grows.
+
+#include "bench_util.hpp"
+
+using namespace reshape;
+
+int main() {
+  bench::banner("Figure 4", "grep on a 5 GB volume: the 10 MB..2 GB plateau");
+
+  const Rng root(304);
+  sim::Simulation sim;
+  cloud::CloudProvider ec2(sim, root.split("cloud"), cloud::ProviderConfig{});
+  const auto acq =
+      ec2.acquire_screened(cloud::InstanceType::kSmall, bench::kZone);
+  const cloud::AppCostProfile grep = cloud::grep_profile();
+  Rng noise = root.split("noise");
+
+  const Bytes volume = 5_GB;
+  Table t({"unit file size", "files", "mean (s)", "stddev (s)", "chart"});
+  std::vector<double> plateau_times;
+  double t_100kb = 0.0;
+  for (const Bytes unit : {100_kB, 500_kB, 1_MB, 5_MB, 10_MB, 50_MB, 100_MB,
+                           500_MB, 1_GB, 2_GB, 5_GB}) {
+    const cloud::DataLayout layout = cloud::DataLayout::reshaped(volume, unit);
+    const bench::Measured m = bench::measure5(
+        grep, layout, ec2.instance(acq.id), cloud::LocalStorage{}, noise);
+    if (unit == 100_kB) t_100kb = m.mean;
+    if (unit >= 10_MB) plateau_times.push_back(m.mean);
+    t.add(unit, layout.file_count, fmt(m.mean, 1), fmt(m.stddev, 2),
+          bench::bar(m.mean, t_100kb));
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  const Summary plateau = summarize(plateau_times);
+  std::printf("plateau from 10 MB to 5 GB: %.1f s +- %.1f s (spread %.1f%%);\n"
+              "100 kB units are %.1fx slower than the plateau.\n",
+              plateau.mean, plateau.stddev,
+              100.0 * (plateau.max - plateau.min) / plateau.mean,
+              t_100kb / plateau.mean);
+  return 0;
+}

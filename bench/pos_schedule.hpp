@@ -1,0 +1,147 @@
+// Shared machinery for the Figure 8/9 POS deadline-scheduling panels.
+//
+// Builds the Text_400K pool, fits the base model (the paper's Eq. (3))
+// from head probes on one screened instance, refits with random 5 MB
+// samples measured across two further instances (Eq. (4) — "including
+// the new measurements"), and sizes the experiment corpus so that
+// V / f^{-1}(1 h) ~ 26.1, the paper's geometry (27 instances at D = 1 h
+// with a light last bin).  run_panel executes one (deadline, strategy,
+// model) cell on a screened fleet and prints the per-instance bars.
+#pragma once
+
+#include "bench_util.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/distribution.hpp"
+#include "provision/executor.hpp"
+#include "provision/planner.hpp"
+
+namespace reshape::bench {
+
+struct PosExperiment {
+  corpus::Corpus data;
+  model::Predictor eq3;  // head probes, first screened instance
+  model::Predictor eq4;  // + random samples on two more instances
+  model::RelativeResiduals residuals;  // of eq4 over all observations
+};
+
+inline PosExperiment build_pos_experiment(std::uint64_t seed) {
+  const Rng root(seed);
+  PosExperiment exp;
+
+  // Clustered complexity: consecutive files share a source, so random
+  // samples (unlike the head) see the corpus's true complexity spread.
+  Rng corpus_rng = root.split("corpus");
+  corpus::Corpus pool = corpus::Corpus::generate(
+      corpus::text_400k_sizes(), 300'000, corpus_rng,
+      /*complexity_spread=*/0.25, /*complexity_cluster=*/2000);
+
+  sim::Simulation sim;
+  cloud::CloudProvider ec2(sim, root.split("cloud"), cloud::ProviderConfig{});
+  std::vector<cloud::InstanceId> instances;
+  for (int i = 0; i < 3; ++i) {
+    instances.push_back(
+        ec2.acquire_screened(cloud::InstanceType::kSmall, kZone).id);
+  }
+
+  const cloud::AppCostProfile pos = cloud::pos_profile();
+  Rng noise = root.split("noise");
+
+  // Measured time reflects the probe's own language complexity (the CPU
+  // demand per byte scales with it, §5.2).
+  const auto measure_probe = [&](const corpus::Corpus& probe,
+                                 cloud::InstanceId id) {
+    cloud::AppCostProfile scaled = pos;
+    scaled.cpu_seconds_per_byte *= probe.mean_complexity();
+    const cloud::DataLayout layout = cloud::DataLayout::original(
+        probe.total_volume(), probe.file_count(), probe.mean_file_size());
+    return measure5(scaled, layout, ec2.instance(id), cloud::LocalStorage{},
+                    noise);
+  };
+
+  // Head probes on the first instance (the Eq. (3) fit).
+  std::vector<double> xs, ys;
+  for (const Bytes volume : {200_kB, 500_kB, 1_MB, 2_MB, 5_MB}) {
+    const corpus::Corpus probe = pool.take_volume(volume);
+    const Measured m = measure_probe(probe, instances[0]);
+    xs.push_back(probe.total_volume().as_double());
+    ys.push_back(m.mean);
+  }
+  exp.eq3 = model::Predictor::fit(xs, ys);
+
+  // Random 5 MB samples (plus subsets) on the other two instances;
+  // including them yields the Eq. (4) refit and its wider residuals.
+  Rng sample_rng = root.split("samples");
+  std::vector<double> all_xs = xs, all_ys = ys;
+  for (int s = 0; s < 3; ++s) {
+    const corpus::Corpus sample = pool.sample_contiguous(5_MB, sample_rng);
+    const cloud::InstanceId id =
+        instances[1 + static_cast<std::size_t>(s % 2)];
+    for (const Bytes volume : {1_MB, 2_MB, sample.total_volume()}) {
+      const corpus::Corpus subset = sample.take_volume(volume);
+      const Measured m = measure_probe(subset, id);
+      all_xs.push_back(subset.total_volume().as_double());
+      all_ys.push_back(m.mean);
+    }
+  }
+  exp.eq4 = model::Predictor::fit(all_xs, all_ys);
+  exp.residuals = model::relative_residuals(exp.eq4, all_xs, all_ys);
+
+  // Size the corpus to the paper's geometry: V = 26.15 * f^{-1}(1 h)
+  // under the base model, so D = 1 h prescribes 27 instances with a
+  // light last first-fit bin (the Fig. 8(a) vs 8(b) contrast).
+  const Bytes x0 = exp.eq3.max_volume_within(Seconds(3600.0));
+  exp.data = pool.take_volume(Bytes(
+      static_cast<std::uint64_t>(26.15 * x0.as_double())));
+  return exp;
+}
+
+/// Executes one panel and prints the per-instance bars.
+inline provision::ExecutionReport run_panel(
+    const char* panel, const PosExperiment& exp,
+    const model::Predictor& predictor, Seconds deadline,
+    provision::PackingStrategy strategy, std::uint64_t fleet_seed,
+    bool print_bars = true) {
+  provision::StaticPlanner planner(predictor);
+  provision::PlanOptions options;
+  options.deadline = deadline;
+  options.strategy = strategy;
+  options.residuals = exp.residuals;
+  const provision::ExecutionPlan plan = planner.plan(exp.data, options);
+
+  sim::Simulation sim;
+  cloud::ProviderConfig config;
+  // The experiment fleet: same-class EC2 small instances, no pathological
+  // stragglers (those are the paper's replaceable exceptions, §3.1) —
+  // run-to-run spread of a few percent, instance-to-instance ~10%.
+  config.mixture = cloud::uniform_fast_mixture();
+  config.mixture.fast_cpu_lo = 0.98;
+  config.mixture.fast_cpu_hi = 1.10;
+  config.mixture.fast_io_lo_mbps = 55.0;
+  config.mixture.fast_io_hi_mbps = 75.0;
+  config.mixture.fast_jitter = 0.03;
+  cloud::CloudProvider fleet(sim, Rng(fleet_seed), config);
+  provision::ExecutionOptions exec;
+  exec.data_on_ebs = false;  // POS data staged to local disk (§5)
+  exec.local_staging_time = Seconds(0.0);  // staged before the clock (§5)
+  Rng noise = Rng(fleet_seed).split("exec-noise");
+  const provision::ExecutionReport report =
+      provision::execute_plan(fleet, plan, cloud::pos_profile(), exec, noise);
+
+  std::printf("%s: strategy=%s, %zu instances, planning deadline %s\n", panel,
+              to_string(strategy).data(), plan.instance_count(),
+              plan.planning_deadline.str().c_str());
+  if (print_bars) {
+    for (const provision::InstanceOutcome& o : report.outcomes) {
+      std::printf("  i%02zu %7.0fs |%s%s\n", o.index, o.work_time.value(),
+                  bar(o.work_time.value(), deadline.value(), 32).c_str(),
+                  o.met_deadline ? "" : "  << MISS");
+    }
+  }
+  std::printf("  -> makespan %s, missed %zu/%zu, %.0f instance-hours, %s\n\n",
+              report.makespan.str().c_str(), report.missed,
+              report.instance_count(), report.instance_hours,
+              report.cost.str().c_str());
+  return report;
+}
+
+}  // namespace reshape::bench

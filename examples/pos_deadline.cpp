@@ -1,0 +1,112 @@
+// §5.2: deadline-driven provisioning for POS tagging, end to end.
+//
+// Fits the Eq. (3)-style model from probes, then compares the paper's
+// three scheduling strategies (first-fit bins, uniform bins, adjusted
+// deadline) for one- and two-hour deadlines on a heterogeneous fleet,
+// reporting deadline misses and instance-hours — the content of
+// Figs. 8 and 9.
+//
+// Run:  ./pos_deadline
+
+#include <cstdio>
+#include <vector>
+
+#include "cloud/app_profile.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/workload.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/distribution.hpp"
+#include "model/predictor.hpp"
+#include "provision/executor.hpp"
+#include "provision/planner.hpp"
+#include "sim/simulation.hpp"
+
+using namespace reshape;
+
+int main() {
+  const Rng root(88);
+
+  // The 1 GB Text_400K corpus.
+  Rng corpus_rng = root.split("corpus");
+  corpus::Corpus all = corpus::Corpus::generate(
+      corpus::text_400k_sizes(), 300'000, corpus_rng, /*complexity=*/0.15);
+  const corpus::Corpus data = all.take_volume(1_GB);
+  std::printf("corpus: %zu files, %s\n\n", data.file_count(),
+              data.total_volume().str().c_str());
+
+  // Probe three screened instances to fit the volume->time model; the
+  // spread across instances is what feeds the residual-quantile deadline
+  // adjustment (a single machine would make the residuals untenably
+  // optimistic).
+  sim::Simulation sim;
+  cloud::CloudProvider ec2(sim, root.split("cloud"), cloud::ProviderConfig{});
+  const cloud::AvailabilityZone zone{cloud::Region::kUsEast, 0};
+  std::vector<cloud::InstanceId> probes;
+  for (int i = 0; i < 3; ++i) {
+    probes.push_back(
+        ec2.acquire_screened(cloud::InstanceType::kSmall, zone).id);
+  }
+
+  const cloud::AppCostProfile pos = cloud::pos_profile();
+  Rng noise = root.split("probe-noise");
+  std::vector<double> xs, ys;
+  for (const Bytes volume : {200_kB, 500_kB, 1_MB, 2_MB, 5_MB}) {
+    const corpus::Corpus probe = data.take_volume(volume);
+    const cloud::DataLayout layout = cloud::DataLayout::original(
+        probe.total_volume(), probe.file_count(), probe.mean_file_size());
+    for (const cloud::InstanceId id : probes) {
+      RunningStats reps;
+      for (int r = 0; r < 5; ++r) {
+        reps.add(cloud::run_time(pos, layout, ec2.instance(id),
+                                 cloud::LocalStorage{}, noise)
+                     .value());
+      }
+      xs.push_back(probe.total_volume().as_double());
+      ys.push_back(reps.mean());
+    }
+  }
+  const model::Predictor predictor = model::Predictor::fit(xs, ys);
+  const model::RelativeResiduals residuals =
+      model::relative_residuals(predictor, xs, ys);
+  std::printf("model: %s\nrelative residuals: mean %.3f stddev %.3f\n\n",
+              predictor.affine().str().c_str(), residuals.mean,
+              residuals.stddev);
+
+  // Compare strategies at one- and two-hour deadlines.
+  const provision::StaticPlanner planner(predictor);
+  Table results({"deadline", "strategy", "instances", "makespan", "missed",
+                 "instance-hours", "cost"});
+  for (const Seconds deadline : {Seconds(3600.0), Seconds(7200.0)}) {
+    for (const provision::PackingStrategy strategy :
+         {provision::PackingStrategy::kFirstFit,
+          provision::PackingStrategy::kUniform,
+          provision::PackingStrategy::kAdjusted}) {
+      provision::PlanOptions options;
+      options.deadline = deadline;
+      options.strategy = strategy;
+      options.residuals = residuals;
+      const provision::ExecutionPlan plan = planner.plan(data, options);
+
+      sim::Simulation run_sim;
+      cloud::ProviderConfig fleet_config;
+      fleet_config.mixture = cloud::screened_fleet_mixture();
+      cloud::CloudProvider fleet(run_sim, root.split("fleet"), fleet_config);
+      provision::ExecutionOptions exec;
+      exec.data_on_ebs = false;  // POS data staged locally (§5)
+      Rng run_noise = root.split("runs");
+      const provision::ExecutionReport report =
+          provision::execute_plan(fleet, plan, pos, exec, run_noise);
+      results.add(Seconds(deadline), to_string(strategy),
+                  plan.instance_count(), report.makespan, report.missed,
+                  fmt(report.instance_hours, 0), report.cost);
+    }
+  }
+  std::printf("%s\n", results.str().c_str());
+  std::printf(
+      "note: uniform bins fix first-fit's overloaded early bins; the\n"
+      "adjusted deadline (D / (1 + %.3f)) buys ~90%% on-time confidence.\n",
+      model::adjustment_factor(residuals, 0.10));
+  return 0;
+}

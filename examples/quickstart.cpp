@@ -1,0 +1,107 @@
+// Quickstart: the full reshape-model-plan-execute pipeline in one page.
+//
+//   1. Generate a corpus of small text files (Text_400K-like sizes).
+//   2. Reshape it into unit-sized blocks with subset-sum first-fit.
+//   3. Acquire a screened instance on the simulated EC2 and measure
+//      probes to fit a performance model.
+//   4. Plan for a one-hour deadline and execute on a heterogeneous fleet.
+//
+// Run:  ./quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "cloud/app_profile.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/workload.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/distribution.hpp"
+#include "model/predictor.hpp"
+#include "provision/executor.hpp"
+#include "provision/planner.hpp"
+#include "reshape/merge.hpp"
+#include "sim/simulation.hpp"
+
+using namespace reshape;
+
+int main() {
+  const Rng root(2026);
+
+  // 1. A corpus of several GB across hundreds of thousands of small files.
+  Rng corpus_rng = root.split("corpus");
+  const corpus::Corpus data = corpus::Corpus::generate(
+      corpus::html_18mil_sizes(), 400'000, corpus_rng);
+  std::printf("corpus: %zu files, %s total, largest %s, %.0f%% under 50 kB\n",
+              data.file_count(), data.total_volume().str().c_str(),
+              data.max_file_size().str().c_str(),
+              100.0 * data.fraction_below(50_kB));
+
+  // 2. Reshape to 100 MB units: thousands of files become a few blocks.
+  const pack::MergedCorpus merged = pack::merge_to_unit(data, 100_MB);
+  std::printf("reshaped: %zu blocks of <= %s (fill %.1f%%)\n",
+              merged.block_count(), merged.unit.str().c_str(),
+              100.0 * merged.fill_factor());
+
+  // 3. Simulated EC2: screen an instance (bonnie++-style) and probe it.
+  sim::Simulation sim;
+  cloud::CloudProvider ec2(sim, root.split("cloud"), cloud::ProviderConfig{});
+  const cloud::AvailabilityZone zone{cloud::Region::kUsEast, 0};
+  const auto acq = ec2.acquire_screened(cloud::InstanceType::kSmall, zone);
+  std::printf("screened instance after %d attempt(s): %.0f MB/s disk\n",
+              acq.attempts,
+              ec2.instance(acq.id).quality().io_rate.mb_per_second());
+
+  const cloud::AppCostProfile grep = cloud::grep_profile();
+  Rng probe_noise = root.split("probes");
+  std::vector<double> volumes, times;
+  Table probes({"probe volume", "unit", "mean time (5 reps)"});
+  for (const Bytes volume : {100_MB, 500_MB, 1_GB, 2_GB}) {
+    const cloud::DataLayout layout =
+        cloud::DataLayout::reshaped(volume, 100_MB);
+    RunningStats reps;
+    for (int r = 0; r < 5; ++r) {
+      reps.add(cloud::run_time(grep, layout, ec2.instance(acq.id),
+                               cloud::LocalStorage{}, probe_noise)
+                   .value());
+    }
+    probes.add(volume, Bytes(100_MB), Seconds(reps.mean()));
+    volumes.push_back(volume.as_double());
+    times.push_back(reps.mean());
+  }
+  std::printf("%s", probes.str().c_str());
+
+  const model::Predictor predictor = model::Predictor::fit(volumes, times);
+  std::printf("model: %s\n", predictor.affine().str().c_str());
+
+  // 4. Plan a 90-second deadline over the corpus (tight enough to need a
+  //    small fleet) and execute.
+  provision::StaticPlanner planner(predictor);
+  provision::PlanOptions plan_options;
+  plan_options.deadline = Seconds(200.0);
+  plan_options.strategy = provision::PackingStrategy::kUniform;
+  const provision::ExecutionPlan plan = planner.plan(data, plan_options);
+  std::printf("plan: %zu instances, %s per instance, predicted makespan %s\n",
+              plan.instance_count(), plan.per_instance_target.str().c_str(),
+              plan.predicted_makespan.str().c_str());
+
+  // Execute on a screened-quality fleet (the paper's §5 simplifying
+  // assumption); pos_deadline.cpp shows the heterogeneous-fleet reality.
+  sim::Simulation exec_sim;
+  cloud::ProviderConfig fleet_config;
+  fleet_config.mixture = cloud::uniform_fast_mixture();
+  cloud::CloudProvider fleet(exec_sim, root.split("fleet"), fleet_config);
+  provision::ExecutionOptions exec_options;
+  exec_options.reshaped_unit = 100_MB;
+  Rng run_noise = root.split("runs");
+  const provision::ExecutionReport report =
+      provision::execute_plan(fleet, plan, grep, exec_options, run_noise);
+  std::printf(
+      "executed: makespan %s, %zu/%zu missed the deadline, cost %s "
+      "(%.0f instance-hours)\n",
+      report.makespan.str().c_str(), report.missed, report.instance_count(),
+      report.cost.str().c_str(), report.instance_hours);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// A tour of the text-processing applications on real bytes.
+//
+// Trains the POS tagger on generated gold-tagged sentences, evaluates
+// both decoders on held-out text, runs the tagger over the two synthetic
+// novels (the §5.2 complexity experiment at application level), and
+// exercises the grep scanner with literal and regex patterns.
+//
+// Run:  ./tagger_tour
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "corpus/gutenberg.hpp"
+#include "corpus/textgen.hpp"
+#include "textproc/pos.hpp"
+#include "textproc/scanner.hpp"
+#include "textproc/tokenizer.hpp"
+
+using namespace reshape;
+
+namespace {
+double wall(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+int main() {
+  // Train on 5000 gold-tagged sentences.
+  corpus::TextGenerator gen({}, Rng(31));
+  textproc::PosTagger tagger;
+  tagger.train(gen.tagged_corpus(5000));
+  std::printf("tagger trained: %zu lexicon entries\n",
+              tagger.lexicon().vocabulary_size());
+
+  // Held-out accuracy, both decoders: same vocabulary, unseen sentences.
+  corpus::TextGenerator held({}, Rng(31), Rng(99));
+  const auto gold = held.tagged_corpus(500);
+  std::printf("held-out accuracy: greedy-left3 %.1f%%, viterbi %.1f%%\n\n",
+              100.0 * tagger.evaluate(gold, textproc::DecodeMode::kGreedyLeft3),
+              100.0 * tagger.evaluate(gold, textproc::DecodeMode::kViterbi));
+
+  // The novels: equal length, different linguistic complexity (§5.2).
+  // Our greedy tagger is per-token linear, so wall time alone does not
+  // show the paper's ~1.7x; the Viterbi decoder and the suffix-guesser
+  // load on the richer vocabulary carry the structural difference, and
+  // the simulator path (bench/tab_text_complexity) models the full cost
+  // gap via the complexity factor.
+  const corpus::Document dub = corpus::dubliners_like(Rng(1));
+  const corpus::Document agnes = corpus::agnes_grey_like(Rng(1));
+  Table novels({"novel", "words", "mean sentence len", "OOV rate",
+                "viterbi tag time"});
+  for (const corpus::Document* doc : {&agnes, &dub}) {
+    std::size_t tokens = 0;
+    std::size_t oov = 0;
+    for (const std::string& w : textproc::tokenize(doc->text)) {
+      ++tokens;
+      if (!tagger.lexicon().knows(w)) ++oov;
+    }
+    std::size_t tagged = 0;
+    const double t = wall([&] {
+      tagged = tagger.tag_document(doc->text, textproc::DecodeMode::kViterbi);
+    });
+    (void)tagged;
+    novels.add(doc->title, doc->word_count,
+               fmt(textproc::mean_sentence_length(doc->text), 1),
+               fmt(100.0 * static_cast<double>(oov) /
+                       static_cast<double>(tokens),
+                   1) + "%",
+               Seconds(t));
+  }
+  std::printf("%s\n", novels.str().c_str());
+
+  // Scanner: literal BMH and regex-lite over one novel, sentence by
+  // sentence (novels are generated as one long line).
+  std::string lined = dub.text;
+  for (std::size_t i = 0; i + 1 < lined.size(); ++i) {
+    if (lined[i] == '.' && lined[i + 1] == ' ') lined[i + 1] = '\n';
+  }
+  const textproc::GrepResult lit = textproc::grep_literal(lined, "tion");
+  const textproc::GrepResult rex = textproc::grep_regex(lined, "[a-z]+ly ");
+  std::printf(
+      "scanner over %s: 'tion' in %zu/%zu sentences; /[a-z]+ly / in %zu\n",
+      dub.title.c_str(), lit.matching_lines, lit.total_lines,
+      rex.matching_lines);
+  return 0;
+}

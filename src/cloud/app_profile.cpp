@@ -1,0 +1,44 @@
+#include "cloud/app_profile.hpp"
+
+#include <cmath>
+
+namespace reshape::cloud {
+
+double MemoryPressure::multiplier(Bytes unit) const {
+  if (comfortable.count() == 0 || unit <= comfortable ||
+      penalty_per_doubling <= 0.0) {
+    return 1.0;
+  }
+  const double doublings =
+      std::log2(unit.as_double() / comfortable.as_double());
+  return 1.0 + penalty_per_doubling * doublings;
+}
+
+AppCostProfile grep_profile() {
+  AppCostProfile p;
+  p.name = "grep";
+  p.setup = Seconds(0.02);
+  p.setup_jitter = Seconds(0.06);
+  p.per_file_overhead = Seconds(0.0045);
+  // ~500 MB/s in-memory scan: far faster than any disk here, so the app
+  // stays I/O bound once per-file overhead is amortized.
+  p.cpu_seconds_per_byte = 2.0e-9;
+  p.io_bytes_per_input_byte = 1.0;
+  p.memory = MemoryPressure{};  // streaming, no pressure
+  return p;
+}
+
+AppCostProfile pos_profile() {
+  AppCostProfile p;
+  p.name = "pos-tagger";
+  p.setup = Seconds(3.0);       // JVM + model load, paid once per run
+  p.setup_jitter = Seconds(0.4);
+  p.per_file_overhead = Seconds(0.0005);  // tagger is wrapped: no JVM/file
+  // Slope of the paper's Eq. (3): 0.865e-4 seconds per byte.
+  p.cpu_seconds_per_byte = 0.865e-4;
+  p.io_bytes_per_input_byte = 1.0;
+  p.memory = MemoryPressure{64_kB, 0.055};
+  return p;
+}
+
+}  // namespace reshape::cloud

@@ -1,0 +1,75 @@
+#include "cloud/billing.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+
+void BillingMeter::on_running(InstanceId id, InstanceType type, Seconds now) {
+  Account& account = accounts_[id];
+  account.type = type;
+  RESHAPE_REQUIRE(
+      account.intervals.empty() || !account.intervals.back().open,
+      "instance reported running twice without stopping");
+  account.intervals.push_back(RunningInterval{now, now, true});
+}
+
+void BillingMeter::on_stopped(InstanceId id, Seconds now) {
+  const auto it = accounts_.find(id);
+  RESHAPE_REQUIRE(it != accounts_.end() && !it->second.intervals.empty() &&
+                      it->second.intervals.back().open,
+                  "instance stopped without a matching running interval");
+  RunningInterval& interval = it->second.intervals.back();
+  RESHAPE_REQUIRE(now >= interval.start, "billing interval ends in the past");
+  interval.end = now;
+  interval.open = false;
+}
+
+Seconds BillingMeter::running_time(InstanceId id, Seconds now) const {
+  const auto it = accounts_.find(id);
+  if (it == accounts_.end()) return Seconds(0.0);
+  Seconds total{0.0};
+  for (const RunningInterval& interval : it->second.intervals) {
+    const Seconds end = interval.open ? now : interval.end;
+    total += end - interval.start;
+  }
+  return total;
+}
+
+double BillingMeter::billed_hours(const Account& account, Seconds now) {
+  // Each running interval is billed independently at hour granularity:
+  // restarting an instance starts a new partial-hour charge.
+  double hours = 0.0;
+  for (const RunningInterval& interval : account.intervals) {
+    const Seconds end = interval.open ? now : interval.end;
+    const double h = (end - interval.start).hours();
+    if (h > 0.0) hours += std::ceil(h);
+  }
+  return hours;
+}
+
+Dollars BillingMeter::cost(InstanceId id, Seconds now) const {
+  const auto it = accounts_.find(id);
+  if (it == accounts_.end()) return Dollars(0.0);
+  const Dollars rate = spec_for(it->second.type).hourly_rate;
+  return rate * billed_hours(it->second, now);
+}
+
+Dollars BillingMeter::total_cost(Seconds now) const {
+  Dollars total;
+  for (const auto& [id, account] : accounts_) {
+    total += spec_for(account.type).hourly_rate * billed_hours(account, now);
+  }
+  return total;
+}
+
+double BillingMeter::instance_hours(Seconds now) const {
+  double hours = 0.0;
+  for (const auto& [id, account] : accounts_) {
+    hours += billed_hours(account, now);
+  }
+  return hours;
+}
+
+}  // namespace reshape::cloud

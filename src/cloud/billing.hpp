@@ -1,0 +1,61 @@
+// Billing meter for the flat hour-or-partial-hour pricing scheme.
+//
+// From §1.1/§3.1: "$0.1 per hour or partial hour. Payment is due only for
+// the time when the instance is in the running state" — pending,
+// shutting-down and terminated time is free.  The ceil-of-hours granularity
+// is the central constraint the provisioning planner optimizes against.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/types.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+/// One closed (or still-open) span of running time.
+struct RunningInterval {
+  Seconds start{0.0};
+  Seconds end{0.0};
+  bool open = false;
+};
+
+class BillingMeter {
+ public:
+  /// Instance entered the running state at `now`.
+  void on_running(InstanceId id, InstanceType type, Seconds now);
+
+  /// Instance left the running state (terminate/stop) at `now`.
+  void on_stopped(InstanceId id, Seconds now);
+
+  /// Total billable running time of one instance (open intervals are
+  /// charged up to `now`).
+  [[nodiscard]] Seconds running_time(InstanceId id, Seconds now) const;
+
+  /// Cost of one instance: rate × ceil(hours of running time), charged per
+  /// interval (each launch starts a fresh hour clock, as on EC2).
+  [[nodiscard]] Dollars cost(InstanceId id, Seconds now) const;
+
+  /// Total across all instances.
+  [[nodiscard]] Dollars total_cost(Seconds now) const;
+
+  /// Total instance-hours billed (the unit Figs. 8-9 compare plans in).
+  [[nodiscard]] double instance_hours(Seconds now) const;
+
+  [[nodiscard]] std::size_t billed_instances() const { return accounts_.size(); }
+
+ private:
+  struct Account {
+    InstanceType type = InstanceType::kSmall;
+    std::vector<RunningInterval> intervals;
+  };
+
+  [[nodiscard]] static double billed_hours(const Account& account,
+                                           Seconds now);
+
+  std::unordered_map<InstanceId, Account> accounts_;
+};
+
+}  // namespace reshape::cloud

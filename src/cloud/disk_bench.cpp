@@ -1,0 +1,32 @@
+#include "cloud/disk_bench.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reshape::cloud {
+
+DiskBenchResult run_disk_bench(const Instance& instance, Rng& noise,
+                               const DiskBenchConfig& config) {
+  const InstanceQuality& q = instance.quality();
+  const double read_factor = std::max(0.2, noise.normal(1.0, q.jitter));
+  const double write_factor = std::max(0.2, noise.normal(1.0, q.jitter));
+
+  DiskBenchResult result;
+  result.block_read = q.io_rate * read_factor;
+  result.block_write =
+      q.io_rate * (config.write_rate_ratio * write_factor);
+  result.elapsed = result.block_write.time_for(config.test_extent) +
+                   result.block_read.time_for(config.test_extent);
+  return result;
+}
+
+bool stable_pair(const DiskBenchResult& a, const DiskBenchResult& b,
+                 double tolerance) {
+  const double ra = a.block_read.bytes_per_second();
+  const double rb = b.block_read.bytes_per_second();
+  const double hi = std::max(ra, rb);
+  if (hi <= 0.0) return false;
+  return std::abs(ra - rb) / hi <= tolerance;
+}
+
+}  // namespace reshape::cloud

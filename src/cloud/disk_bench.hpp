@@ -1,0 +1,46 @@
+// bonnie++-style disk micro-benchmark.
+//
+// §4's acquisition procedure: "request a small instance and measure its
+// performance using bonnie++ to ensure that it is of high quality (over
+// 60 MB/s block read/write performance)... repeat to confirm that the
+// instance is stable".  The benchmark writes then reads a test extent on
+// the instance's storage path and reports the observed rates, which are
+// the instance's true quality perturbed by its run-to-run jitter.
+#pragma once
+
+#include "cloud/instance.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+struct DiskBenchResult {
+  Rate block_write{};
+  Rate block_read{};
+  Seconds elapsed{0.0};
+
+  /// True when both rates clear `threshold` (the paper uses 60 MB/s).
+  [[nodiscard]] bool passes(Rate threshold) const {
+    return block_write >= threshold && block_read >= threshold;
+  }
+};
+
+struct DiskBenchConfig {
+  Bytes test_extent = 1_GB;
+  /// Writes are slightly slower than reads on the instance store.
+  double write_rate_ratio = 0.92;
+};
+
+/// Runs one benchmark pass.  Deterministic given the noise stream.
+[[nodiscard]] DiskBenchResult run_disk_bench(const Instance& instance,
+                                             Rng& noise,
+                                             const DiskBenchConfig& config = {});
+
+/// Two results are "stable" when their read rates agree within
+/// `tolerance` (relative).  Inconsistent instances fail this even when a
+/// single pass looks fast.
+[[nodiscard]] bool stable_pair(const DiskBenchResult& a,
+                               const DiskBenchResult& b,
+                               double tolerance = 0.12);
+
+}  // namespace reshape::cloud

@@ -1,0 +1,55 @@
+#include "cloud/instance.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+
+Instance::Instance(InstanceId id, InstanceType type, AvailabilityZone az,
+                   InstanceQuality quality, Seconds launched_at)
+    : id_(id), type_(type), az_(az), quality_(quality),
+      launched_at_(launched_at) {
+  RESHAPE_REQUIRE(id.valid(), "instance needs a valid id");
+}
+
+void Instance::mark_running(Seconds now) {
+  RESHAPE_REQUIRE(state_ == InstanceState::kPending,
+                  "only a pending instance can start running");
+  state_ = InstanceState::kRunning;
+  running_since_ = now;
+}
+
+void Instance::begin_shutdown(Seconds now) {
+  RESHAPE_REQUIRE(state_ == InstanceState::kRunning ||
+                      state_ == InstanceState::kPending,
+                  "instance is not running or pending");
+  (void)now;
+  state_ = InstanceState::kShuttingDown;
+}
+
+void Instance::mark_terminated(Seconds now) {
+  RESHAPE_REQUIRE(state_ == InstanceState::kShuttingDown,
+                  "instance must pass through shutting-down");
+  (void)now;
+  state_ = InstanceState::kTerminated;
+  wipe_local();  // ephemeral storage does not survive termination
+}
+
+void Instance::note_attached(VolumeId volume) {
+  volumes_.push_back(volume);
+}
+
+void Instance::note_detached(VolumeId volume) {
+  const auto it = std::find(volumes_.begin(), volumes_.end(), volume);
+  RESHAPE_REQUIRE(it != volumes_.end(), "volume is not attached here");
+  volumes_.erase(it);
+}
+
+void Instance::stage_local(Bytes volume) {
+  RESHAPE_REQUIRE(local_used_ + volume <= spec().local_storage,
+                  "local ephemeral storage exhausted");
+  local_used_ += volume;
+}
+
+}  // namespace reshape::cloud

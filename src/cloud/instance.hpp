@@ -1,0 +1,69 @@
+// A single EC2 instance: lifecycle state machine plus its fixed quality.
+//
+// Transitions follow §3.1: launch enters `pending` (boot; cost free), then
+// `running` (billable), then `shutting-down` and `terminated` (free).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cloud/quality.hpp"
+#include "cloud/types.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+class Instance {
+ public:
+  Instance(InstanceId id, InstanceType type, AvailabilityZone az,
+           InstanceQuality quality, Seconds launched_at);
+
+  [[nodiscard]] InstanceId id() const { return id_; }
+  [[nodiscard]] InstanceType type() const { return type_; }
+  [[nodiscard]] const InstanceSpec& spec() const { return spec_for(type_); }
+  [[nodiscard]] const AvailabilityZone& zone() const { return az_; }
+  [[nodiscard]] const InstanceQuality& quality() const { return quality_; }
+  [[nodiscard]] InstanceState state() const { return state_; }
+  [[nodiscard]] Seconds launched_at() const { return launched_at_; }
+
+  [[nodiscard]] bool is_running() const {
+    return state_ == InstanceState::kRunning;
+  }
+
+  /// pending -> running (fired by the provider's boot event).
+  void mark_running(Seconds now);
+  /// running -> shutting-down.
+  void begin_shutdown(Seconds now);
+  /// shutting-down -> terminated.
+  void mark_terminated(Seconds now);
+
+  [[nodiscard]] std::optional<Seconds> running_since() const {
+    return running_since_;
+  }
+
+  /// Volumes currently attached (provider keeps this in sync).
+  [[nodiscard]] const std::vector<VolumeId>& attached_volumes() const {
+    return volumes_;
+  }
+  void note_attached(VolumeId volume);
+  void note_detached(VolumeId volume);
+
+  /// Bytes staged on the instance's ephemeral local disk.  Contents are
+  /// conceptually lost at termination (instance-store root, §1.1).
+  [[nodiscard]] Bytes local_used() const { return local_used_; }
+  void stage_local(Bytes volume);
+  void wipe_local() { local_used_ = Bytes(0); }
+
+ private:
+  InstanceId id_;
+  InstanceType type_;
+  AvailabilityZone az_;
+  InstanceQuality quality_;
+  InstanceState state_ = InstanceState::kPending;
+  Seconds launched_at_;
+  std::optional<Seconds> running_since_;
+  std::vector<VolumeId> volumes_;
+  Bytes local_used_{0};
+};
+
+}  // namespace reshape::cloud

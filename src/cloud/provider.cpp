@@ -1,0 +1,151 @@
+#include "cloud/provider.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+
+CloudProvider::CloudProvider(sim::Simulation& sim, Rng root,
+                             ProviderConfig config)
+    : sim_(sim), root_(root), lifecycle_noise_(root.split("lifecycle")),
+      bench_noise_(root.split("disk-bench")), config_(config),
+      quality_(root.split("quality"), config.mixture), s3_(config.s3) {}
+
+Seconds CloudProvider::draw_boot_delay() {
+  const double drawn = lifecycle_noise_.normal(config_.boot_mean.value(),
+                                               config_.boot_stddev.value());
+  return Seconds(std::max(config_.boot_min.value(), drawn));
+}
+
+Seconds CloudProvider::draw_attach_latency() {
+  const double drawn = lifecycle_noise_.normal(config_.attach_mean.value(),
+                                               config_.attach_stddev.value());
+  return Seconds(std::max(1.0, drawn));
+}
+
+InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
+                                 std::function<void(Instance&)> on_running) {
+  const InstanceId id{next_instance_++};
+  auto inst = std::make_unique<Instance>(id, type, az, quality_.draw(id.value),
+                                         sim_.now());
+  instances_.emplace(id, std::move(inst));
+
+  const Seconds boot = draw_boot_delay();
+  sim_.schedule_in(boot, [this, id, type,
+                          cb = std::move(on_running)](sim::Simulation& s) {
+    const auto it = instances_.find(id);
+    if (it == instances_.end()) return;
+    Instance& inst_ref = *it->second;
+    // A terminate() issued while still pending wins: skip the boot.
+    if (inst_ref.state() != InstanceState::kPending) return;
+    inst_ref.mark_running(s.now());
+    billing_.on_running(id, type, s.now());
+    if (cb) cb(inst_ref);
+  });
+  return id;
+}
+
+void CloudProvider::terminate(InstanceId id) {
+  Instance& inst = instance(id);
+  RESHAPE_REQUIRE(inst.state() == InstanceState::kRunning ||
+                      inst.state() == InstanceState::kPending,
+                  "terminate requires a pending or running instance");
+  const bool was_running = inst.is_running();
+  // Volumes persist beyond the instance (§1.1); force-detach them.
+  while (!inst.attached_volumes().empty()) {
+    detach(inst.attached_volumes().back());
+  }
+  inst.begin_shutdown(sim_.now());
+  if (was_running) billing_.on_stopped(id, sim_.now());
+  sim_.schedule_in(config_.shutdown_delay, [this, id](sim::Simulation& s) {
+    const auto it = instances_.find(id);
+    if (it == instances_.end()) return;
+    it->second->mark_terminated(s.now());
+  });
+}
+
+Instance& CloudProvider::instance(InstanceId id) {
+  const auto it = instances_.find(id);
+  RESHAPE_REQUIRE(it != instances_.end(), "unknown instance id");
+  return *it->second;
+}
+
+const Instance& CloudProvider::instance(InstanceId id) const {
+  const auto it = instances_.find(id);
+  RESHAPE_REQUIRE(it != instances_.end(), "unknown instance id");
+  return *it->second;
+}
+
+bool CloudProvider::exists(InstanceId id) const {
+  return instances_.count(id) > 0;
+}
+
+VolumeId CloudProvider::create_volume(Bytes capacity, AvailabilityZone az) {
+  const VolumeId id{next_volume_++};
+  volumes_.emplace(id, std::make_unique<EbsVolume>(
+                           id, capacity, az, config_.ebs,
+                           root_.split("ebs-placement")));
+  return id;
+}
+
+EbsVolume& CloudProvider::volume(VolumeId id) {
+  const auto it = volumes_.find(id);
+  RESHAPE_REQUIRE(it != volumes_.end(), "unknown volume id");
+  return *it->second;
+}
+
+const EbsVolume& CloudProvider::volume(VolumeId id) const {
+  const auto it = volumes_.find(id);
+  RESHAPE_REQUIRE(it != volumes_.end(), "unknown volume id");
+  return *it->second;
+}
+
+void CloudProvider::attach(VolumeId volume_id, InstanceId instance_id) {
+  EbsVolume& vol = volume(volume_id);
+  Instance& inst = instance(instance_id);
+  RESHAPE_REQUIRE(inst.state() == InstanceState::kRunning ||
+                      inst.state() == InstanceState::kPending,
+                  "cannot attach to a terminated instance");
+  RESHAPE_REQUIRE(vol.zone() == inst.zone(),
+                  "EBS volumes attach only within their availability zone");
+  vol.attach(instance_id);
+  inst.note_attached(volume_id);
+}
+
+void CloudProvider::detach(VolumeId volume_id) {
+  EbsVolume& vol = volume(volume_id);
+  RESHAPE_REQUIRE(vol.attached(), "volume is not attached");
+  Instance& inst = instance(vol.attached_to());
+  vol.detach();
+  inst.note_detached(volume_id);
+}
+
+DiskBenchResult CloudProvider::disk_bench(InstanceId id) {
+  Instance& inst = instance(id);
+  RESHAPE_REQUIRE(inst.is_running(), "disk bench needs a running instance");
+  return run_disk_bench(inst, bench_noise_);
+}
+
+CloudProvider::ScreenedAcquisition CloudProvider::acquire_screened(
+    InstanceType type, AvailabilityZone az, Rate threshold, int max_attempts) {
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    const InstanceId id = launch(type, az);
+    // Run the simulation forward until this instance has booted.
+    while (!instance(id).is_running()) {
+      RESHAPE_REQUIRE(sim_.step(), "boot event missing from the simulation");
+    }
+    const DiskBenchResult first = disk_bench(id);
+    const DiskBenchResult second = disk_bench(id);
+    sim_.run_until(sim_.now() + first.elapsed + second.elapsed);
+    if (first.passes(threshold) && second.passes(threshold) &&
+        stable_pair(first, second)) {
+      return ScreenedAcquisition{id, attempt};
+    }
+    terminate(id);
+  }
+  throw Error("could not acquire a stable fast instance within the attempt "
+              "budget");
+}
+
+}  // namespace reshape::cloud

@@ -1,0 +1,118 @@
+// CloudProvider: the EC2 control-plane facade.
+//
+// Owns the fleet, the EBS volumes, the object store and the billing meter,
+// and drives lifecycle transitions on the shared discrete-event simulation.
+// Every stochastic element (boot delays, instance qualities, benchmark
+// noise) flows from named child streams of one root Rng, so a provider
+// constructed with the same seed replays identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "cloud/billing.hpp"
+#include "cloud/disk_bench.hpp"
+#include "cloud/ebs.hpp"
+#include "cloud/instance.hpp"
+#include "cloud/quality.hpp"
+#include "cloud/s3.hpp"
+#include "cloud/types.hpp"
+#include "common/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace reshape::cloud {
+
+struct ProviderConfig {
+  QualityMixture mixture{};
+  EbsPlacementModel ebs{};
+  S3Model s3{};
+  /// Boot (pending) time: truncated normal.
+  Seconds boot_mean{75.0};
+  Seconds boot_stddev{25.0};
+  Seconds boot_min{20.0};
+  /// EBS attach latency.
+  Seconds attach_mean{12.0};
+  Seconds attach_stddev{4.0};
+  /// Shutdown (shutting-down state) duration.
+  Seconds shutdown_delay{15.0};
+};
+
+class CloudProvider {
+ public:
+  CloudProvider(sim::Simulation& sim, Rng root, ProviderConfig config = {});
+
+  CloudProvider(const CloudProvider&) = delete;
+  CloudProvider& operator=(const CloudProvider&) = delete;
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] BillingMeter& billing() { return billing_; }
+  [[nodiscard]] const BillingMeter& billing() const { return billing_; }
+  [[nodiscard]] ObjectStore& s3() { return s3_; }
+  [[nodiscard]] const ProviderConfig& config() const { return config_; }
+
+  /// Requests an instance: it enters `pending` now and `running` after the
+  /// boot delay (an event on the simulation).  `on_running` (optional)
+  /// fires when it transitions.
+  InstanceId launch(InstanceType type, AvailabilityZone az,
+                    std::function<void(Instance&)> on_running = nullptr);
+
+  /// Begins termination; billing stops immediately (the running interval
+  /// closes) and the instance reaches `terminated` after the shutdown
+  /// delay.  Attached volumes are detached (they persist).
+  void terminate(InstanceId id);
+
+  [[nodiscard]] Instance& instance(InstanceId id);
+  [[nodiscard]] const Instance& instance(InstanceId id) const;
+  [[nodiscard]] bool exists(InstanceId id) const;
+  [[nodiscard]] std::size_t fleet_size() const { return instances_.size(); }
+  [[nodiscard]] std::uint64_t launches() const { return next_instance_ - 1; }
+
+  /// Creates a persistent EBS volume in a zone.
+  VolumeId create_volume(Bytes capacity, AvailabilityZone az);
+  [[nodiscard]] EbsVolume& volume(VolumeId id);
+  [[nodiscard]] const EbsVolume& volume(VolumeId id) const;
+
+  /// Attaches a volume to a running (or pending) instance in the same zone.
+  /// The attachment itself costs `attach_mean`-ish simulated time, which
+  /// the caller accounts for (the provider does not block).
+  void attach(VolumeId volume_id, InstanceId instance_id);
+  void detach(VolumeId volume_id);
+
+  /// A draw of the attach latency, for callers modelling staging time.
+  [[nodiscard]] Seconds draw_attach_latency();
+
+  /// One bonnie++-style pass on an instance's storage.
+  [[nodiscard]] DiskBenchResult disk_bench(InstanceId id);
+
+  /// §4 acquisition procedure: launch, run the simulation until the
+  /// instance boots, benchmark twice, keep it only if both passes clear
+  /// `threshold` and agree (stability); otherwise terminate and retry.
+  /// Returns the kept instance and the number of instances tried.
+  struct ScreenedAcquisition {
+    InstanceId id{};
+    int attempts = 0;
+  };
+  ScreenedAcquisition acquire_screened(
+      InstanceType type, AvailabilityZone az,
+      Rate threshold = Rate::megabytes_per_second(60.0), int max_attempts = 10);
+
+ private:
+  [[nodiscard]] Seconds draw_boot_delay();
+
+  sim::Simulation& sim_;
+  Rng root_;
+  Rng lifecycle_noise_;
+  Rng bench_noise_;
+  ProviderConfig config_;
+  QualityModel quality_;
+  BillingMeter billing_;
+  ObjectStore s3_;
+  std::unordered_map<InstanceId, std::unique_ptr<Instance>> instances_;
+  std::unordered_map<VolumeId, std::unique_ptr<EbsVolume>> volumes_;
+  std::uint64_t next_instance_ = 1;
+  std::uint64_t next_volume_ = 1;
+};
+
+}  // namespace reshape::cloud

@@ -1,0 +1,65 @@
+#include "cloud/quality.hpp"
+
+namespace reshape::cloud {
+
+InstanceQuality QualityModel::draw(std::uint64_t index) const {
+  Rng rng = stream_.split(index);
+  const double pick = rng.uniform();
+  InstanceQuality q;
+  if (pick < mixture_.p_fast) {
+    q.cls = QualityClass::kFast;
+    q.cpu_factor = rng.uniform(mixture_.fast_cpu_lo, mixture_.fast_cpu_hi);
+    q.io_rate = Rate::megabytes_per_second(
+        rng.uniform(mixture_.fast_io_lo_mbps, mixture_.fast_io_hi_mbps));
+    q.jitter = mixture_.fast_jitter;
+  } else if (pick < mixture_.p_fast + mixture_.p_slow) {
+    q.cls = QualityClass::kSlow;
+    q.cpu_factor = rng.uniform(mixture_.slow_cpu_lo, mixture_.slow_cpu_hi);
+    q.io_rate = Rate::megabytes_per_second(
+        rng.uniform(mixture_.slow_io_lo_mbps, mixture_.slow_io_hi_mbps));
+    q.jitter = mixture_.slow_jitter;
+  } else {
+    q.cls = QualityClass::kInconsistent;
+    q.cpu_factor = rng.uniform(mixture_.incons_cpu_lo, mixture_.incons_cpu_hi);
+    q.io_rate = Rate::megabytes_per_second(
+        rng.uniform(mixture_.incons_io_lo_mbps, mixture_.incons_io_hi_mbps));
+    q.jitter = mixture_.incons_jitter;
+  }
+  return q;
+}
+
+QualityMixture screened_fleet_mixture() {
+  QualityMixture m;
+  m.p_fast = 0.85;
+  m.fast_cpu_lo = 0.95;
+  m.fast_cpu_hi = 1.15;
+  m.fast_io_lo_mbps = 55.0;
+  m.fast_io_hi_mbps = 75.0;
+  m.fast_jitter = 0.03;
+  m.p_slow = 0.12;
+  m.slow_cpu_lo = 1.2;
+  m.slow_cpu_hi = 1.6;
+  m.slow_io_lo_mbps = 40.0;
+  m.slow_io_hi_mbps = 60.0;
+  m.slow_jitter = 0.05;
+  m.incons_cpu_lo = 1.0;
+  m.incons_cpu_hi = 1.3;
+  m.incons_io_lo_mbps = 45.0;
+  m.incons_io_hi_mbps = 65.0;
+  m.incons_jitter = 0.15;
+  return m;
+}
+
+QualityMixture uniform_fast_mixture() {
+  QualityMixture m;
+  m.p_fast = 1.0;
+  m.p_slow = 0.0;
+  m.fast_cpu_lo = 1.0;
+  m.fast_cpu_hi = 1.0;
+  m.fast_io_lo_mbps = 65.0;
+  m.fast_io_hi_mbps = 65.0;
+  m.fast_jitter = 0.0;
+  return m;
+}
+
+}  // namespace reshape::cloud

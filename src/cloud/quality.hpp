@@ -1,0 +1,78 @@
+// Per-instance performance quality.
+//
+// The paper (§3.1, §4) and its citation of Dejun et al. observe that
+// virtualization does not deliver uniform VM speed: instances behave
+// *consistently* slow or fast, with CPU differences up to a factor of 4 and
+// significant I/O spread.  We model this as a per-instance quality vector
+// drawn once at launch from a three-class mixture and then held fixed —
+// which is exactly what makes bonnie++-style screening (acquire, measure,
+// discard if slow) effective.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+enum class QualityClass { kFast, kSlow, kInconsistent };
+
+/// The fixed performance character of one instance.
+struct InstanceQuality {
+  QualityClass cls = QualityClass::kFast;
+  /// CPU slowdown factor (1.0 = reference speed; 4.0 = four times slower).
+  double cpu_factor = 1.0;
+  /// Sustained block read/write rate of the instance's storage path.
+  Rate io_rate = Rate::megabytes_per_second(65.0);
+  /// Relative run-to-run noise (stddev of a multiplicative factor).
+  double jitter = 0.02;
+};
+
+/// Mixture parameters for drawing instance qualities.
+struct QualityMixture {
+  double p_fast = 0.80;
+  double p_slow = 0.15;  // remainder is inconsistent
+  // Fast: near-reference CPU, healthy disk.
+  double fast_cpu_lo = 0.95, fast_cpu_hi = 1.10;
+  double fast_io_lo_mbps = 58.0, fast_io_hi_mbps = 75.0;
+  double fast_jitter = 0.02;
+  // Slow: the consistently-bad instances (up to 4x CPU).
+  double slow_cpu_lo = 1.8, slow_cpu_hi = 4.0;
+  double slow_io_lo_mbps = 20.0, slow_io_hi_mbps = 45.0;
+  double slow_jitter = 0.04;
+  // Inconsistent: nominal means but wild run-to-run variation.
+  double incons_cpu_lo = 1.0, incons_cpu_hi = 1.6;
+  double incons_io_lo_mbps = 35.0, incons_io_hi_mbps = 65.0;
+  double incons_jitter = 0.25;
+};
+
+/// Draws qualities deterministically: the quality of instance `index` is a
+/// pure function of (model seed, index).
+class QualityModel {
+ public:
+  QualityModel(Rng stream, QualityMixture mixture)
+      : stream_(stream), mixture_(mixture) {}
+
+  /// Quality for the `index`-th launched instance.
+  [[nodiscard]] InstanceQuality draw(std::uint64_t index) const;
+
+  [[nodiscard]] const QualityMixture& mixture() const { return mixture_; }
+
+ private:
+  Rng stream_;
+  QualityMixture mixture_;
+};
+
+/// A mixture with every instance fast and noise-free; used by tests and by
+/// planner what-if analysis (the paper's simplifying assumption in §5 that
+/// "all instances are uniform and performing well").
+[[nodiscard]] QualityMixture uniform_fast_mixture();
+
+/// The fleet one actually runs on after lightweight acceptance screening
+/// (§7's "invest in lightweight tests"): the pathological 4x instances are
+/// rejected, leaving mostly near-reference instances with a mild slow
+/// tail.  This is the quality regime behind the paper's Figs. 8-9, where
+/// deadline misses come from modest systematic underestimates rather than
+/// outliers.
+[[nodiscard]] QualityMixture screened_fleet_mixture();
+
+}  // namespace reshape::cloud

@@ -1,0 +1,62 @@
+#include "cloud/s3.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+
+void ObjectStore::put(const std::string& key, Bytes size) {
+  RESHAPE_REQUIRE(size <= model_.max_object_size,
+                  "object exceeds the S3 single-object size cap");
+  auto [it, inserted] = objects_.try_emplace(key, S3Object{key, size});
+  if (!inserted) {
+    total_ -= it->second.size;
+    it->second.size = size;
+  }
+  total_ += size;
+}
+
+std::optional<S3Object> ObjectStore::head(const std::string& key) const {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ObjectStore::contains(const std::string& key) const {
+  return objects_.count(key) > 0;
+}
+
+bool ObjectStore::remove(const std::string& key) {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return false;
+  total_ -= it->second.size;
+  objects_.erase(it);
+  return true;
+}
+
+namespace {
+Seconds transfer_time(const S3Model& model, Bytes size, Rng& rng) {
+  const double latency =
+      std::max(0.001, rng.normal(model.request_latency_mean.value(),
+                                 model.request_latency_stddev.value()));
+  const double rate_factor =
+      std::max(0.2, rng.normal(1.0, model.rate_jitter));
+  const Rate rate = model.transfer_rate * rate_factor;
+  return Seconds(latency) + rate.time_for(size);
+}
+}  // namespace
+
+Seconds ObjectStore::fetch_time(const std::string& key, Rng& rng) const {
+  const auto it = objects_.find(key);
+  RESHAPE_REQUIRE(it != objects_.end(), "fetch of missing S3 object: " + key);
+  return transfer_time(model_, it->second.size, rng);
+}
+
+Seconds ObjectStore::upload_time(Bytes size, Rng& rng) const {
+  RESHAPE_REQUIRE(size <= model_.max_object_size,
+                  "upload exceeds the S3 single-object size cap");
+  return transfer_time(model_, size, rng);
+}
+
+}  // namespace reshape::cloud

@@ -1,0 +1,66 @@
+// Simple Storage Service (S3) object store.
+//
+// From the paper's §1.1: unlimited objects of up to 5 GB each, accessible
+// from many instances in parallel, with latency that is low but higher and
+// more variable than EBS.  The provisioning layer uses it as the staging
+// source when data is uploaded from outside the cloud.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+struct S3Object {
+  std::string key;
+  Bytes size{0};
+};
+
+/// Latency/throughput character of the S3 path.
+struct S3Model {
+  Bytes max_object_size = 5_GB;
+  Seconds request_latency_mean{0.08};
+  Seconds request_latency_stddev{0.05};
+  Rate transfer_rate = Rate::megabytes_per_second(25.0);
+  /// Relative stddev of the per-transfer throughput ("more variable" than
+  /// EBS per §1.1).
+  double rate_jitter = 0.20;
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(S3Model model = {}) : model_(model) {}
+
+  /// Stores (or replaces) an object.  Throws if it exceeds the 5 GB cap.
+  void put(const std::string& key, Bytes size);
+
+  [[nodiscard]] std::optional<S3Object> head(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Removes an object; returns false if absent.
+  bool remove(const std::string& key);
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] Bytes total_stored() const { return total_; }
+
+  /// Simulated wall time to fetch the object to an instance, drawn with the
+  /// model's latency + throughput jitter.  Throws if the key is absent.
+  [[nodiscard]] Seconds fetch_time(const std::string& key, Rng& rng) const;
+
+  /// Simulated wall time to upload `size` bytes as one object.
+  [[nodiscard]] Seconds upload_time(Bytes size, Rng& rng) const;
+
+  [[nodiscard]] const S3Model& model() const { return model_; }
+
+ private:
+  S3Model model_;
+  std::unordered_map<std::string, S3Object> objects_;
+  Bytes total_{0};
+};
+
+}  // namespace reshape::cloud

@@ -1,0 +1,78 @@
+#include "cloud/spot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+
+SpotMarket::SpotMarket(Rng stream, SpotMarketModel model)
+    : stream_(stream), model_(model) {
+  RESHAPE_REQUIRE(model_.floor <= model_.mean && model_.mean <= model_.cap,
+                  "spot model bounds inverted");
+}
+
+Dollars SpotMarket::price_at_hour(std::uint64_t hour) const {
+  if (path_.empty()) path_.push_back(model_.mean);
+  // Extend the path deterministically; innovation k is a pure function of
+  // (stream, k) so extension order cannot change history.
+  while (path_.size() <= hour) {
+    const std::uint64_t k = path_.size();
+    Rng rng = stream_.split(k);
+    const double prev = path_.back().amount();
+    const double mean = model_.mean.amount();
+    double next = prev + model_.reversion * (mean - prev) +
+                  rng.normal(0.0, model_.volatility);
+    next = std::clamp(next, model_.floor.amount(), model_.cap.amount());
+    path_.push_back(Dollars(next));
+  }
+  return path_[hour];
+}
+
+Dollars SpotMarket::price_at(Seconds when) const {
+  RESHAPE_REQUIRE(when.value() >= 0.0, "negative time");
+  return price_at_hour(static_cast<std::uint64_t>(when.value() / 3600.0));
+}
+
+std::vector<SpotSpan> spans_running(const SpotMarket& market, Dollars bid,
+                                    Seconds horizon) {
+  std::vector<SpotSpan> spans;
+  const auto hours =
+      static_cast<std::uint64_t>(std::ceil(horizon.value() / 3600.0));
+  bool holding = false;
+  for (std::uint64_t h = 0; h < hours; ++h) {
+    const bool runs = market.price_at_hour(h) <= bid;
+    const Seconds start(static_cast<double>(h) * 3600.0);
+    const Seconds end = std::min(horizon, start + 1_h);
+    if (runs && !holding) {
+      spans.push_back(SpotSpan{start, end});
+      holding = true;
+    } else if (runs && holding) {
+      spans.back().end = end;
+    } else {
+      holding = false;
+    }
+  }
+  return spans;
+}
+
+SpotOutcome simulate_bid(const SpotMarket& market, Dollars bid,
+                         Seconds horizon) {
+  SpotOutcome outcome;
+  const auto spans = spans_running(market, bid, horizon);
+  for (const SpotSpan& span : spans) {
+    outcome.compute += span.end - span.start;
+    const auto first_hour =
+        static_cast<std::uint64_t>(span.start.value() / 3600.0);
+    const auto past_hour = static_cast<std::uint64_t>(
+        std::ceil(span.end.value() / 3600.0));
+    for (std::uint64_t h = first_hour; h < past_hour; ++h) {
+      outcome.cost += market.price_at_hour(h);
+    }
+  }
+  outcome.interruptions = spans.empty() ? 0 : spans.size() - 1;
+  return outcome;
+}
+
+}  // namespace reshape::cloud

@@ -1,0 +1,69 @@
+// Spot instance market.
+//
+// §1.1 background: spot prices float with supply/demand; the user names a
+// maximum bid and the instance runs whenever the bid exceeds the current
+// market price.  Applications must tolerate interruption.  The paper's own
+// experiments use on-demand instances (deadline-driven), so this module is
+// the "cost over time" counterpoint exercised by the spot_market example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/types.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+/// Mean-reverting hourly price process, deterministic per seed.
+struct SpotMarketModel {
+  Dollars mean{0.04};          // long-run mean (below the on-demand rate)
+  Dollars floor{0.01};
+  Dollars cap{0.30};
+  double reversion = 0.3;      // pull toward the mean per hour
+  double volatility = 0.012;   // stddev of the hourly innovation, dollars
+};
+
+class SpotMarket {
+ public:
+  SpotMarket(Rng stream, SpotMarketModel model = {});
+
+  /// Market price during hour `hour` (prices move on hour boundaries).
+  [[nodiscard]] Dollars price_at_hour(std::uint64_t hour) const;
+
+  /// Price at a simulated time.
+  [[nodiscard]] Dollars price_at(Seconds when) const;
+
+  [[nodiscard]] const SpotMarketModel& model() const { return model_; }
+
+ private:
+  Rng stream_;
+  SpotMarketModel model_;
+  mutable std::vector<Dollars> path_;  // lazily extended price path
+};
+
+/// One maximal span during which a bid holds the instance.
+struct SpotSpan {
+  Seconds start{0.0};
+  Seconds end{0.0};
+};
+
+/// Simulation of a bid over [0, horizon): the spans where the instance
+/// runs (price <= bid), at hour granularity.
+[[nodiscard]] std::vector<SpotSpan> spans_running(const SpotMarket& market,
+                                                  Dollars bid,
+                                                  Seconds horizon);
+
+/// Total compute time obtained and total cost paid for a bid over the
+/// horizon.  Spot hours are billed at the market price of each hour.
+struct SpotOutcome {
+  Seconds compute{0.0};
+  Dollars cost{0.0};
+  std::size_t interruptions = 0;
+};
+
+[[nodiscard]] SpotOutcome simulate_bid(const SpotMarket& market, Dollars bid,
+                                       Seconds horizon);
+
+}  // namespace reshape::cloud

@@ -1,0 +1,65 @@
+#include "cloud/types.hpp"
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+
+std::string_view to_string(InstanceType type) {
+  switch (type) {
+    case InstanceType::kSmall: return "m1.small";
+    case InstanceType::kMedium: return "m1.medium";
+    case InstanceType::kLarge: return "m1.large";
+  }
+  return "?";
+}
+
+const InstanceSpec& spec_for(InstanceType type) {
+  // Rates and shapes follow the paper's §1.1/§3.1 description of the
+  // 2009-2010 EC2 catalog; small instances are the experimental platform.
+  static const InstanceSpec kSmall{
+      InstanceType::kSmall, 1.0,           Bytes(1'700'000'000),
+      Bytes(160'000'000'000), Dollars(0.085), Rate::megabytes_per_second(65.0),
+      0.5};
+  static const InstanceSpec kMedium{
+      InstanceType::kMedium, 2.0,          Bytes(3'750'000'000),
+      Bytes(410'000'000'000), Dollars(0.17), Rate::megabytes_per_second(80.0),
+      1.0};
+  static const InstanceSpec kLarge{
+      InstanceType::kLarge, 4.0,           Bytes(7'500'000'000),
+      Bytes(850'000'000'000), Dollars(0.34), Rate::megabytes_per_second(100.0),
+      1.0};
+  switch (type) {
+    case InstanceType::kSmall: return kSmall;
+    case InstanceType::kMedium: return kMedium;
+    case InstanceType::kLarge: return kLarge;
+  }
+  throw Error("unknown instance type");
+}
+
+std::string_view to_string(Region region) {
+  switch (region) {
+    case Region::kUsEast: return "us-east";
+    case Region::kUsWest: return "us-west";
+    case Region::kEuWest: return "eu-west";
+  }
+  return "?";
+}
+
+std::string AvailabilityZone::name() const {
+  std::string n{to_string(region)};
+  n += "-1";
+  n += static_cast<char>('a' + index);
+  return n;
+}
+
+std::string_view to_string(InstanceState state) {
+  switch (state) {
+    case InstanceState::kPending: return "pending";
+    case InstanceState::kRunning: return "running";
+    case InstanceState::kShuttingDown: return "shutting-down";
+    case InstanceState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+}  // namespace reshape::cloud

@@ -1,0 +1,85 @@
+// Shared vocabulary types for the EC2 simulator.
+//
+// Mirrors the platform described in the paper's §1.1 background: instance
+// types classified by EC2 compute units, regions containing availability
+// zones, and a flat hour-or-partial-hour price per instance type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+/// Amazon's instance size classes (the paper uses small instances
+/// throughout: 1.7 GB memory, 1 ECU, 160 GB local storage, $0.085-0.1/h).
+enum class InstanceType { kSmall, kMedium, kLarge };
+
+[[nodiscard]] std::string_view to_string(InstanceType type);
+
+/// Static catalog entry for an instance type.
+struct InstanceSpec {
+  InstanceType type = InstanceType::kSmall;
+  double compute_units = 1.0;        // EC2 compute units (1.0-1.2 GHz Opteron)
+  Bytes memory{0};
+  Bytes local_storage{0};
+  Dollars hourly_rate{0.0};
+  Rate baseline_io{};                // nominal local-disk block rate
+  double cpu_share = 1.0;            // fraction of physical CPU (Wang & Ng:
+                                     // small instances get at most 50%)
+};
+
+/// Returns the catalog entry for `type`.
+[[nodiscard]] const InstanceSpec& spec_for(InstanceType type);
+
+/// The three independent EC2 regions of the paper's era.
+enum class Region { kUsEast, kUsWest, kEuWest };
+
+[[nodiscard]] std::string_view to_string(Region region);
+
+/// Availability zone within a region (us-east has 4: 1a..1d).
+struct AvailabilityZone {
+  Region region = Region::kUsEast;
+  std::uint8_t index = 0;
+
+  [[nodiscard]] std::string name() const;
+  friend bool operator==(const AvailabilityZone&,
+                         const AvailabilityZone&) = default;
+};
+
+/// Instance lifecycle from §3.1; payment is due only in kRunning.
+enum class InstanceState { kPending, kRunning, kShuttingDown, kTerminated };
+
+[[nodiscard]] std::string_view to_string(InstanceState state);
+
+/// Opaque ids handed out by the provider.
+struct InstanceId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(const InstanceId&, const InstanceId&) = default;
+};
+
+struct VolumeId {
+  std::uint64_t value = 0;
+  [[nodiscard]] bool valid() const { return value != 0; }
+  friend bool operator==(const VolumeId&, const VolumeId&) = default;
+};
+
+}  // namespace reshape::cloud
+
+template <>
+struct std::hash<reshape::cloud::InstanceId> {
+  std::size_t operator()(const reshape::cloud::InstanceId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<reshape::cloud::VolumeId> {
+  std::size_t operator()(const reshape::cloud::VolumeId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,78 @@
+#include "cloud/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+
+DataLayout DataLayout::reshaped(Bytes volume, Bytes unit) {
+  RESHAPE_REQUIRE(unit.count() > 0, "unit file size must be nonzero");
+  DataLayout layout;
+  layout.total_volume = volume;
+  layout.unit_file_size = unit;
+  layout.file_count =
+      (volume.count() + unit.count() - 1) / unit.count();
+  return layout;
+}
+
+DataLayout DataLayout::original(Bytes volume, std::uint64_t file_count,
+                                Bytes typical_file) {
+  DataLayout layout;
+  layout.total_volume = volume;
+  layout.file_count = file_count;
+  layout.unit_file_size = typical_file;
+  return layout;
+}
+
+Rate effective_read_rate(const Instance& instance,
+                         const StorageBinding& storage,
+                         const DataLayout& layout) {
+  const Rate instance_io = instance.quality().io_rate;
+  if (const auto* ebs = std::get_if<EbsStorage>(&storage)) {
+    RESHAPE_REQUIRE(ebs->volume != nullptr, "EBS binding without a volume");
+    return ebs->volume->effective_rate(ebs->offset, layout.total_volume,
+                                       instance_io);
+  }
+  return instance_io;
+}
+
+Seconds expected_run_time(const AppCostProfile& app, const DataLayout& layout,
+                          const Instance& instance,
+                          const StorageBinding& storage) {
+  const double volume = layout.total_volume.as_double();
+  const double cpu_factor = instance.quality().cpu_factor;
+
+  const double cpu_time = volume * app.cpu_seconds_per_byte * cpu_factor *
+                          app.memory.multiplier(layout.unit_file_size);
+
+  const Rate rate = effective_read_rate(instance, storage, layout);
+  const double io_time =
+      volume * app.io_bytes_per_input_byte / rate.bytes_per_second();
+
+  // Per-file overhead is syscall/seek work: it scales with CPU slowness.
+  const double overhead = static_cast<double>(layout.file_count) *
+                          app.per_file_overhead.value() * cpu_factor;
+
+  // CPU and I/O overlap in a pipeline, so the stream phase is their max.
+  return app.setup + Seconds(overhead + std::max(cpu_time, io_time));
+}
+
+Seconds run_time(const AppCostProfile& app, const DataLayout& layout,
+                 const Instance& instance, const StorageBinding& storage,
+                 Rng& noise) {
+  const Seconds expected = expected_run_time(app, layout, instance, storage);
+  // Unstable setup overhead: strictly additive (half-normal), so tiny runs
+  // show the large relative stddev of Fig. 3.
+  const double setup_noise =
+      std::abs(noise.normal(0.0, app.setup_jitter.value()));
+  // Run-to-run multiplicative jitter from the instance (large for the
+  // "inconsistent" quality class).
+  const double factor =
+      std::max(0.05, noise.normal(1.0, instance.quality().jitter));
+  const double work = (expected - app.setup).value() * factor;
+  return app.setup + Seconds(setup_noise + std::max(0.0, work));
+}
+
+}  // namespace reshape::cloud

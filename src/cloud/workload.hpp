@@ -1,0 +1,69 @@
+// Workload runtime model: how long an application run takes on a given
+// instance against a given data layout and storage binding.
+//
+// This is the analytic engine behind every figure: the probe sweeps
+// (Figs. 3-5, 7), the 100 GB campaign (Fig. 6) and the deadline schedules
+// (Figs. 8-9) all reduce to calls of `run_time` with different layouts,
+// instances and noise streams.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "cloud/app_profile.hpp"
+#include "cloud/ebs.hpp"
+#include "cloud/instance.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+/// Shape of the input data as the application sees it.
+struct DataLayout {
+  Bytes total_volume{0};
+  std::uint64_t file_count = 0;
+  /// Size class of the unit files (informational for memory pressure; the
+  /// *count* drives per-file overhead).
+  Bytes unit_file_size{0};
+
+  /// Layout for data reshaped into `unit`-sized files.
+  [[nodiscard]] static DataLayout reshaped(Bytes volume, Bytes unit);
+  /// Layout for data kept in its original segmentation.
+  [[nodiscard]] static DataLayout original(Bytes volume,
+                                           std::uint64_t file_count,
+                                           Bytes typical_file);
+};
+
+/// Data on the instance's ephemeral disk.
+struct LocalStorage {};
+
+/// Data on an attached EBS volume at a known placement extent.
+struct EbsStorage {
+  const EbsVolume* volume = nullptr;
+  Bytes offset{0};
+};
+
+using StorageBinding = std::variant<LocalStorage, EbsStorage>;
+
+/// The storage read rate an instance observes for a layout.
+[[nodiscard]] Rate effective_read_rate(const Instance& instance,
+                                       const StorageBinding& storage,
+                                       const DataLayout& layout);
+
+/// Noise-free run time: setup + per-file overhead + max(cpu, io) with the
+/// CPU term scaled by instance cpu_factor and memory pressure, and the I/O
+/// term by the effective storage rate.  Used by planners and by tests that
+/// need exact values.
+[[nodiscard]] Seconds expected_run_time(const AppCostProfile& app,
+                                        const DataLayout& layout,
+                                        const Instance& instance,
+                                        const StorageBinding& storage);
+
+/// A measured run: expected time perturbed by the unstable setup overhead
+/// and the instance's run-to-run jitter, drawn from `noise`.
+[[nodiscard]] Seconds run_time(const AppCostProfile& app,
+                               const DataLayout& layout,
+                               const Instance& instance,
+                               const StorageBinding& storage, Rng& noise);
+
+}  // namespace reshape::cloud

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace reshape::detail {
+
+void fail_requirement(const char* expr, const char* file, int line,
+                      const std::string& message) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ":" << line << ": "
+     << message;
+  throw Error(os.str());
+}
+
+}  // namespace reshape::detail

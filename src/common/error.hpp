@@ -1,0 +1,34 @@
+// Error handling utilities.
+//
+// The library throws `reshape::Error` for precondition violations in public
+// APIs.  Internal invariants use RESHAPE_REQUIRE which includes the failing
+// expression and location in the message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace reshape {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_requirement(const char* expr, const char* file, int line,
+                                   const std::string& message);
+}  // namespace detail
+
+}  // namespace reshape
+
+/// Throws reshape::Error when `expr` is false.  `msg` is any expression
+/// convertible to std::string.
+#define RESHAPE_REQUIRE(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::reshape::detail::fail_requirement(#expr, __FILE__, __LINE__,   \
+                                          (msg));                      \
+    }                                                                  \
+  } while (false)

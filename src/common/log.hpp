@@ -1,0 +1,38 @@
+// Minimal leveled logger.
+//
+// Benches and examples use INFO for narration; the libraries themselves log
+// only at DEBUG so library users keep clean stdout by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace reshape {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::ostringstream os;
+  ~LogStream() { log_line(level, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace reshape
+
+#define RESHAPE_LOG(level_enum)                                 \
+  ::reshape::detail::LogStream{::reshape::LogLevel::level_enum} \
+      .os
+
+#define RESHAPE_DEBUG RESHAPE_LOG(kDebug)
+#define RESHAPE_INFO RESHAPE_LOG(kInfo)
+#define RESHAPE_WARN RESHAPE_LOG(kWarn)
+#define RESHAPE_ERROR RESHAPE_LOG(kError)

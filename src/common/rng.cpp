@@ -1,0 +1,171 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace reshape {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// FNV-1a over a string, used to key named child streams.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::array<std::uint64_t, 4> seed_state(std::uint64_t seed) {
+  std::array<std::uint64_t, 4> state{};
+  std::uint64_t x = seed;
+  for (auto& word : state) word = splitmix64(x);
+  return state;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : state_(seed_state(seed)), seed_(seed) {}
+
+Rng Rng::split(std::string_view name) const {
+  const std::uint64_t child_seed = seed_ ^ rotl(fnv1a(name), 17);
+  Rng child(child_seed);
+  child.seed_ = child_seed;
+  return child;
+}
+
+Rng Rng::split(std::uint64_t index) const {
+  // Mix the index through SplitMix64 so consecutive indices diverge.
+  std::uint64_t x = index + 0x632be59bd9b4e019ULL;
+  const std::uint64_t child_seed = seed_ ^ splitmix64(x);
+  return Rng(child_seed);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RESHAPE_REQUIRE(lo <= hi, "uniform bounds inverted");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) {
+  RESHAPE_REQUIRE(bound > 0, "uniform_below requires bound > 0");
+  // Rejection to remove modulo bias.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RESHAPE_REQUIRE(lo <= hi, "uniform_int bounds inverted");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::normal() {
+  // Box-Muller; draw both uniforms fresh so the stream has a fixed
+  // consumption pattern (2 words per normal).
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) {
+  RESHAPE_REQUIRE(lambda > 0.0, "exponential rate must be positive");
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  RESHAPE_REQUIRE(x_m > 0.0 && alpha > 0.0, "pareto params must be positive");
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  RESHAPE_REQUIRE(n >= 1, "zipf needs n >= 1");
+  RESHAPE_REQUIRE(s > 0.0 && s != 1.0, "zipf exponent must be > 0 and != 1");
+  // Devroye's rejection-inversion for the Zipf distribution.
+  const double nd = static_cast<double>(n);
+  const double t = (std::pow(nd, 1.0 - s) - s) / (1.0 - s);
+  for (;;) {
+    const double u = uniform() * t;
+    const double x =
+        (u <= 1.0) ? u : std::pow(u * (1.0 - s) + s, 1.0 / (1.0 - s));
+    std::uint64_t k = static_cast<std::uint64_t>(x);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double ratio = std::pow(static_cast<double>(k) / x, s);
+    if (uniform() * ((k <= 1) ? 1.0 : ratio) <= ratio) return k;
+  }
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  RESHAPE_REQUIRE(k <= n, "cannot sample more items than the population");
+  // Floyd's algorithm: O(k) expected draws, O(k) memory.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t =
+        static_cast<std::size_t>(uniform_below(static_cast<std::uint64_t>(j) + 1));
+    bool seen = false;
+    for (const std::size_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  return chosen;
+}
+
+}  // namespace reshape

@@ -1,0 +1,121 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace reshape {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return min_; }
+
+double RunningStats::max() const { return max_; }
+
+double RunningStats::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+Summary summarize(std::span<const double> xs) {
+  RunningStats acc;
+  for (const double x : xs) acc.add(x);
+  return Summary{acc.count(), acc.mean(), acc.stddev(), acc.min(), acc.max()};
+}
+
+double percentile(std::span<const double> xs, double p) {
+  RESHAPE_REQUIRE(!xs.empty(), "percentile of empty sample");
+  RESHAPE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  RESHAPE_REQUIRE(hi > lo, "histogram range empty");
+  RESHAPE_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto i = static_cast<std::size_t>((x - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;  // guards fp edge at hi
+  ++counts_[i];
+}
+
+std::size_t Histogram::count_in_bin(std::size_t i) const {
+  RESHAPE_REQUIRE(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%10.0f, %10.0f) %9zu ", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    os << label;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * max_width / peak;
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << '\n';
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "overflow:  " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace reshape

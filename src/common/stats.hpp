@@ -1,0 +1,92 @@
+// Descriptive statistics used by the measurement and modelling layers.
+//
+// The paper repeats every performance measurement 5 times and reports the
+// average and standard deviation (§4); the modelling layer additionally
+// needs percentiles and histograms (Fig. 1's frequency distributions).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace reshape {
+
+/// Welford-style running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].  The input need not be
+/// sorted; a sorted copy is made internally.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Fixed-width-bin histogram, the form used in the paper's Fig. 1
+/// frequency distributions (10 kB bins for HTML_18mil, 1 kB for Text_400K).
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) in `bins` equal-width cells; values outside the
+  /// range land in saturating under/overflow bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t i) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+
+  /// Index of the fullest bin.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// ASCII rendering: one row per bin with a proportional bar, suitable for
+  /// regenerating Fig. 1 in a terminal.
+  [[nodiscard]] std::string ascii(std::size_t max_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace reshape

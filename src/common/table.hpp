@@ -1,0 +1,72 @@
+// Plain-text table and CSV rendering for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figure series
+// by printing rows; this keeps the formatting in one place.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace reshape {
+
+/// A simple column-aligned text table that can also serialize as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Column-aligned rendering with a header separator.
+  [[nodiscard]] std::string str() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision — the workhorse for table cells.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+}  // namespace reshape
+
+#include <sstream>
+
+namespace reshape {
+
+template <typename T>
+std::string Table::to_cell(const T& value) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return value;
+  } else if constexpr (std::is_convertible_v<T, const char*>) {
+    return std::string(value);
+  } else {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+}
+
+}  // namespace reshape

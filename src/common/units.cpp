@@ -1,0 +1,59 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace reshape {
+
+std::string Bytes::str() const {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "kB", "MB", "GB",
+                                                         "TB"};
+  double v = as_double();
+  std::size_t i = 0;
+  while (v >= 1000.0 && i + 1 < kSuffix.size()) {
+    v /= 1000.0;
+    ++i;
+  }
+  char buf[32];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, kSuffix[i]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) { return os << b.str(); }
+
+std::string Seconds::str() const {
+  char buf[48];
+  const double v = value();
+  if (v >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", v / 3600.0);
+  } else if (v >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", v / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", v);
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Seconds s) { return os << s.str(); }
+
+std::string Rate::str() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", mb_per_second());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Rate r) { return os << r.str(); }
+
+std::string Dollars::str() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "$%.3f", amount());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Dollars d) { return os << d.str(); }
+
+}  // namespace reshape

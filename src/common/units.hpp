@@ -1,0 +1,212 @@
+// Strong unit types used throughout the library.
+//
+// The paper's quantities mix data volumes (bytes through terabytes),
+// wall-clock durations (seconds through hours), transfer rates (MB/s) and
+// money (dollars at a flat hourly rate).  Keeping them as distinct types
+// prevents the classic "seconds where bytes expected" slips in the
+// provisioning math.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace reshape {
+
+/// A data volume in bytes.  Stored as a 64-bit count; arithmetic saturates
+/// naturally inside the ranges the paper uses (up to ~1 TB).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(count_);
+  }
+  [[nodiscard]] constexpr double kilobytes() const { return as_double() / 1e3; }
+  [[nodiscard]] constexpr double megabytes() const { return as_double() / 1e6; }
+  [[nodiscard]] constexpr double gigabytes() const { return as_double() / 1e9; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.count_ + b.count_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.count_ - b.count_);
+  }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) {
+    return Bytes(a.count_ * k);
+  }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) { return a * k; }
+  friend constexpr std::uint64_t operator/(Bytes a, Bytes b) {
+    return a.count_ / b.count_;
+  }
+  friend constexpr Bytes operator/(Bytes a, std::uint64_t k) {
+    return Bytes(a.count_ / k);
+  }
+  friend constexpr Bytes operator%(Bytes a, Bytes b) {
+    return Bytes(a.count_ % b.count_);
+  }
+
+  /// Human-readable rendering, e.g. "1.50 MB".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes(v); }
+constexpr Bytes operator""_kB(unsigned long long v) { return Bytes(v * 1000); }
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return Bytes(v * 1000 * 1000);
+}
+constexpr Bytes operator""_GB(unsigned long long v) {
+  return Bytes(v * 1000 * 1000 * 1000);
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b);
+
+/// A duration in (simulated or real) seconds.
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] constexpr double hours() const { return value_ / 3600.0; }
+  [[nodiscard]] Seconds ceil_hours() const {
+    return Seconds(std::ceil(value_ / 3600.0) * 3600.0);
+  }
+
+  constexpr auto operator<=>(const Seconds&) const = default;
+
+  constexpr Seconds& operator+=(Seconds other) {
+    value_ += other.value_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds(a.value_ + b.value_);
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds(a.value_ - b.value_);
+  }
+  friend constexpr Seconds operator*(Seconds a, double k) {
+    return Seconds(a.value_ * k);
+  }
+  friend constexpr Seconds operator*(double k, Seconds a) { return a * k; }
+  friend constexpr double operator/(Seconds a, Seconds b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr Seconds operator/(Seconds a, double k) {
+    return Seconds(a.value_ / k);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Seconds operator""_s(long double v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Seconds operator""_min(unsigned long long v) {
+  return Seconds(static_cast<double>(v) * 60.0);
+}
+constexpr Seconds operator""_h(unsigned long long v) {
+  return Seconds(static_cast<double>(v) * 3600.0);
+}
+
+std::ostream& operator<<(std::ostream& os, Seconds s);
+
+/// A transfer or processing rate in bytes per second.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  constexpr explicit Rate(double bytes_per_second)
+      : bytes_per_second_(bytes_per_second) {}
+
+  static constexpr Rate megabytes_per_second(double mbps) {
+    return Rate(mbps * 1e6);
+  }
+
+  [[nodiscard]] constexpr double bytes_per_second() const {
+    return bytes_per_second_;
+  }
+  [[nodiscard]] constexpr double mb_per_second() const {
+    return bytes_per_second_ / 1e6;
+  }
+
+  constexpr auto operator<=>(const Rate&) const = default;
+
+  friend constexpr Rate operator*(Rate r, double k) {
+    return Rate(r.bytes_per_second_ * k);
+  }
+  friend constexpr Rate operator/(Rate r, double k) {
+    return Rate(r.bytes_per_second_ / k);
+  }
+
+  /// Time to move `volume` at this rate.
+  [[nodiscard]] constexpr Seconds time_for(Bytes volume) const {
+    return Seconds(volume.as_double() / bytes_per_second_);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  double bytes_per_second_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, Rate r);
+
+/// Money in US dollars.  The paper's pricing is a flat rate per
+/// hour-or-partial-hour of instance run time.
+class Dollars {
+ public:
+  constexpr Dollars() = default;
+  constexpr explicit Dollars(double amount) : amount_(amount) {}
+
+  [[nodiscard]] constexpr double amount() const { return amount_; }
+
+  constexpr auto operator<=>(const Dollars&) const = default;
+
+  constexpr Dollars& operator+=(Dollars other) {
+    amount_ += other.amount_;
+    return *this;
+  }
+  friend constexpr Dollars operator+(Dollars a, Dollars b) {
+    return Dollars(a.amount_ + b.amount_);
+  }
+  friend constexpr Dollars operator-(Dollars a, Dollars b) {
+    return Dollars(a.amount_ - b.amount_);
+  }
+  friend constexpr Dollars operator*(Dollars a, double k) {
+    return Dollars(a.amount_ * k);
+  }
+  friend constexpr Dollars operator*(double k, Dollars a) { return a * k; }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  double amount_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, Dollars d);
+
+}  // namespace reshape

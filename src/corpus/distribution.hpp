@@ -1,0 +1,56 @@
+// File-size distributions for synthetic corpora.
+//
+// The paper's two data sets (§3.2, Fig. 1) are characterized entirely by
+// their size distributions:
+//
+//  * HTML_18mil — ~18M Google-News HTML articles, ~900 GB total; majority
+//    under 50 kB, long tail, largest file 43 MB (Fig. 1(a), 10 kB bins).
+//  * Text_400K — 400k extracted English text files, ~1 GB; majority under
+//    5 kB, largest 705 kB (Fig. 1(b), 1 kB bins).
+//
+// Both presets are truncated log-normals calibrated to those facts.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::corpus {
+
+/// A truncated log-normal over file sizes in bytes.
+class FileSizeDistribution {
+ public:
+  FileSizeDistribution(std::string name, double mu, double sigma, Bytes min,
+                       Bytes max);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Bytes min() const { return min_; }
+  [[nodiscard]] Bytes max() const { return max_; }
+  [[nodiscard]] double mu() const { return mu_; }
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+  /// Median of the untruncated log-normal (exp(mu)).
+  [[nodiscard]] Bytes median() const;
+
+  /// Draws one file size (rejection against the truncation bounds, with a
+  /// clamp fallback for the extreme tail).
+  [[nodiscard]] Bytes sample(Rng& rng) const;
+
+ private:
+  std::string name_;
+  double mu_;
+  double sigma_;
+  Bytes min_;
+  Bytes max_;
+};
+
+/// Preset matching Fig. 1(a): HTML news articles, median ~18 kB, heavy
+/// tail out to 43 MB.
+[[nodiscard]] FileSizeDistribution html_18mil_sizes();
+
+/// Preset matching Fig. 1(b): extracted text, median ~2.4 kB, tail to
+/// 705 kB.
+[[nodiscard]] FileSizeDistribution text_400k_sizes();
+
+}  // namespace reshape::corpus

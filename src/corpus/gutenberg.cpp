@@ -1,0 +1,33 @@
+#include "corpus/gutenberg.hpp"
+
+namespace reshape::corpus {
+
+Document make_novel(const std::string& title, std::size_t words,
+                    double complexity, Rng rng) {
+  TextGenerator::Options options;
+  options.complexity = complexity;
+  TextGenerator gen(options, rng.split(title));
+
+  Document doc;
+  doc.title = title;
+  doc.complexity = complexity;
+  while (doc.word_count < words) {
+    const TaggedSentence s = gen.sentence();
+    doc.word_count += s.size() - 1;  // exclude the terminating punctuation
+    doc.text += TextGenerator::render(s);
+    doc.text += ' ';
+  }
+  return doc;
+}
+
+Document dubliners_like(Rng rng) {
+  // Joyce: long, clause-chained, modifier-dense sentences.
+  return make_novel("Dubliners", 67'496, 1.9, rng);
+}
+
+Document agnes_grey_like(Rng rng) {
+  // Bronte: plainer, shorter sentences at equal total length.
+  return make_novel("Agnes Grey", 67'755, 1.0, rng);
+}
+
+}  // namespace reshape::corpus

@@ -1,0 +1,237 @@
+#include "corpus/textgen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace reshape::corpus {
+
+std::string_view to_string(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNoun: return "NOUN";
+    case PosTag::kVerb: return "VERB";
+    case PosTag::kAdj: return "ADJ";
+    case PosTag::kAdv: return "ADV";
+    case PosTag::kDet: return "DET";
+    case PosTag::kPrep: return "PREP";
+    case PosTag::kPron: return "PRON";
+    case PosTag::kConj: return "CONJ";
+    case PosTag::kPunct: return "PUNCT";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kOnsets = {
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t"};
+constexpr std::array<std::string_view, 6> kVowels = {"a", "e", "i",
+                                                     "o", "u", "or"};
+constexpr std::array<std::string_view, 8> kCodas = {"n",  "r",  "s",  "l",
+                                                    "nd", "st", "ck", "m"};
+
+// Tag-characteristic suffixes give the tagger's suffix-guesser something
+// real to learn, as English derivational morphology does.
+constexpr std::array<std::string_view, 5> kNounSuffixes = {"tion", "ness",
+                                                           "ment", "er", "ism"};
+constexpr std::array<std::string_view, 4> kVerbSuffixes = {"ate", "ize", "ify",
+                                                           "ect"};
+constexpr std::array<std::string_view, 5> kAdjSuffixes = {"ous", "ful", "ive",
+                                                          "al", "ic"};
+
+constexpr std::array<std::string_view, 5> kDeterminers = {"the", "a", "this",
+                                                          "each", "some"};
+constexpr std::array<std::string_view, 6> kPrepositions = {"in", "on",  "at",
+                                                           "with", "from", "over"};
+constexpr std::array<std::string_view, 5> kPronouns = {"he", "she", "it",
+                                                       "they", "we"};
+constexpr std::array<std::string_view, 3> kConjunctions = {"and", "but", "or"};
+
+/// One pseudo-word: syllables + a class suffix.  Deterministic per stream.
+std::string make_word(Rng& rng, std::string_view suffix,
+                      std::size_t syllables) {
+  std::string w;
+  for (std::size_t s = 0; s < syllables; ++s) {
+    w += kOnsets[rng.uniform_below(kOnsets.size())];
+    w += kVowels[rng.uniform_below(kVowels.size())];
+    if (rng.bernoulli(0.4)) w += kCodas[rng.uniform_below(kCodas.size())];
+  }
+  w += suffix;
+  return w;
+}
+
+template <std::size_t N>
+std::vector<std::string> make_vocabulary(
+    Rng rng, std::size_t count, const std::array<std::string_view, N>& suffixes,
+    double suffix_probability) {
+  std::vector<std::string> words;
+  words.reserve(count);
+  while (words.size() < count) {
+    const std::string_view suffix =
+        rng.bernoulli(suffix_probability)
+            ? suffixes[rng.uniform_below(suffixes.size())]
+            : std::string_view{};
+    std::string w = make_word(rng, suffix, 1 + rng.uniform_below(3));
+    if (std::find(words.begin(), words.end(), w) == words.end()) {
+      words.push_back(std::move(w));
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+TextGenerator::TextGenerator(Options options, Rng rng)
+    : TextGenerator(options, rng, rng.split("sentences")) {}
+
+TextGenerator::TextGenerator(Options options, Rng vocabulary_rng,
+                             Rng sentence_rng)
+    : options_(options), rng_(sentence_rng) {
+  Rng rng = vocabulary_rng;
+  RESHAPE_REQUIRE(options.complexity >= 0.4, "complexity below 0.4");
+  RESHAPE_REQUIRE(options.noun_count > 0 && options.verb_count > 0 &&
+                      options.adj_count > 0 && options.adv_count > 0,
+                  "vocabulary classes must be nonempty");
+  nouns_ = make_vocabulary(rng.split("nouns"), options.noun_count,
+                           kNounSuffixes, 0.7);
+  verbs_ = make_vocabulary(rng.split("verbs"), options.verb_count,
+                           kVerbSuffixes, 0.7);
+  adjectives_ = make_vocabulary(rng.split("adjectives"), options.adj_count,
+                                kAdjSuffixes, 0.7);
+  // Adverbs are adjective-like stems with the regular "-ly".
+  adverbs_ = make_vocabulary(rng.split("adverbs"), options.adv_count,
+                             std::array<std::string_view, 1>{"ly"}, 1.0);
+  // Noun/verb homographs: a slice of the verb inventory reuses noun
+  // surface forms, so those tokens are ambiguous and only context (the
+  // grammar slot) determines the gold tag.
+  if (options.noun_verb_overlap > 0.0 && !nouns_.empty()) {
+    Rng overlap_rng = rng.split("overlap");
+    const auto shared = static_cast<std::size_t>(
+        options.noun_verb_overlap * static_cast<double>(verbs_.size()));
+    const auto picks = overlap_rng.sample_without_replacement(
+        nouns_.size(), std::min(shared, nouns_.size()));
+    for (std::size_t i = 0; i < picks.size(); ++i) {
+      verbs_[i] = nouns_[picks[i]];
+    }
+  }
+}
+
+const std::vector<std::string>& TextGenerator::vocabulary(PosTag tag) const {
+  switch (tag) {
+    case PosTag::kNoun: return nouns_;
+    case PosTag::kVerb: return verbs_;
+    case PosTag::kAdj: return adjectives_;
+    case PosTag::kAdv: return adverbs_;
+    default: break;
+  }
+  throw Error("only open-class vocabularies are exposed");
+}
+
+std::string TextGenerator::pick(PosTag tag) {
+  // Higher complexity reaches deeper into the Zipf-ranked vocabulary
+  // (richer effective vocabulary), like literary prose vs. newswire.
+  const std::vector<std::string>& vocab = vocabulary(tag);
+  const double depth = std::min(1.0, 0.4 + 0.6 * options_.complexity);
+  const auto limit = std::max<std::uint64_t>(
+      10, static_cast<std::uint64_t>(depth * static_cast<double>(vocab.size())));
+  const std::uint64_t rank = rng_.zipf(limit, options_.zipf_exponent);
+  return vocab[rank - 1];
+}
+
+void TextGenerator::noun_phrase(TaggedSentence& out, bool allow_pronoun) {
+  if (allow_pronoun && rng_.bernoulli(0.15 / options_.complexity)) {
+    out.push_back({std::string(kPronouns[rng_.uniform_below(kPronouns.size())]),
+                   PosTag::kPron});
+    return;
+  }
+  out.push_back(
+      {std::string(kDeterminers[rng_.uniform_below(kDeterminers.size())]),
+       PosTag::kDet});
+  // Modifier density grows with complexity.
+  double p_adj = 0.35 * options_.complexity;
+  while (rng_.bernoulli(std::min(0.85, p_adj))) {
+    out.push_back({pick(PosTag::kAdj), PosTag::kAdj});
+    p_adj *= 0.5;
+  }
+  out.push_back({pick(PosTag::kNoun), PosTag::kNoun});
+  // Noun-noun compounds ("the press release"): after a noun, both a noun
+  // and a verb are grammatical, so homograph tokens are genuinely
+  // ambiguous — the irreducible error a real tagger faces.
+  if (rng_.bernoulli(0.15)) {
+    out.push_back({pick(PosTag::kNoun), PosTag::kNoun});
+  }
+}
+
+void TextGenerator::prepositional_phrase(TaggedSentence& out) {
+  out.push_back(
+      {std::string(kPrepositions[rng_.uniform_below(kPrepositions.size())]),
+       PosTag::kPrep});
+  noun_phrase(out, /*allow_pronoun=*/false);
+}
+
+void TextGenerator::verb_phrase(TaggedSentence& out) {
+  if (rng_.bernoulli(std::min(0.6, 0.25 * options_.complexity))) {
+    out.push_back({pick(PosTag::kAdv), PosTag::kAdv});
+  }
+  out.push_back({pick(PosTag::kVerb), PosTag::kVerb});
+  if (rng_.bernoulli(0.8)) noun_phrase(out, /*allow_pronoun=*/false);
+  if (rng_.bernoulli(std::min(0.7, 0.3 * options_.complexity))) {
+    prepositional_phrase(out);
+  }
+}
+
+TaggedSentence TextGenerator::sentence() {
+  TaggedSentence s;
+  noun_phrase(s, /*allow_pronoun=*/true);
+  verb_phrase(s);
+  // Clause chaining: complex prose strings clauses with conjunctions.
+  double p_chain = 0.25 * (options_.complexity - 0.4);
+  while (rng_.bernoulli(std::clamp(p_chain, 0.0, 0.6))) {
+    s.push_back(
+        {std::string(kConjunctions[rng_.uniform_below(kConjunctions.size())]),
+         PosTag::kConj});
+    noun_phrase(s, /*allow_pronoun=*/true);
+    verb_phrase(s);
+    p_chain *= 0.5;
+  }
+  s.push_back({".", PosTag::kPunct});
+  return s;
+}
+
+std::vector<TaggedSentence> TextGenerator::tagged_corpus(std::size_t count) {
+  std::vector<TaggedSentence> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(sentence());
+  return out;
+}
+
+std::string TextGenerator::render(const TaggedSentence& sentence) {
+  std::string out;
+  for (std::size_t i = 0; i < sentence.size(); ++i) {
+    const TaggedWord& w = sentence[i];
+    if (i > 0 && w.tag != PosTag::kPunct) out += ' ';
+    if (i == 0 && !w.text.empty()) {
+      std::string capitalized = w.text;
+      capitalized[0] =
+          static_cast<char>(std::toupper(static_cast<unsigned char>(capitalized[0])));
+      out += capitalized;
+    } else {
+      out += w.text;
+    }
+  }
+  return out;
+}
+
+std::string TextGenerator::text_of_size(Bytes target) {
+  std::string out;
+  out.reserve(target.count() + 256);
+  while (out.size() < target.count()) {
+    out += render(sentence());
+    out += ' ';
+  }
+  return out;
+}
+
+}  // namespace reshape::corpus

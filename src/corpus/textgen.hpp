@@ -1,0 +1,104 @@
+// Synthetic English-like text with gold part-of-speech tags.
+//
+// Real bytes are needed wherever the actual applications run: scanner and
+// tagger unit tests, the application profiler, and the text-complexity
+// experiment (§5.2).  The generator emits grammatical sentences
+// (NP-VP-PP structure) over a Zipf-distributed synthetic vocabulary whose
+// words carry their true tag — so tagger accuracy is measurable without
+// a hand-annotated treebank.
+//
+// A single `complexity` knob controls mean sentence length, clause
+// chaining and modifier density; it is the "language complexity" variable
+// behind the paper's Dubliners vs. Agnes Grey observation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::corpus {
+
+/// Part-of-speech inventory shared by the generator (gold tags) and the
+/// textproc tagger (predictions).
+enum class PosTag : std::uint8_t {
+  kNoun,
+  kVerb,
+  kAdj,
+  kAdv,
+  kDet,
+  kPrep,
+  kPron,
+  kConj,
+  kPunct,
+};
+
+inline constexpr std::size_t kPosTagCount = 9;
+
+[[nodiscard]] std::string_view to_string(PosTag tag);
+
+struct TaggedWord {
+  std::string text;
+  PosTag tag = PosTag::kNoun;
+};
+
+using TaggedSentence = std::vector<TaggedWord>;
+
+class TextGenerator {
+ public:
+  struct Options {
+    /// >= 0.4; 1.0 is "newswire average".  Higher values mean longer
+    /// sentences, more modifiers and deeper vocabulary.
+    double complexity = 1.0;
+    std::size_t noun_count = 500;
+    std::size_t verb_count = 300;
+    std::size_t adj_count = 250;
+    std::size_t adv_count = 150;
+    double zipf_exponent = 1.15;
+    /// Fraction of verb surface forms that are also nouns ("run", "walk"):
+    /// genuine tag ambiguity the tagger must resolve from context.
+    double noun_verb_overlap = 0.12;
+  };
+
+  TextGenerator(Options options, Rng rng);
+
+  /// Same vocabulary as a generator seeded with `vocabulary_rng`, but an
+  /// independent sentence stream — the held-out split for tagger
+  /// evaluation (unseen sentences over known words).
+  TextGenerator(Options options, Rng vocabulary_rng, Rng sentence_rng);
+
+  /// One grammatical sentence with gold tags (terminating punctuation
+  /// included).
+  [[nodiscard]] TaggedSentence sentence();
+
+  /// `count` sentences, for tagger training/evaluation.
+  [[nodiscard]] std::vector<TaggedSentence> tagged_corpus(std::size_t count);
+
+  /// Plain text of at least `target` bytes (whole sentences).
+  [[nodiscard]] std::string text_of_size(Bytes target);
+
+  /// Renders a tagged sentence as plain text.
+  [[nodiscard]] static std::string render(const TaggedSentence& sentence);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// The generator's open-class vocabulary for a tag (rank order).
+  [[nodiscard]] const std::vector<std::string>& vocabulary(PosTag tag) const;
+
+ private:
+  [[nodiscard]] std::string pick(PosTag tag);
+  void noun_phrase(TaggedSentence& out, bool allow_pronoun);
+  void verb_phrase(TaggedSentence& out);
+  void prepositional_phrase(TaggedSentence& out);
+
+  Options options_;
+  Rng rng_;
+  std::vector<std::string> nouns_;
+  std::vector<std::string> verbs_;
+  std::vector<std::string> adjectives_;
+  std::vector<std::string> adverbs_;
+};
+
+}  // namespace reshape::corpus

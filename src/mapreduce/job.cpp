@@ -1,0 +1,180 @@
+#include "mapreduce/job.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace reshape::mr {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t partition_of(const std::string& key, std::size_t reducers) {
+  return std::hash<std::string>{}(key) % reducers;
+}
+
+/// Applies the combiner to one map task's buffered output.
+std::vector<KeyValue> combine(const Reducer& combiner,
+                              std::vector<KeyValue>& pairs) {
+  std::map<std::string, std::vector<std::string>> grouped;
+  for (KeyValue& kv : pairs) {
+    grouped[std::move(kv.key)].push_back(std::move(kv.value));
+  }
+  std::vector<KeyValue> combined;
+  const Emit emit = [&combined](std::string k, std::string v) {
+    combined.push_back(KeyValue{std::move(k), std::move(v)});
+  };
+  for (const auto& [key, values] : grouped) {
+    combiner(key, values, emit);
+  }
+  return combined;
+}
+
+}  // namespace
+
+std::vector<Split> whole_file_splits(const std::vector<std::string>& files) {
+  std::vector<Split> splits;
+  splits.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    Split s;
+    s.file_indices.push_back(i);
+    s.total = Bytes(files[i].size());
+    splits.push_back(std::move(s));
+  }
+  return splits;
+}
+
+std::vector<Split> combined_splits(const std::vector<std::string>& files,
+                                   Bytes target) {
+  RESHAPE_REQUIRE(target.count() > 0, "split target must be nonzero");
+  std::vector<Split> splits;
+  Split current;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    current.file_indices.push_back(i);
+    current.total += Bytes(files[i].size());
+    if (current.total >= target) {
+      splits.push_back(std::move(current));
+      current = Split{};
+    }
+  }
+  if (!current.file_indices.empty()) splits.push_back(std::move(current));
+  return splits;
+}
+
+JobResult LocalRunner::run(const MapReduceJob& job,
+                           const std::vector<std::string>& files,
+                           const std::vector<Split>& splits) const {
+  RESHAPE_REQUIRE(static_cast<bool>(job.mapper), "job needs a mapper");
+  RESHAPE_REQUIRE(static_cast<bool>(job.reducer), "job needs a reducer");
+  RESHAPE_REQUIRE(job.num_reducers > 0, "need at least one reducer");
+
+  JobResult result;
+  result.stats.map_tasks = splits.size();
+  result.stats.reduce_tasks = job.num_reducers;
+  const double t0 = now_seconds();
+
+  // ------------------------------------------------------------- map
+  // Each map task gets its own partition buckets; merged under a mutex
+  // afterwards (coarse, but contention-free during the scan).
+  std::vector<std::vector<std::vector<KeyValue>>> task_buckets(splits.size());
+  std::mutex stats_mutex;
+  std::size_t input_records = 0;
+  Bytes input_bytes{0};
+
+  {
+    ThreadPool pool(threads_);
+    pool.parallel_for(splits.size(), [&](std::size_t s) {
+      // Real per-task setup: fresh buffers and emit plumbing per split —
+      // the overhead the small-files problem multiplies.
+      std::vector<KeyValue> buffer;
+      const Emit emit = [&buffer](std::string k, std::string v) {
+        buffer.push_back(KeyValue{std::move(k), std::move(v)});
+      };
+      std::size_t records = 0;
+      Bytes bytes{0};
+      for (const std::size_t f : splits[s].file_indices) {
+        RESHAPE_REQUIRE(f < files.size(), "split references missing file");
+        job.mapper(files[f], emit);
+        ++records;
+        bytes += Bytes(files[f].size());
+      }
+      if (job.combiner) buffer = combine(job.combiner, buffer);
+
+      std::vector<std::vector<KeyValue>> buckets(job.num_reducers);
+      for (KeyValue& kv : buffer) {
+        buckets[partition_of(kv.key, job.num_reducers)].push_back(
+            std::move(kv));
+      }
+      task_buckets[s] = std::move(buckets);
+      const std::lock_guard lock(stats_mutex);
+      input_records += records;
+      input_bytes += bytes;
+    });
+  }
+  result.stats.input_records = input_records;
+  result.stats.input_bytes = input_bytes;
+  const double t1 = now_seconds();
+
+  // ----------------------------------------------------------- shuffle
+  // Group by reducer partition, then by key (sorted for deterministic
+  // reduce order).
+  std::vector<std::map<std::string, std::vector<std::string>>> partitions(
+      job.num_reducers);
+  std::size_t intermediate = 0;
+  Bytes shuffle_bytes{0};
+  for (auto& buckets : task_buckets) {
+    for (std::size_t r = 0; r < buckets.size(); ++r) {
+      for (KeyValue& kv : buckets[r]) {
+        ++intermediate;
+        shuffle_bytes += Bytes(kv.key.size() + kv.value.size());
+        partitions[r][std::move(kv.key)].push_back(std::move(kv.value));
+      }
+    }
+  }
+  result.stats.intermediate_pairs = intermediate;
+  result.stats.shuffle_bytes = shuffle_bytes;
+  const double t2 = now_seconds();
+
+  // ------------------------------------------------------------ reduce
+  std::vector<std::vector<KeyValue>> reduce_outputs(job.num_reducers);
+  {
+    ThreadPool pool(threads_);
+    pool.parallel_for(job.num_reducers, [&](std::size_t r) {
+      std::vector<KeyValue> out;
+      const Emit emit = [&out](std::string k, std::string v) {
+        out.push_back(KeyValue{std::move(k), std::move(v)});
+      };
+      for (const auto& [key, values] : partitions[r]) {
+        job.reducer(key, values, emit);
+      }
+      reduce_outputs[r] = std::move(out);
+    });
+  }
+  for (auto& out : reduce_outputs) {
+    result.output.insert(result.output.end(),
+                         std::make_move_iterator(out.begin()),
+                         std::make_move_iterator(out.end()));
+  }
+  std::sort(result.output.begin(), result.output.end(),
+            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  result.stats.output_pairs = result.output.size();
+  const double t3 = now_seconds();
+
+  result.stats.map_wall = Seconds(t1 - t0);
+  result.stats.shuffle_wall = Seconds(t2 - t1);
+  result.stats.reduce_wall = Seconds(t3 - t2);
+  result.stats.total_wall = Seconds(t3 - t0);
+  return result;
+}
+
+}  // namespace reshape::mr

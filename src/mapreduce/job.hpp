@@ -1,0 +1,96 @@
+// A hand-rolled MapReduce framework.
+//
+// The paper's problem — millions of small files starving a data-parallel
+// text pipeline — is the classic Hadoop "small files problem": one map
+// task per file means the per-task overhead dwarfs the work.  This module
+// provides the execution substrate to demonstrate it end-to-end: input
+// splits (whole-file vs. combined/reshaped), map, hash-partitioned
+// shuffle with sorted reduce input, and a thread-pool runner, all over
+// in-memory documents.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace reshape::mr {
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+/// Emits one intermediate or final pair.
+using Emit = std::function<void(std::string key, std::string value)>;
+
+/// Maps one document to intermediate pairs.
+using Mapper = std::function<void(std::string_view document, const Emit&)>;
+
+/// Reduces all values of one key to final pairs.
+using Reducer = std::function<void(
+    const std::string& key, const std::vector<std::string>& values,
+    const Emit&)>;
+
+struct MapReduceJob {
+  std::string name = "job";
+  Mapper mapper;
+  Reducer reducer;
+  /// Optional combiner with reducer signature, applied per map task.
+  Reducer combiner;
+  std::size_t num_reducers = 4;
+};
+
+/// One input split: indices into the job's file list.
+struct Split {
+  std::vector<std::size_t> file_indices;
+  Bytes total{0};
+};
+
+/// One split per file — the Hadoop default that makes small files painful.
+[[nodiscard]] std::vector<Split> whole_file_splits(
+    const std::vector<std::string>& files);
+
+/// Consecutive files combined up to `target` bytes per split — the
+/// reshaped layout (CombineFileInputFormat analogue).
+[[nodiscard]] std::vector<Split> combined_splits(
+    const std::vector<std::string>& files, Bytes target);
+
+struct JobStats {
+  std::size_t map_tasks = 0;
+  std::size_t reduce_tasks = 0;
+  std::size_t input_records = 0;       // documents consumed
+  std::size_t intermediate_pairs = 0;  // pairs leaving map (post-combine)
+  std::size_t output_pairs = 0;
+  Bytes input_bytes{0};
+  Bytes shuffle_bytes{0};
+  Seconds map_wall{0.0};
+  Seconds shuffle_wall{0.0};
+  Seconds reduce_wall{0.0};
+  Seconds total_wall{0.0};
+};
+
+struct JobResult {
+  /// Final pairs, sorted by key.
+  std::vector<KeyValue> output;
+  JobStats stats;
+};
+
+class LocalRunner {
+ public:
+  /// `threads` = 0 picks hardware concurrency.
+  explicit LocalRunner(std::size_t threads = 0) : threads_(threads) {}
+
+  /// Runs `job` over `files` cut into `splits`.
+  [[nodiscard]] JobResult run(const MapReduceJob& job,
+                              const std::vector<std::string>& files,
+                              const std::vector<Split>& splits) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace reshape::mr

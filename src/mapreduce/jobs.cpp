@@ -1,0 +1,61 @@
+#include "mapreduce/jobs.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+#include "textproc/scanner.hpp"
+#include "textproc/tokenizer.hpp"
+
+namespace reshape::mr {
+
+std::uint64_t parse_count(const std::string& value) {
+  std::uint64_t n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), n);
+  RESHAPE_REQUIRE(ec == std::errc{} && ptr == value.data() + value.size(),
+                  "value is not a count: " + value);
+  return n;
+}
+
+MapReduceJob word_count_job(std::size_t reducers) {
+  MapReduceJob job;
+  job.name = "wordcount";
+  job.num_reducers = reducers;
+  job.mapper = [](std::string_view document, const Emit& emit) {
+    for (const std::string& word : textproc::tokenize(document)) {
+      emit(word, "1");
+    }
+  };
+  const Reducer sum = [](const std::string& key,
+                         const std::vector<std::string>& values,
+                         const Emit& emit) {
+    std::uint64_t total = 0;
+    for (const std::string& v : values) total += parse_count(v);
+    emit(key, std::to_string(total));
+  };
+  job.reducer = sum;
+  job.combiner = sum;
+  return job;
+}
+
+MapReduceJob grep_job(std::string word, std::size_t reducers) {
+  MapReduceJob job;
+  job.name = "grep:" + word;
+  job.num_reducers = reducers;
+  job.mapper = [word = std::move(word)](std::string_view document,
+                                        const Emit& emit) {
+    const textproc::GrepResult r = textproc::grep_literal(document, word);
+    if (r.matching_lines > 0) {
+      emit(word, std::to_string(r.matching_lines));
+    }
+  };
+  job.reducer = [](const std::string& key,
+                   const std::vector<std::string>& values, const Emit& emit) {
+    std::uint64_t total = 0;
+    for (const std::string& v : values) total += parse_count(v);
+    emit(key, std::to_string(total));
+  };
+  return job;
+}
+
+}  // namespace reshape::mr

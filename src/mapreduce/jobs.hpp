@@ -1,0 +1,23 @@
+// Canonical jobs over the MapReduce substrate.
+#pragma once
+
+#include <string>
+
+#include "mapreduce/job.hpp"
+
+namespace reshape::mr {
+
+/// Classic word count: tokenizes each document, emits (word, 1), sums.
+/// Uses itself as combiner so shuffle volume stays proportional to the
+/// vocabulary, not the corpus.
+[[nodiscard]] MapReduceJob word_count_job(std::size_t reducers = 4);
+
+/// Distributed grep: emits (word, line) for lines containing `word`;
+/// reducer counts matching lines per document set.
+[[nodiscard]] MapReduceJob grep_job(std::string word,
+                                    std::size_t reducers = 2);
+
+/// Sums the "1"-style integer values of word_count output for one key.
+[[nodiscard]] std::uint64_t parse_count(const std::string& value);
+
+}  // namespace reshape::mr

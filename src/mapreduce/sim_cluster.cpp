@@ -1,0 +1,63 @@
+#include "mapreduce/sim_cluster.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace reshape::mr {
+
+SimCluster::SimCluster(SimClusterConfig config, Rng rng) : config_(config) {
+  RESHAPE_REQUIRE(config.workers > 0, "cluster needs at least one worker");
+  const cloud::QualityModel quality(rng.split("workers"), config.mixture);
+  worker_speed_.reserve(config.workers);
+  for (std::size_t w = 0; w < config.workers; ++w) {
+    worker_speed_.push_back(quality.draw(w).cpu_factor);
+  }
+}
+
+SimJobReport SimCluster::run(const std::vector<Split>& splits,
+                             Bytes shuffle_bytes) const {
+  SimJobReport report;
+  report.map_tasks = splits.size();
+  report.worker_busy.assign(config_.workers, Seconds(0.0));
+
+  // Greedy list scheduling: longest-processing-time first onto the least
+  // loaded worker — the classic makespan heuristic Hadoop's scheduler
+  // approximates with straggler-aware task placement.
+  std::vector<const Split*> order;
+  order.reserve(splits.size());
+  for (const Split& s : splits) order.push_back(&s);
+  std::sort(order.begin(), order.end(), [](const Split* a, const Split* b) {
+    return a->total > b->total;
+  });
+
+  double overhead_total = 0.0;
+  double work_total = 0.0;
+  for (const Split* split : order) {
+    const std::size_t w = static_cast<std::size_t>(
+        std::min_element(report.worker_busy.begin(),
+                         report.worker_busy.end()) -
+        report.worker_busy.begin());
+    const double speed = worker_speed_[w];
+    const double overhead = config_.task_overhead.value() * speed;
+    const double scan =
+        split->total.as_double() / config_.scan_rate.bytes_per_second() *
+        speed;
+    report.worker_busy[w] += Seconds(overhead + scan);
+    overhead_total += overhead;
+    work_total += overhead + scan;
+  }
+  for (const Seconds busy : report.worker_busy) {
+    report.map_makespan = std::max(report.map_makespan, busy);
+  }
+  report.overhead_fraction =
+      work_total > 0.0 ? overhead_total / work_total : 0.0;
+
+  report.shuffle_time = config_.shuffle_rate.time_for(shuffle_bytes);
+  report.reduce_time = config_.reduce_rate.time_for(shuffle_bytes);
+  report.total =
+      report.map_makespan + report.shuffle_time + report.reduce_time;
+  return report;
+}
+
+}  // namespace reshape::mr

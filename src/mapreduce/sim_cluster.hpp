@@ -1,0 +1,67 @@
+// Simulated MapReduce cluster: projects a job's split plan onto a fleet
+// of workers with JVM-era per-task costs.
+//
+// The in-process LocalRunner measures real map/shuffle/reduce work, but
+// its per-task overhead is microseconds; on a 2010 Hadoop-style cluster a
+// map task costs seconds of scheduling and JVM start-up, which is what
+// makes one-split-per-small-file catastrophic.  This scheduler models
+// exactly that: greedy list scheduling of splits over `workers`, each
+// task paying `task_overhead` plus bytes / scan_rate (scaled by the
+// worker's quality), plus a shuffle/reduce tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloud/quality.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "mapreduce/job.hpp"
+
+namespace reshape::mr {
+
+struct SimClusterConfig {
+  std::size_t workers = 16;
+  /// Scheduling + JVM start-up per map task (Hadoop-era: 1-3 s).
+  Seconds task_overhead{1.5};
+  /// Map-side scan rate at reference quality.
+  Rate scan_rate = Rate::megabytes_per_second(40.0);
+  /// Shuffle rate for the intermediate volume (cluster bisection).
+  Rate shuffle_rate = Rate::megabytes_per_second(100.0);
+  /// Reduce-side processing rate for the shuffled volume.
+  Rate reduce_rate = Rate::megabytes_per_second(60.0);
+  /// Per-worker quality heterogeneity (reuses the EC2 mixture).
+  cloud::QualityMixture mixture = cloud::uniform_fast_mixture();
+};
+
+struct SimJobReport {
+  Seconds map_makespan{0.0};
+  Seconds shuffle_time{0.0};
+  Seconds reduce_time{0.0};
+  Seconds total{0.0};
+  std::size_t map_tasks = 0;
+  /// Fraction of map wall time spent in per-task overhead, averaged over
+  /// workers — the small-files signature.
+  double overhead_fraction = 0.0;
+  /// Per-worker busy time (map phase).
+  std::vector<Seconds> worker_busy;
+};
+
+class SimCluster {
+ public:
+  SimCluster(SimClusterConfig config, Rng rng);
+
+  /// Projects the job over the given splits.  `shuffle_bytes` is the
+  /// intermediate volume (take it from a real LocalRunner run, or
+  /// estimate it as a fraction of the input).
+  [[nodiscard]] SimJobReport run(const std::vector<Split>& splits,
+                                 Bytes shuffle_bytes) const;
+
+  [[nodiscard]] const SimClusterConfig& config() const { return config_; }
+
+ private:
+  SimClusterConfig config_;
+  std::vector<double> worker_speed_;  // cpu_factor per worker
+};
+
+}  // namespace reshape::mr

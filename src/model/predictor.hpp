@@ -1,0 +1,67 @@
+// The planner-facing performance predictor and the residual-quantile
+// deadline adjustment of §5.2.
+//
+// A Predictor maps data volume to predicted execution time (and back).
+// The adjustment assumes relative residuals (y - f(x)) / f(x) are normal;
+// to keep the probability of exceeding deadline D below p, plan for the
+// lowered deadline D / (1 + a) with a = z_p·σ + μ (the paper uses
+// z = 1.29 for p = 10%, a = 1.525 on its residuals).
+#pragma once
+
+#include <span>
+
+#include "common/units.hpp"
+#include "model/regression.hpp"
+
+namespace reshape::model {
+
+/// Volume -> time predictor backed by an affine fit (the form of the
+/// paper's Eqs. (1)-(4)).
+class Predictor {
+ public:
+  Predictor() = default;
+  explicit Predictor(AffineFit fit) : fit_(fit) {}
+
+  /// Fits from (volume, time) observations.
+  [[nodiscard]] static Predictor fit(std::span<const double> volumes_bytes,
+                                     std::span<const double> times_seconds);
+
+  [[nodiscard]] Seconds predict(Bytes volume) const;
+
+  /// Largest volume processable within `deadline` (f^{-1}(D)); zero when
+  /// even an empty input misses.
+  [[nodiscard]] Bytes max_volume_within(Seconds deadline) const;
+
+  [[nodiscard]] const AffineFit& affine() const { return fit_; }
+  [[nodiscard]] double r2() const { return fit_.quality.r2; }
+
+ private:
+  AffineFit fit_;
+};
+
+/// Statistics of relative residuals r_i = (y_i - f(x_i)) / f(x_i).
+struct RelativeResiduals {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes relative-residual stats from a fit's observations.
+[[nodiscard]] RelativeResiduals relative_residuals(
+    const Predictor& predictor, std::span<const double> volumes_bytes,
+    std::span<const double> times_seconds);
+
+/// Upper-tail standard-normal quantile z with P(Z > z) = p, via the
+/// Acklam rational approximation (|error| < 1.15e-9).
+[[nodiscard]] double upper_tail_z(double p);
+
+/// The §5.2 adjustment factor a = z_p·σ + μ.
+[[nodiscard]] double adjustment_factor(const RelativeResiduals& residuals,
+                                       double miss_probability);
+
+/// Lowered deadline D1 = D / (1 + a).
+[[nodiscard]] Seconds adjusted_deadline(Seconds deadline,
+                                        const RelativeResiduals& residuals,
+                                        double miss_probability);
+
+}  // namespace reshape::model

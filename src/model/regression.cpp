@@ -1,0 +1,249 @@
+#include "model/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace reshape::model {
+
+namespace {
+
+void check_input(std::span<const double> xs, std::span<const double> ys,
+                 std::size_t min_points) {
+  RESHAPE_REQUIRE(xs.size() == ys.size(), "x/y size mismatch");
+  RESHAPE_REQUIRE(xs.size() >= min_points, "too few points for this fit");
+}
+
+void require_positive(std::span<const double> vs, const char* what) {
+  for (const double v : vs) {
+    RESHAPE_REQUIRE(v > 0.0, std::string("log-space fit requires positive ") +
+                                 what);
+  }
+}
+
+/// OLS on (us, vs): returns {intercept, slope}.
+std::pair<double, double> ols(std::span<const double> us,
+                              std::span<const double> vs) {
+  const auto n = static_cast<double>(us.size());
+  double su = 0.0, sv = 0.0, suu = 0.0, suv = 0.0;
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    su += us[i];
+    sv += vs[i];
+    suu += us[i] * us[i];
+    suv += us[i] * vs[i];
+  }
+  const double denom = n * suu - su * su;
+  RESHAPE_REQUIRE(std::abs(denom) > 1e-30, "degenerate x values for OLS");
+  const double slope = (n * suv - su * sv) / denom;
+  const double intercept = (sv - slope * su) / n;
+  return {intercept, slope};
+}
+
+/// Original-space residuals and R² for any predictor.
+template <typename Predict>
+FitQuality quality_of(std::span<const double> xs, std::span<const double> ys,
+                      Predict&& f) {
+  FitQuality q;
+  double mean = 0.0;
+  for (const double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  q.residuals.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - f(xs[i]);
+    q.residuals.push_back(r);
+    ss_res += r * r;
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+  }
+  q.r2 = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return q;
+}
+
+std::vector<double> log_of(std::span<const double> vs) {
+  std::vector<double> out;
+  out.reserve(vs.size());
+  for (const double v : vs) out.push_back(std::log(v));
+  return out;
+}
+
+}  // namespace
+
+double AffineFit::inverse(double y) const {
+  RESHAPE_REQUIRE(std::abs(slope) > 1e-30, "flat model has no inverse");
+  return (y - intercept) / slope;
+}
+
+std::string AffineFit::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "f(x) = %.4g + %.4g * x  (R^2 = %.4f)",
+                intercept, slope, quality.r2);
+  return buf;
+}
+
+double PowerFit::predict(double x) const { return a * std::pow(x, b); }
+
+double PowerLogFit::predict(double x) const {
+  const double lx = std::log(x);
+  return std::exp(a * lx * lx + b * lx);
+}
+
+double ExponentialFit::predict(double x) const { return a * std::exp(b * x); }
+
+AffineFit fit_affine(std::span<const double> xs, std::span<const double> ys) {
+  check_input(xs, ys, 2);
+  AffineFit fit;
+  const auto [c0, c1] = ols(xs, ys);
+  fit.intercept = c0;
+  fit.slope = c1;
+  fit.quality = quality_of(xs, ys, [&](double x) { return fit.predict(x); });
+  return fit;
+}
+
+AffineFit fit_affine_weighted(std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::span<const double> weights) {
+  check_input(xs, ys, 2);
+  RESHAPE_REQUIRE(weights.size() == xs.size(), "weight count mismatch");
+  double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    RESHAPE_REQUIRE(weights[i] >= 0.0, "weights must be nonnegative");
+    sw += weights[i];
+    swx += weights[i] * xs[i];
+    swy += weights[i] * ys[i];
+    swxx += weights[i] * xs[i] * xs[i];
+    swxy += weights[i] * xs[i] * ys[i];
+  }
+  RESHAPE_REQUIRE(sw > 0.0, "all weights are zero");
+  const double denom = sw * swxx - swx * swx;
+  RESHAPE_REQUIRE(std::abs(denom) > 1e-30, "degenerate x values for WLS");
+  AffineFit fit;
+  fit.slope = (sw * swxy - swx * swy) / denom;
+  fit.intercept = (swy - fit.slope * swx) / sw;
+  fit.quality = quality_of(xs, ys, [&](double x) { return fit.predict(x); });
+  return fit;
+}
+
+std::vector<double> volume_weights(std::span<const double> xs) {
+  double sum = 0.0;
+  for (const double x : xs) {
+    RESHAPE_REQUIRE(x >= 0.0, "volumes must be nonnegative");
+    sum += x;
+  }
+  RESHAPE_REQUIRE(sum > 0.0, "all volumes are zero");
+  std::vector<double> w;
+  w.reserve(xs.size());
+  const double scale = static_cast<double>(xs.size()) / sum;
+  for (const double x : xs) w.push_back(x * scale);
+  return w;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  check_input(xs, ys, 1);
+  require_positive(xs, "x");
+  require_positive(ys, "y");
+  // Y = ln a + X: ln a is the mean of (Y - X).
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += std::log(ys[i]) - std::log(xs[i]);
+  }
+  LinearFit fit;
+  fit.a = std::exp(sum / static_cast<double>(xs.size()));
+  fit.quality = quality_of(xs, ys, [&](double x) { return fit.predict(x); });
+  return fit;
+}
+
+PowerFit fit_power(std::span<const double> xs, std::span<const double> ys) {
+  check_input(xs, ys, 2);
+  require_positive(xs, "x");
+  require_positive(ys, "y");
+  const std::vector<double> lx = log_of(xs);
+  const std::vector<double> ly = log_of(ys);
+  const auto [c0, c1] = ols(lx, ly);
+  PowerFit fit;
+  fit.a = std::exp(c0);
+  fit.b = c1;
+  fit.quality = quality_of(xs, ys, [&](double x) { return fit.predict(x); });
+  return fit;
+}
+
+PowerLogFit fit_powerlog(std::span<const double> xs,
+                         std::span<const double> ys) {
+  check_input(xs, ys, 2);
+  require_positive(xs, "x");
+  require_positive(ys, "y");
+  // Y = a·X² + b·X with no intercept: normal equations in (X², X).
+  double s22 = 0.0, s21 = 0.0, s11 = 0.0, sy2 = 0.0, sy1 = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double X = std::log(xs[i]);
+    const double Y = std::log(ys[i]);
+    const double X2 = X * X;
+    s22 += X2 * X2;
+    s21 += X2 * X;
+    s11 += X * X;
+    sy2 += Y * X2;
+    sy1 += Y * X;
+  }
+  const double det = s22 * s11 - s21 * s21;
+  RESHAPE_REQUIRE(std::abs(det) > 1e-30, "degenerate inputs for power-log fit");
+  PowerLogFit fit;
+  fit.a = (sy2 * s11 - sy1 * s21) / det;
+  fit.b = (s22 * sy1 - s21 * sy2) / det;
+  fit.quality = quality_of(xs, ys, [&](double x) { return fit.predict(x); });
+  return fit;
+}
+
+ExponentialFit fit_exponential(std::span<const double> xs,
+                               std::span<const double> ys) {
+  check_input(xs, ys, 2);
+  require_positive(ys, "y");
+  const std::vector<double> ly = log_of(ys);
+  const auto [c0, c1] = ols(xs, ly);
+  ExponentialFit fit;
+  fit.a = std::exp(c0);
+  fit.b = c1;
+  fit.quality = quality_of(xs, ys, [&](double x) { return fit.predict(x); });
+  return fit;
+}
+
+std::string_view to_string(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kLinear: return "linear";
+    case ModelFamily::kPower: return "power";
+    case ModelFamily::kPowerLog: return "power-log";
+    case ModelFamily::kExponential: return "exponential";
+  }
+  return "?";
+}
+
+ModelSelection select_model(std::span<const double> xs,
+                            std::span<const double> ys) {
+  check_input(xs, ys, 2);
+  const bool xs_positive =
+      std::all_of(xs.begin(), xs.end(), [](double v) { return v > 0.0; });
+  const bool ys_positive =
+      std::all_of(ys.begin(), ys.end(), [](double v) { return v > 0.0; });
+  RESHAPE_REQUIRE(ys_positive,
+                  "model selection needs positive observations");
+
+  ModelSelection best;
+  best.family = ModelFamily::kExponential;
+  best.r2 = fit_exponential(xs, ys).quality.r2;
+  // The log-x families only apply on positive domains (§5 fits volumes,
+  // which always are; callers with x = 0 get the exponential family only).
+  if (xs_positive) {
+    if (const double r2 = fit_linear(xs, ys).quality.r2; r2 >= best.r2) {
+      best = {ModelFamily::kLinear, r2};
+    }
+    if (const double r2 = fit_power(xs, ys).quality.r2; r2 > best.r2) {
+      best = {ModelFamily::kPower, r2};
+    }
+    if (const double r2 = fit_powerlog(xs, ys).quality.r2; r2 > best.r2) {
+      best = {ModelFamily::kPowerLog, r2};
+    }
+  }
+  return best;
+}
+
+}  // namespace reshape::model

@@ -1,0 +1,43 @@
+#include "provision/cost.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace reshape::provision {
+
+double instance_hours_for_deadline(Seconds predicted_total, Seconds deadline) {
+  RESHAPE_REQUIRE(predicted_total.value() >= 0.0, "negative work");
+  RESHAPE_REQUIRE(deadline.value() > 0.0, "deadline must be positive");
+  const double p_hours = predicted_total.hours();
+  if (p_hours == 0.0) return 0.0;
+  if (deadline.hours() >= 1.0) {
+    return std::ceil(p_hours);
+  }
+  // Each instance works only d but bills a full hour.
+  return std::ceil(p_hours / deadline.hours());
+}
+
+Dollars cost_for_deadline(Seconds predicted_total, Seconds deadline,
+                          Dollars hourly_rate) {
+  return hourly_rate * instance_hours_for_deadline(predicted_total, deadline);
+}
+
+std::size_t instances_needed(Bytes total, Bytes per_instance) {
+  RESHAPE_REQUIRE(per_instance.count() > 0,
+                  "per-instance volume must be nonzero");
+  if (total.count() == 0) return 0;
+  return static_cast<std::size_t>(
+      (total.count() + per_instance.count() - 1) / per_instance.count());
+}
+
+Bytes switch_gain(Rate slow_rate, Rate fast_rate, Seconds switch_penalty) {
+  const double hour = 3600.0;
+  const double keep = slow_rate.bytes_per_second() * hour;
+  const double switched =
+      fast_rate.bytes_per_second() * std::max(0.0, hour - switch_penalty.value());
+  if (switched <= keep) return Bytes(0);
+  return Bytes(static_cast<std::uint64_t>(switched - keep));
+}
+
+}  // namespace reshape::provision

@@ -1,0 +1,39 @@
+// The §5 cost function for EC2's hour-or-partial-hour pricing.
+//
+//            | r·⌈P⌉      if d >= 1 hour
+//   f(d)  =  |
+//            | r·⌈P/d⌉    if d < 1 hour
+//
+// where P is the total predicted processing time (hours), d the deadline
+// (hours) and r the hourly rate: with a whole hour available each
+// instance does an hour of work; under an hour, every instance still
+// bills a full hour while working only d.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace reshape::provision {
+
+/// f(d) above.  `predicted_total` is P (the single-instance-equivalent
+/// processing time for the whole volume).
+[[nodiscard]] Dollars cost_for_deadline(Seconds predicted_total,
+                                        Seconds deadline, Dollars hourly_rate);
+
+/// Billed instance-hours under the same model.
+[[nodiscard]] double instance_hours_for_deadline(Seconds predicted_total,
+                                                 Seconds deadline);
+
+/// Instances needed to finish volume V by deadline D when one instance
+/// processes `per_instance` by D: ⌈V / per_instance⌉.
+[[nodiscard]] std::size_t instances_needed(Bytes total, Bytes per_instance);
+
+/// §3.1's slow-instance switch calculus: given a slow instance's rate, a
+/// candidate replacement's expected rate and the switch penalty (boot +
+/// attach), the extra volume processed in the next hour if we switch.
+/// Positive means switching wins.
+[[nodiscard]] Bytes switch_gain(Rate slow_rate, Rate fast_rate,
+                                Seconds switch_penalty);
+
+}  // namespace reshape::provision

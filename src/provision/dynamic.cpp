@@ -1,0 +1,264 @@
+#include "provision/dynamic.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "cloud/workload.hpp"
+#include "common/error.hpp"
+
+namespace reshape::provision {
+
+namespace {
+
+/// Mutable per-assignment state shared between the lifecycle callbacks.
+struct Slot {
+  std::size_t index = 0;
+  Assignment assignment;
+  cloud::AppCostProfile app;
+  Rng run_noise{0};
+
+  cloud::VolumeId volume{};
+  Bytes data_offset{0};
+  Bytes remaining{0};
+
+  cloud::InstanceId current{};
+  Seconds work_begun{0.0};   // when staging+exec began on `current`
+  Seconds cur_staging{0.0};  // staging span of the current attempt
+  Seconds cur_exec{0.0};     // exec span of the current attempt
+  sim::EventHandle completion{};
+
+  Seconds first_work_begun{0.0};
+  Seconds staging_total{0.0};
+  Seconds exec_total{0.0};
+  Seconds finished_at{0.0};
+  bool started = false;
+  bool done = false;
+  bool switched = false;
+  int candidates_tried = 0;
+  int attempt = 0;
+  cloud::QualityClass final_quality = cloud::QualityClass::kFast;
+  std::uint64_t file_count = 0;
+};
+
+cloud::DataLayout layout_for(const Assignment& assignment,
+                             const ExecutionOptions& options, Bytes volume) {
+  if (options.reshaped_unit.count() > 0) {
+    return cloud::DataLayout::reshaped(volume, options.reshaped_unit);
+  }
+  // Scale the original file count with the remaining volume.
+  const double frac =
+      assignment.volume.count() == 0
+          ? 0.0
+          : volume.as_double() / assignment.volume.as_double();
+  const auto files = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             frac * static_cast<double>(assignment.file_count)));
+  return cloud::DataLayout::original(volume, files, volume / files);
+}
+
+/// Fraction of the current attempt's data already processed at `now`
+/// (staging happens first, then execution proceeds linearly).
+double attempt_progress(const Slot& slot, Seconds now) {
+  const double worked = (now - slot.work_begun - slot.cur_staging).value();
+  if (slot.cur_exec.value() <= 0.0) return 1.0;
+  return std::clamp(worked / slot.cur_exec.value(), 0.0, 1.0);
+}
+
+}  // namespace
+
+DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
+                                        const ExecutionPlan& plan,
+                                        const cloud::AppCostProfile& app,
+                                        const ReschedulingOptions& options,
+                                        Rng& noise) {
+  RESHAPE_REQUIRE(options.base.data_on_ebs,
+                  "dynamic rescheduling relies on EBS re-attachment");
+  RESHAPE_REQUIRE(!plan.assignments.empty(), "plan has no assignments");
+  constexpr int kMaxCandidates = 2;
+  constexpr double kSwitchMargin = 0.90;  // require a >=10% projected win
+
+  DynamicReport report;
+  report.execution.deadline = plan.deadline;
+  report.execution.outcomes.resize(plan.assignments.size());
+
+  std::vector<std::unique_ptr<Slot>> slots;
+  slots.reserve(plan.assignments.size());
+
+  // Starts (or restarts) a slot's work on a freshly booted instance.
+  auto begin_work = [&provider, &options](Slot& slot,
+                                          cloud::Instance& instance) {
+    cloud::EbsVolume& vol = provider.volume(slot.volume);
+    provider.attach(slot.volume, instance.id());
+    const Seconds staging = provider.draw_attach_latency();
+    const cloud::DataLayout layout =
+        layout_for(slot.assignment, options.base, slot.remaining);
+    const cloud::StorageBinding storage =
+        cloud::EbsStorage{&vol, slot.data_offset};
+    Rng attempt_noise =
+        slot.run_noise.split(static_cast<std::uint64_t>(slot.attempt++));
+    const Seconds exec =
+        cloud::run_time(slot.app, layout, instance, storage, attempt_noise);
+
+    slot.current = instance.id();
+    slot.work_begun = provider.sim().now();
+    if (!slot.started) {
+      slot.first_work_begun = slot.work_begun;
+      slot.started = true;
+    }
+    slot.cur_staging = staging;
+    slot.cur_exec = exec;
+    slot.final_quality = instance.quality().cls;
+    slot.file_count = layout.file_count;
+
+    slot.completion = provider.sim().schedule_in(
+        staging + exec, [&provider, &slot](sim::Simulation& s) {
+          slot.done = true;
+          slot.finished_at = s.now();
+          slot.staging_total += slot.cur_staging;
+          slot.exec_total += slot.cur_exec;
+          provider.terminate(slot.current);
+        });
+  };
+
+  // Launches one replacement candidate for a lagging slot; verifies it is
+  // projected to finish meaningfully sooner before committing; retries
+  // with another candidate otherwise (§7's "lightweight tests to establish
+  // the quality of the instances").
+  std::function<void(Slot&, Seconds)> try_candidate =
+      [&provider, &options, &begin_work, &report,
+       &try_candidate](Slot& slot, Seconds old_bar) {
+        if (slot.done || slot.switched ||
+            slot.candidates_tried >= kMaxCandidates) {
+          return;
+        }
+        ++slot.candidates_tried;
+        provider.launch(
+            options.base.instance_type, options.base.zone,
+            [&provider, &options, &begin_work, &report, &try_candidate, &slot,
+             old_bar](cloud::Instance& candidate) {
+              if (slot.done || slot.switched) {
+                provider.terminate(candidate.id());
+                return;
+              }
+              sim::Simulation& s = provider.sim();
+              // Data still unprocessed on the old instance right now.
+              const double progress = attempt_progress(slot, s.now());
+              const Bytes processed(static_cast<std::uint64_t>(
+                  progress * slot.remaining.as_double()));
+              const Bytes remaining_now = slot.remaining - processed;
+              if (remaining_now.count() == 0) {
+                provider.terminate(candidate.id());
+                return;
+              }
+
+              const cloud::DataLayout layout =
+                  layout_for(slot.assignment, options.base, remaining_now);
+              const cloud::StorageBinding storage = cloud::EbsStorage{
+                  &provider.volume(slot.volume),
+                  slot.data_offset + processed};
+              const Seconds est_exec = cloud::expected_run_time(
+                  slot.app, layout, candidate, storage);
+              const Seconds est_bar = s.now() +
+                                      provider.config().attach_mean +
+                                      est_exec - slot.first_work_begun;
+              if (est_bar.value() >= old_bar.value() * kSwitchMargin) {
+                // Not convincingly better: discard and maybe retry.
+                provider.terminate(candidate.id());
+                try_candidate(slot, old_bar);
+                return;
+              }
+
+              // Commit the switch: stop the old instance, roll progress
+              // into the slot, and restart on the candidate.
+              slot.switched = true;
+              provider.sim().cancel(slot.completion);
+              slot.staging_total += slot.cur_staging;
+              slot.exec_total +=
+                  Seconds(progress * slot.cur_exec.value());
+              slot.remaining = remaining_now;
+              slot.data_offset += processed;
+
+              RescheduleEvent event;
+              event.assignment_index = slot.index;
+              event.replaced = slot.current;
+              event.old_projection = old_bar;
+              provider.terminate(slot.current);  // frees the volume
+
+              begin_work(slot, candidate);
+              event.replacement = candidate.id();
+              event.new_completion = slot.work_begun + slot.cur_staging +
+                                     slot.cur_exec - slot.first_work_begun;
+              report.replacements.push_back(event);
+            });
+      };
+
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->index = i;
+    slot->assignment = plan.assignments[i];
+    slot->app = app;
+    slot->app.cpu_seconds_per_byte *= plan.assignments[i].mean_complexity;
+    slot->run_noise = noise.split(i);
+    slot->remaining = plan.assignments[i].volume;
+
+    // Data is pre-staged on a persistent volume; replacements re-attach.
+    slot->volume = provider.create_volume(
+        std::max(plan.assignments[i].volume * 2, Bytes(1'000'000)),
+        options.base.zone);
+    slot->data_offset =
+        provider.volume(slot->volume).stage(plan.assignments[i].volume);
+
+    Slot* raw = slot.get();
+    provider.launch(
+        options.base.instance_type, options.base.zone,
+        [&provider, &options, &begin_work, &try_candidate, raw,
+         deadline = plan.deadline](cloud::Instance& instance) {
+          begin_work(*raw, instance);
+
+          provider.sim().schedule_in(
+              options.checkpoint,
+              [&provider, &try_candidate, raw, deadline,
+               trigger = options.overrun_trigger](sim::Simulation&) {
+                if (raw->done || raw->switched) return;
+                const Seconds projected = raw->work_begun + raw->cur_staging +
+                                          raw->cur_exec -
+                                          raw->first_work_begun;
+                if (projected.value() <= deadline.value() * trigger) return;
+                if (provider.instance(raw->current).quality().cls ==
+                    cloud::QualityClass::kFast) {
+                  return;  // fast but overloaded: a new instance won't help
+                }
+                try_candidate(*raw, projected);
+              });
+        });
+    slots.push_back(std::move(slot));
+  }
+
+  provider.sim().run();
+
+  for (const auto& slot : slots) {
+    InstanceOutcome& outcome = report.execution.outcomes[slot->index];
+    outcome.index = slot->index;
+    outcome.id = slot->current;
+    outcome.volume = slot->assignment.volume;
+    outcome.file_count = slot->file_count;
+    outcome.staging = slot->staging_total;
+    outcome.exec_time = slot->exec_total;
+    outcome.quality = slot->final_quality;
+    RESHAPE_REQUIRE(slot->done, "an assignment never completed");
+    // The bar: wall time from first work start to completion (includes a
+    // replacement's boot gap — the honest cost of switching).
+    outcome.work_time = slot->finished_at - slot->first_work_begun;
+    outcome.met_deadline = outcome.work_time <= plan.deadline;
+    if (!outcome.met_deadline) ++report.execution.missed;
+    report.execution.makespan =
+        std::max(report.execution.makespan, outcome.work_time);
+  }
+  report.execution.instance_hours =
+      provider.billing().instance_hours(provider.sim().now());
+  report.execution.cost =
+      provider.billing().total_cost(provider.sim().now());
+  return report;
+}
+
+}  // namespace reshape::provision

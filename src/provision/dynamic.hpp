@@ -1,0 +1,45 @@
+// Dynamic rescheduling (§3.1 and §7).
+//
+// The paper sketches the policy: monitor application performance during
+// execution; when an instance is found slow, start a replacement, detach
+// the EBS volume from the laggard and re-attach it to the new instance
+// ("replacing poorly performing instances can be done easily without
+// explicit data transfers"), provided the §3.1 switch calculus predicts a
+// net gain.  This module implements that policy on top of the static
+// executor and reports the comparison.
+#pragma once
+
+#include "provision/executor.hpp"
+
+namespace reshape::provision {
+
+struct ReschedulingOptions {
+  ExecutionOptions base{};
+  /// When to inspect progress, measured from each instance's boot.
+  Seconds checkpoint{600.0};
+  /// Replace only when projected completion exceeds the deadline by this
+  /// factor (hysteresis against jitter).
+  double overrun_trigger = 1.05;
+};
+
+struct RescheduleEvent {
+  std::size_t assignment_index = 0;
+  cloud::InstanceId replaced{};
+  cloud::InstanceId replacement{};
+  Seconds old_projection{0.0};
+  Seconds new_completion{0.0};
+};
+
+struct DynamicReport {
+  ExecutionReport execution;
+  std::vector<RescheduleEvent> replacements;
+};
+
+/// Executes the plan with checkpoint-based replacement.  Requires
+/// `options.base.data_on_ebs` (the zero-copy handoff is the point).
+[[nodiscard]] DynamicReport execute_with_rescheduling(
+    cloud::CloudProvider& provider, const ExecutionPlan& plan,
+    const cloud::AppCostProfile& app, const ReschedulingOptions& options,
+    Rng& noise);
+
+}  // namespace reshape::provision

@@ -1,0 +1,104 @@
+#include "provision/executor.hpp"
+
+#include <algorithm>
+
+#include "cloud/workload.hpp"
+#include "common/error.hpp"
+
+namespace reshape::provision {
+
+double ExecutionReport::worst_overrun() const {
+  double worst = 1.0;
+  for (const InstanceOutcome& o : outcomes) {
+    if (deadline.value() > 0.0) {
+      worst = std::max(worst, o.work_time.value() / deadline.value());
+    }
+  }
+  return worst;
+}
+
+ExecutionReport execute_plan(cloud::CloudProvider& provider,
+                             const ExecutionPlan& plan,
+                             const cloud::AppCostProfile& app,
+                             const ExecutionOptions& options, Rng& noise) {
+  RESHAPE_REQUIRE(!plan.assignments.empty(), "plan has no assignments");
+
+  ExecutionReport report;
+  report.deadline = plan.deadline;
+  report.outcomes.resize(plan.assignments.size());
+
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    const Assignment& assignment = plan.assignments[i];
+    // Complexity scales the CPU demand of this instance's share (§5.2's
+    // language-complexity effect).
+    cloud::AppCostProfile scaled = app;
+    scaled.cpu_seconds_per_byte *= assignment.mean_complexity;
+
+    Rng run_noise = noise.split(i);
+    const cloud::InstanceId id = provider.launch(
+        options.instance_type, options.zone,
+        [&provider, &report, &options, assignment, scaled, i,
+         run_noise](cloud::Instance& instance) mutable {
+          InstanceOutcome& outcome = report.outcomes[i];
+          outcome.index = i;
+          outcome.id = instance.id();
+          outcome.volume = assignment.volume;
+          outcome.quality = instance.quality().cls;
+
+          cloud::DataLayout layout =
+              options.reshaped_unit.count() > 0
+                  ? cloud::DataLayout::reshaped(assignment.volume,
+                                                options.reshaped_unit)
+                  : cloud::DataLayout::original(
+                        assignment.volume, assignment.file_count,
+                        assignment.file_count > 0
+                            ? assignment.volume / assignment.file_count
+                            : Bytes(0));
+          outcome.file_count = layout.file_count;
+
+          cloud::StorageBinding storage = cloud::LocalStorage{};
+          Seconds staging{0.0};
+          if (options.data_on_ebs) {
+            // Pre-staged volume: only the attach latency is paid now.
+            const cloud::VolumeId vol_id = provider.create_volume(
+                std::max(assignment.volume * 2, Bytes(1'000'000)),
+                options.zone);
+            cloud::EbsVolume& vol = provider.volume(vol_id);
+            const Bytes offset = vol.stage(assignment.volume);
+            provider.attach(vol_id, instance.id());
+            staging = provider.draw_attach_latency();
+            storage = cloud::EbsStorage{&vol, offset};
+          } else {
+            staging = options.local_staging_time;
+            instance.stage_local(assignment.volume);
+          }
+
+          const Seconds exec =
+              cloud::run_time(scaled, layout, instance, storage, run_noise);
+          outcome.staging = staging;
+          outcome.exec_time = exec;
+          outcome.work_time = staging + exec;
+
+          provider.sim().schedule_in(
+              staging + exec, [&provider, id = instance.id()](
+                                  sim::Simulation&) { provider.terminate(id); });
+        });
+    (void)id;
+  }
+
+  provider.sim().run();
+
+  for (InstanceOutcome& outcome : report.outcomes) {
+    RESHAPE_REQUIRE(outcome.id.valid(),
+                    "an instance never reached the running state");
+    outcome.met_deadline = outcome.work_time <= plan.deadline;
+    if (!outcome.met_deadline) ++report.missed;
+    report.makespan = std::max(report.makespan, outcome.work_time);
+  }
+  report.instance_hours = provider.billing().instance_hours(
+      provider.sim().now());
+  report.cost = provider.billing().total_cost(provider.sim().now());
+  return report;
+}
+
+}  // namespace reshape::provision

@@ -1,0 +1,66 @@
+// Plan execution on the simulated cloud.
+//
+// Runs an ExecutionPlan end-to-end: launch the fleet, stage each
+// instance's data (pre-staged EBS volumes for the grep campaign, §5.1, or
+// constant-time local staging for POS, §5), run the application, terminate
+// on completion, and account cost through the billing meter.  The report
+// carries the per-instance bars of Figs. 8-9 (execution time vs. the
+// deadline line) plus makespan, misses and instance-hours.
+#pragma once
+
+#include <vector>
+
+#include "cloud/app_profile.hpp"
+#include "cloud/provider.hpp"
+#include "common/rng.hpp"
+#include "provision/planner.hpp"
+
+namespace reshape::provision {
+
+struct ExecutionOptions {
+  cloud::InstanceType instance_type = cloud::InstanceType::kSmall;
+  cloud::AvailabilityZone zone{};
+  /// True: data pre-staged on one EBS volume per instance (grep, §5.1);
+  /// false: staged to local disk in constant time (POS, §5).
+  bool data_on_ebs = true;
+  Seconds local_staging_time{180.0};
+  /// Unit file size of the staged layout; 0 keeps the assignment's
+  /// original segmentation (file_count from the plan).
+  Bytes reshaped_unit{0};
+};
+
+struct InstanceOutcome {
+  std::size_t index = 0;
+  cloud::InstanceId id{};
+  Bytes volume{0};
+  std::uint64_t file_count = 0;
+  Seconds staging{0.0};
+  Seconds exec_time{0.0};   // application run time
+  Seconds work_time{0.0};   // staging + exec, the bar in Figs. 8-9
+  bool met_deadline = false;
+  cloud::QualityClass quality = cloud::QualityClass::kFast;
+};
+
+struct ExecutionReport {
+  std::vector<InstanceOutcome> outcomes;
+  Seconds deadline{0.0};
+  Seconds makespan{0.0};  // max work_time across instances
+  std::size_t missed = 0;
+  double instance_hours = 0.0;
+  Dollars cost{0.0};
+
+  [[nodiscard]] std::size_t instance_count() const { return outcomes.size(); }
+  /// Worst observed-over-deadline ratio (1.0 when all met).
+  [[nodiscard]] double worst_overrun() const;
+};
+
+/// Executes the plan.  `noise` drives run-time jitter; the provider's own
+/// streams drive boot/quality draws.  The provider's simulation is run to
+/// completion.
+[[nodiscard]] ExecutionReport execute_plan(cloud::CloudProvider& provider,
+                                           const ExecutionPlan& plan,
+                                           const cloud::AppCostProfile& app,
+                                           const ExecutionOptions& options,
+                                           Rng& noise);
+
+}  // namespace reshape::provision

@@ -1,0 +1,70 @@
+#include "provision/retrieval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace reshape::provision {
+
+OutputSegmentation OutputSegmentation::per_input_file(
+    std::uint64_t input_files, Bytes input_volume, double output_ratio) {
+  RESHAPE_REQUIRE(output_ratio >= 0.0, "output ratio must be nonnegative");
+  OutputSegmentation seg;
+  seg.object_count = input_files;
+  seg.total_volume = Bytes(static_cast<std::uint64_t>(
+      input_volume.as_double() * output_ratio));
+  return seg;
+}
+
+OutputSegmentation OutputSegmentation::per_block(Bytes input_volume,
+                                                 Bytes unit,
+                                                 double output_ratio) {
+  RESHAPE_REQUIRE(unit.count() > 0, "unit must be nonzero");
+  OutputSegmentation seg;
+  seg.object_count =
+      (input_volume.count() + unit.count() - 1) / unit.count();
+  seg.total_volume = Bytes(static_cast<std::uint64_t>(
+      input_volume.as_double() * output_ratio));
+  return seg;
+}
+
+RetrievalEstimate expected_retrieval_time(const OutputSegmentation& output,
+                                          const cloud::S3Model& s3) {
+  RetrievalEstimate estimate;
+  estimate.request_overhead =
+      Seconds(static_cast<double>(output.object_count) *
+              s3.request_latency_mean.value());
+  estimate.transfer = s3.transfer_rate.time_for(output.total_volume);
+  estimate.total = estimate.request_overhead + estimate.transfer;
+  return estimate;
+}
+
+Seconds retrieval_time_sampled(const OutputSegmentation& output,
+                               const cloud::S3Model& s3, Rng& rng) {
+  double total = 0.0;
+  const double mean_object = output.object_count == 0
+                                 ? 0.0
+                                 : output.total_volume.as_double() /
+                                       static_cast<double>(output.object_count);
+  for (std::uint64_t i = 0; i < output.object_count; ++i) {
+    const double latency =
+        std::max(0.001, rng.normal(s3.request_latency_mean.value(),
+                                   s3.request_latency_stddev.value()));
+    const double rate_factor = std::max(0.2, rng.normal(1.0, s3.rate_jitter));
+    total += latency +
+             mean_object / (s3.transfer_rate.bytes_per_second() * rate_factor);
+  }
+  return Seconds(total);
+}
+
+Seconds parallel_retrieval_time(const OutputSegmentation& output,
+                                const cloud::S3Model& s3,
+                                std::uint64_t parallel_streams) {
+  RESHAPE_REQUIRE(parallel_streams > 0, "need at least one stream");
+  const RetrievalEstimate sequential = expected_retrieval_time(output, s3);
+  // Objects divide across streams; each stream is an independent S3 path.
+  return sequential.total / static_cast<double>(parallel_streams);
+}
+
+}  // namespace reshape::provision

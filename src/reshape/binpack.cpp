@@ -1,0 +1,158 @@
+#include "reshape/binpack.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace reshape::pack {
+
+Bytes PackResult::total_packed() const {
+  Bytes total{0};
+  for (const Bin& b : bins) total += b.used;
+  return total;
+}
+
+double PackResult::mean_utilization() const {
+  if (bins.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Bin& b : bins) {
+    if (b.capacity.count() > 0) {
+      sum += b.used.as_double() / b.capacity.as_double();
+    }
+  }
+  return sum / static_cast<double>(bins.size());
+}
+
+std::size_t PackResult::item_count() const {
+  std::size_t n = 0;
+  for (const Bin& b : bins) n += b.item_ids.size();
+  return n;
+}
+
+namespace {
+
+std::vector<Item> ordered(std::span<const Item> items, ItemOrder order) {
+  std::vector<Item> out(items.begin(), items.end());
+  if (order == ItemOrder::kDecreasing) {
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Item& a, const Item& b) { return a.size > b.size; });
+  }
+  return out;
+}
+
+void place_new_bin(std::vector<Bin>& bins, const Item& item, Bytes capacity) {
+  Bin bin;
+  // Oversize items are unsplittable: give them a bin of their own size.
+  bin.capacity = std::max(capacity, item.size);
+  bin.used = item.size;
+  bin.item_ids.push_back(item.id);
+  bins.push_back(std::move(bin));
+}
+
+}  // namespace
+
+PackResult first_fit(std::span<const Item> items, Bytes capacity,
+                     ItemOrder order) {
+  RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
+  PackResult result;
+  for (const Item& item : ordered(items, order)) {
+    bool placed = false;
+    for (Bin& bin : result.bins) {
+      if (bin.fits(item.size)) {
+        bin.used += item.size;
+        bin.item_ids.push_back(item.id);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) place_new_bin(result.bins, item, capacity);
+  }
+  return result;
+}
+
+PackResult best_fit(std::span<const Item> items, Bytes capacity,
+                    ItemOrder order) {
+  RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
+  PackResult result;
+  for (const Item& item : ordered(items, order)) {
+    Bin* best = nullptr;
+    for (Bin& bin : result.bins) {
+      if (bin.fits(item.size) && (best == nullptr || bin.free() < best->free())) {
+        best = &bin;
+      }
+    }
+    if (best != nullptr) {
+      best->used += item.size;
+      best->item_ids.push_back(item.id);
+    } else {
+      place_new_bin(result.bins, item, capacity);
+    }
+  }
+  return result;
+}
+
+PackResult next_fit(std::span<const Item> items, Bytes capacity) {
+  RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
+  PackResult result;
+  for (const Item& item : items) {
+    if (!result.bins.empty() && result.bins.back().fits(item.size)) {
+      result.bins.back().used += item.size;
+      result.bins.back().item_ids.push_back(item.id);
+    } else {
+      place_new_bin(result.bins, item, capacity);
+    }
+  }
+  return result;
+}
+
+std::vector<Bin> pack_into_k(std::span<const Item> items, std::size_t k,
+                             Bytes capacity, ItemOrder order) {
+  RESHAPE_REQUIRE(k > 0, "need at least one bin");
+  RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
+  std::vector<Bin> bins(k);
+  for (Bin& b : bins) b.capacity = capacity;
+  for (const Item& item : ordered(items, order)) {
+    Bin* target = nullptr;
+    for (Bin& bin : bins) {
+      if (bin.fits(item.size)) {
+        target = &bin;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      // Spill to the least-loaded bin; capacity becomes advisory.
+      target = &*std::min_element(
+          bins.begin(), bins.end(),
+          [](const Bin& a, const Bin& b) { return a.used < b.used; });
+    }
+    target->used += item.size;
+    target->item_ids.push_back(item.id);
+  }
+  return bins;
+}
+
+std::vector<Bin> uniform_bins(std::span<const Item> items, std::size_t k) {
+  RESHAPE_REQUIRE(k > 0, "need at least one bin");
+  std::vector<Bin> bins(k);
+  Bytes total{0};
+  for (const Item& item : items) total += item.size;
+  for (Bin& b : bins) b.capacity = total;  // advisory
+  for (const Item& item : items) {
+    Bin& target = *std::min_element(
+        bins.begin(), bins.end(),
+        [](const Bin& a, const Bin& b) { return a.used < b.used; });
+    target.used += item.size;
+    target.item_ids.push_back(item.id);
+  }
+  return bins;
+}
+
+std::size_t bin_lower_bound(std::span<const Item> items, Bytes capacity) {
+  RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
+  Bytes total{0};
+  for (const Item& item : items) total += item.size;
+  return static_cast<std::size_t>(
+      (total.count() + capacity.count() - 1) / capacity.count());
+}
+
+}  // namespace reshape::pack

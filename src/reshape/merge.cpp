@@ -1,0 +1,75 @@
+#include "reshape/merge.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace reshape::pack {
+
+Bytes MergedCorpus::total_volume() const {
+  Bytes total{0};
+  for (const Bin& b : blocks) total += b.used;
+  return total;
+}
+
+Bytes MergedCorpus::largest_block() const {
+  Bytes largest{0};
+  for (const Bin& b : blocks) largest = std::max(largest, b.used);
+  return largest;
+}
+
+double MergedCorpus::fill_factor() const {
+  if (blocks.empty() || unit.count() == 0) return 0.0;
+  return total_volume().as_double() /
+         (static_cast<double>(blocks.size()) * unit.as_double());
+}
+
+MergedCorpus merge_to_unit(const corpus::Corpus& corpus, Bytes unit,
+                           ItemOrder order) {
+  std::vector<Item> items;
+  items.reserve(corpus.file_count());
+  for (const corpus::VirtualFile& f : corpus.files()) {
+    items.push_back(Item{f.id, f.size});
+  }
+  MergedCorpus merged;
+  merged.unit = unit;
+  merged.blocks = first_fit(items, unit, order).bins;
+  return merged;
+}
+
+MergedCorpus derive_multiple(const MergedCorpus& base, std::uint64_t m) {
+  RESHAPE_REQUIRE(m >= 1, "multiple must be at least 1");
+  if (m == 1) return base;
+  MergedCorpus merged;
+  merged.unit = base.unit * m;
+  for (std::size_t i = 0; i < base.blocks.size(); i += m) {
+    Bin combined;
+    combined.capacity = merged.unit;
+    const std::size_t end = std::min(i + m, base.blocks.size());
+    for (std::size_t j = i; j < end; ++j) {
+      combined.used += base.blocks[j].used;
+      combined.item_ids.insert(combined.item_ids.end(),
+                               base.blocks[j].item_ids.begin(),
+                               base.blocks[j].item_ids.end());
+    }
+    merged.blocks.push_back(std::move(combined));
+  }
+  return merged;
+}
+
+std::vector<std::string> materialize(const MergedCorpus& merged,
+                                     const std::vector<std::string>& texts) {
+  std::vector<std::string> blocks;
+  blocks.reserve(merged.blocks.size());
+  for (const Bin& bin : merged.blocks) {
+    std::string content;
+    for (const std::uint64_t id : bin.item_ids) {
+      RESHAPE_REQUIRE(id < texts.size(), "file id outside texts");
+      content += texts[id];
+    }
+    blocks.push_back(std::move(content));
+  }
+  return blocks;
+}
+
+}  // namespace reshape::pack

@@ -1,0 +1,76 @@
+// Discrete-event simulation kernel.
+//
+// The cloud substrate schedules instance boots, task completions, billing
+// ticks and spot-price moves as events on this kernel.  Events at equal
+// timestamps fire in scheduling order (a stable tiebreak), which keeps runs
+// bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace reshape::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+class Simulation {
+ public:
+  using Callback = std::function<void(Simulation&)>;
+
+  /// Current simulated time.
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedules `cb` at absolute simulated time `when` (>= now).
+  EventHandle schedule_at(Seconds when, Callback cb);
+
+  /// Schedules `cb` after a relative delay (>= 0).
+  EventHandle schedule_in(Seconds delay, Callback cb);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// previously cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Number of events scheduled but not yet fired or cancelled.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Runs events until the queue drains.  Returns the number fired.
+  std::size_t run();
+
+  /// Runs events with time <= horizon; the clock then rests at `horizon`
+  /// if it had not already passed it.  Returns the number fired.
+  std::size_t run_until(Seconds horizon);
+
+  /// Fires at most one event.  Returns false if the queue was empty.
+  bool step();
+
+ private:
+  struct Entry {
+    Seconds when;
+    std::uint64_t seq;  // stable FIFO tiebreak among equal timestamps
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Seconds now_{0.0};
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace reshape::sim

@@ -1,0 +1,266 @@
+#include "textproc/pos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "textproc/tokenizer.hpp"
+
+namespace reshape::textproc {
+
+namespace {
+constexpr std::size_t tag_index(PosTag tag) {
+  return static_cast<std::size_t>(tag);
+}
+constexpr PosTag tag_from(std::size_t i) { return static_cast<PosTag>(i); }
+}  // namespace
+
+// ---------------------------------------------------------------- Lexicon
+
+PosTag Lexicon::argmax(const Counts& counts) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[best]) best = i;
+  }
+  return tag_from(best);
+}
+
+void Lexicon::observe(const TaggedSentence& sentence) {
+  for (const corpus::TaggedWord& w : sentence) {
+    const std::size_t t = tag_index(w.tag);
+    ++words_[w.text][t];
+    ++prior_[t];
+    if (w.tag != PosTag::kPunct) {
+      const std::size_t len = w.text.size();
+      for (std::size_t s = 1; s <= std::min(kMaxSuffix, len); ++s) {
+        ++suffixes_[w.text.substr(len - s)][t];
+      }
+    }
+  }
+}
+
+bool Lexicon::knows(const std::string& word) const {
+  return words_.count(word) > 0;
+}
+
+double Lexicon::tag_probability(const std::string& word, PosTag tag) const {
+  const auto it = words_.find(word);
+  if (it == words_.end()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : it->second) total += c;
+  if (total == 0) return 0.0;
+  return static_cast<double>(it->second[tag_index(tag)]) /
+         static_cast<double>(total);
+}
+
+PosTag Lexicon::guess_by_suffix(const std::string& word) const {
+  const std::size_t len = word.size();
+  for (std::size_t s = std::min(kMaxSuffix, len); s >= 1; --s) {
+    const auto it = suffixes_.find(word.substr(len - s));
+    if (it != suffixes_.end()) return argmax(it->second);
+  }
+  return argmax(prior_);
+}
+
+PosTag Lexicon::best_tag(const std::string& word) const {
+  const auto it = words_.find(word);
+  if (it != words_.end()) return argmax(it->second);
+  return guess_by_suffix(word);
+}
+
+std::array<double, kPosTagCount> Lexicon::emission(
+    const std::string& word) const {
+  std::array<double, kPosTagCount> probs{};
+  const Counts* counts = nullptr;
+  const auto wit = words_.find(word);
+  if (wit != words_.end()) {
+    counts = &wit->second;
+  } else {
+    const std::size_t len = word.size();
+    for (std::size_t s = std::min(kMaxSuffix, len); s >= 1 && !counts; --s) {
+      const auto sit = suffixes_.find(word.substr(len - s));
+      if (sit != suffixes_.end()) counts = &sit->second;
+    }
+    if (!counts) counts = &prior_;
+  }
+  double total = 0.0;
+  for (const std::uint32_t c : *counts) total += c;
+  if (total == 0.0) {
+    probs.fill(1.0 / static_cast<double>(kPosTagCount));
+    return probs;
+  }
+  // Add-epsilon smoothing keeps Viterbi paths alive for rare tags.
+  const double eps = 0.01;
+  for (std::size_t i = 0; i < kPosTagCount; ++i) {
+    probs[i] = (static_cast<double>((*counts)[i]) + eps) /
+               (total + eps * static_cast<double>(kPosTagCount));
+  }
+  return probs;
+}
+
+// -------------------------------------------------------- TransitionModel
+
+std::size_t TransitionModel::context_index(PosTag prev2, PosTag prev1) {
+  return tag_index(prev2) * kPosTagCount + tag_index(prev1);
+}
+
+void TransitionModel::observe(const TaggedSentence& sentence) {
+  // Sentence boundaries use PUNCT as the synthetic start context, which is
+  // also what the previous sentence genuinely ends with.
+  PosTag prev2 = PosTag::kPunct;
+  PosTag prev1 = PosTag::kPunct;
+  for (const corpus::TaggedWord& w : sentence) {
+    const std::size_t ctx = context_index(prev2, prev1);
+    ++counts_[ctx][tag_index(w.tag)];
+    ++totals_[ctx];
+    prev2 = prev1;
+    prev1 = w.tag;
+  }
+}
+
+double TransitionModel::probability(PosTag prev2, PosTag prev1,
+                                    PosTag current) const {
+  const std::size_t ctx = context_index(prev2, prev1);
+  // Add-one smoothing over the tag set.
+  return (static_cast<double>(counts_[ctx][tag_index(current)]) + 1.0) /
+         (static_cast<double>(totals_[ctx]) +
+          static_cast<double>(kPosTagCount));
+}
+
+// -------------------------------------------------------------- PosTagger
+
+void PosTagger::train(const std::vector<TaggedSentence>& sentences) {
+  RESHAPE_REQUIRE(!sentences.empty(), "training corpus is empty");
+  for (const TaggedSentence& s : sentences) {
+    lexicon_.observe(s);
+    transitions_.observe(s);
+  }
+  trained_ = true;
+}
+
+std::vector<PosTag> PosTagger::tag_greedy(
+    const std::vector<std::string>& words) const {
+  std::vector<PosTag> tags;
+  tags.reserve(words.size());
+  PosTag prev2 = PosTag::kPunct;
+  PosTag prev1 = PosTag::kPunct;
+  for (const std::string& word : words) {
+    const auto emission = lexicon_.emission(word);
+    double best_score = -1.0;
+    PosTag best = PosTag::kNoun;
+    for (std::size_t t = 0; t < kPosTagCount; ++t) {
+      const double score =
+          emission[t] * transitions_.probability(prev2, prev1, tag_from(t));
+      if (score > best_score) {
+        best_score = score;
+        best = tag_from(t);
+      }
+    }
+    tags.push_back(best);
+    prev2 = prev1;
+    prev1 = best;
+  }
+  return tags;
+}
+
+std::vector<PosTag> PosTagger::tag_viterbi(
+    const std::vector<std::string>& words) const {
+  if (words.empty()) return {};
+  const std::size_t n = words.size();
+  constexpr std::size_t kStates = kPosTagCount * kPosTagCount;  // (t-1, t)
+  constexpr double kNegInf = -1e300;
+
+  std::array<double, kStates> neg_inf_row{};
+  neg_inf_row.fill(kNegInf);
+  std::vector<std::array<double, kStates>> score(n, neg_inf_row);
+  std::vector<std::array<std::uint8_t, kStates>> back(n);
+
+  const auto emission0 = lexicon_.emission(words[0]);
+  for (std::size_t t = 0; t < kPosTagCount; ++t) {
+    const double p =
+        emission0[t] *
+        transitions_.probability(PosTag::kPunct, PosTag::kPunct, tag_from(t));
+    score[0][tag_index(PosTag::kPunct) * kPosTagCount + t] = std::log(p);
+  }
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto emission = lexicon_.emission(words[i]);
+    for (std::size_t prev1 = 0; prev1 < kPosTagCount; ++prev1) {
+      for (std::size_t cur = 0; cur < kPosTagCount; ++cur) {
+        const std::size_t state = prev1 * kPosTagCount + cur;
+        double best = kNegInf;
+        std::uint8_t best_prev2 = 0;
+        for (std::size_t prev2 = 0; prev2 < kPosTagCount; ++prev2) {
+          const std::size_t prev_state = prev2 * kPosTagCount + prev1;
+          if (score[i - 1][prev_state] <= kNegInf) continue;
+          const double p = transitions_.probability(
+              tag_from(prev2), tag_from(prev1), tag_from(cur));
+          const double s =
+              score[i - 1][prev_state] + std::log(p * emission[cur]);
+          if (s > best) {
+            best = s;
+            best_prev2 = static_cast<std::uint8_t>(prev2);
+          }
+        }
+        score[i][state] = best;
+        back[i][state] = best_prev2;
+      }
+    }
+  }
+
+  // Best final state, then walk back.
+  std::size_t best_state = 0;
+  for (std::size_t s = 1; s < kStates; ++s) {
+    if (score[n - 1][s] > score[n - 1][best_state]) best_state = s;
+  }
+  std::vector<PosTag> tags(n);
+  std::size_t state = best_state;
+  for (std::size_t i = n; i-- > 0;) {
+    tags[i] = tag_from(state % kPosTagCount);
+    const std::size_t prev1 = state / kPosTagCount;
+    if (i > 0) {
+      const std::size_t prev2 = back[i][state];
+      state = prev2 * kPosTagCount + prev1;
+    }
+  }
+  return tags;
+}
+
+std::vector<PosTag> PosTagger::tag(const std::vector<std::string>& words,
+                                   DecodeMode mode) const {
+  RESHAPE_REQUIRE(trained_, "tagger has not been trained");
+  return mode == DecodeMode::kGreedyLeft3 ? tag_greedy(words)
+                                          : tag_viterbi(words);
+}
+
+std::size_t PosTagger::tag_document(std::string_view text,
+                                    DecodeMode mode) const {
+  std::size_t tokens = 0;
+  for (const std::string_view sentence : split_sentences(text)) {
+    const std::vector<std::string> words =
+        tokenize(sentence, /*keep_punct=*/true);
+    if (words.empty()) continue;
+    tokens += tag(words, mode).size();
+  }
+  return tokens;
+}
+
+double PosTagger::evaluate(const std::vector<TaggedSentence>& gold,
+                           DecodeMode mode) const {
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (const TaggedSentence& sentence : gold) {
+    std::vector<std::string> words;
+    words.reserve(sentence.size());
+    for (const corpus::TaggedWord& w : sentence) words.push_back(w.text);
+    const std::vector<PosTag> predicted = tag(words, mode);
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      if (predicted[i] == sentence[i].tag) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace reshape::textproc

@@ -1,0 +1,117 @@
+// Part-of-speech tagger in the style of the Stanford left3words model.
+//
+// §5.2 uses the Stanford tagger as a CPU/memory-bound black box.  Ours is
+// a real, trainable tagger: a lexicon with per-word tag frequencies, a
+// suffix-based guesser for unknown words, and trigram tag transitions
+// decoded greedily left-to-right over a two-tag history — the same shape
+// as "left3words" (current word + two previous tags).  A full Viterbi
+// decoder is also provided as the high-accuracy mode.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/textgen.hpp"
+
+namespace reshape::textproc {
+
+using corpus::PosTag;
+using corpus::TaggedSentence;
+using corpus::kPosTagCount;
+
+/// Per-word tag frequency table plus suffix statistics for OOV words.
+class Lexicon {
+ public:
+  /// Accumulates counts from one gold-tagged sentence.
+  void observe(const TaggedSentence& sentence);
+
+  [[nodiscard]] std::size_t vocabulary_size() const { return words_.size(); }
+  [[nodiscard]] bool knows(const std::string& word) const;
+
+  /// P(tag | word) for a known word (relative frequency).
+  [[nodiscard]] double tag_probability(const std::string& word,
+                                       PosTag tag) const;
+
+  /// Most frequent tag of a known word; guessed via suffixes otherwise.
+  [[nodiscard]] PosTag best_tag(const std::string& word) const;
+
+  /// Suffix-based guess for an unknown word (longest matching suffix of
+  /// length <= kMaxSuffix wins; falls back to the overall prior).
+  [[nodiscard]] PosTag guess_by_suffix(const std::string& word) const;
+
+  /// P(tag | word) with unknown words answered by suffix statistics.
+  [[nodiscard]] std::array<double, kPosTagCount> emission(
+      const std::string& word) const;
+
+  static constexpr std::size_t kMaxSuffix = 4;
+
+ private:
+  using Counts = std::array<std::uint32_t, kPosTagCount>;
+  [[nodiscard]] static PosTag argmax(const Counts& counts);
+
+  std::unordered_map<std::string, Counts> words_;
+  std::unordered_map<std::string, Counts> suffixes_;
+  Counts prior_{};
+};
+
+/// Trigram tag-transition model P(t_i | t_{i-2}, t_{i-1}) with add-one
+/// smoothing.
+class TransitionModel {
+ public:
+  void observe(const TaggedSentence& sentence);
+
+  [[nodiscard]] double probability(PosTag prev2, PosTag prev1,
+                                   PosTag current) const;
+
+ private:
+  static constexpr std::size_t kContexts = kPosTagCount * kPosTagCount;
+  [[nodiscard]] static std::size_t context_index(PosTag prev2, PosTag prev1);
+
+  std::array<std::array<std::uint32_t, kPosTagCount>, kContexts> counts_{};
+  std::array<std::uint32_t, kContexts> totals_{};
+};
+
+/// Decoding strategy.
+enum class DecodeMode {
+  kGreedyLeft3,  // word + two previous tags, greedy (left3words-like)
+  kViterbi,      // exact trigram Viterbi
+};
+
+class PosTagger {
+ public:
+  /// Trains from gold-tagged sentences.
+  void train(const std::vector<TaggedSentence>& sentences);
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] const Lexicon& lexicon() const { return lexicon_; }
+
+  /// Tags one tokenized sentence.
+  [[nodiscard]] std::vector<PosTag> tag(
+      const std::vector<std::string>& words,
+      DecodeMode mode = DecodeMode::kGreedyLeft3) const;
+
+  /// Tags a whole document: sentence-splits, tokenizes (keeping
+  /// punctuation) and tags.  Returns the number of tokens processed.
+  std::size_t tag_document(std::string_view text,
+                           DecodeMode mode = DecodeMode::kGreedyLeft3) const;
+
+  /// Token-level accuracy against gold tags.
+  [[nodiscard]] double evaluate(const std::vector<TaggedSentence>& gold,
+                                DecodeMode mode = DecodeMode::kGreedyLeft3)
+      const;
+
+ private:
+  [[nodiscard]] std::vector<PosTag> tag_greedy(
+      const std::vector<std::string>& words) const;
+  [[nodiscard]] std::vector<PosTag> tag_viterbi(
+      const std::vector<std::string>& words) const;
+
+  Lexicon lexicon_;
+  TransitionModel transitions_;
+  bool trained_ = false;
+};
+
+}  // namespace reshape::textproc

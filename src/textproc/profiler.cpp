@@ -1,0 +1,90 @@
+#include "textproc/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace reshape::textproc {
+
+namespace {
+
+double time_run(const App& app, const std::vector<std::string>& files) {
+  const auto start = std::chrono::steady_clock::now();
+  app(files);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+double median_of(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+
+std::vector<std::string> AppProfiler::chunk(const std::string& text,
+                                            Bytes unit) {
+  RESHAPE_REQUIRE(unit.count() > 0, "chunk unit must be nonzero");
+  std::vector<std::string> files;
+  const std::size_t step = unit.count();
+  for (std::size_t off = 0; off < text.size(); off += step) {
+    files.push_back(text.substr(off, step));
+  }
+  return files;
+}
+
+MeasuredCosts AppProfiler::profile(const App& app,
+                                   corpus::TextGenerator& gen) const {
+  RESHAPE_REQUIRE(options_.small_unit < options_.large_unit,
+                  "small unit must be below large unit");
+  RESHAPE_REQUIRE(options_.repetitions >= 1, "need at least one repetition");
+
+  const std::string text = gen.text_of_size(options_.probe_volume);
+  const std::vector<std::string> small_files = chunk(text, options_.small_unit);
+  const std::vector<std::string> large_files = chunk(text, options_.large_unit);
+  const std::vector<std::string> empty_files;
+
+  std::vector<double> t_setup, t_small, t_large;
+  for (int r = 0; r < options_.repetitions; ++r) {
+    t_setup.push_back(time_run(app, empty_files));
+    t_large.push_back(time_run(app, large_files));
+    t_small.push_back(time_run(app, small_files));
+  }
+
+  MeasuredCosts costs;
+  costs.setup = Seconds(median_of(t_setup));
+  costs.reference_run = Seconds(median_of(t_large));
+
+  // Equal volumes: the time difference is pure per-file overhead.
+  const double count_gap = static_cast<double>(small_files.size()) -
+                           static_cast<double>(large_files.size());
+  const double overhead_gap =
+      median_of(t_small) - costs.reference_run.value();
+  costs.per_file_overhead =
+      Seconds(std::max(0.0, overhead_gap / std::max(1.0, count_gap)));
+
+  const double work = costs.reference_run.value() - costs.setup.value() -
+                      static_cast<double>(large_files.size()) *
+                          costs.per_file_overhead.value();
+  costs.seconds_per_byte =
+      std::max(0.0, work) / static_cast<double>(text.size());
+  return costs;
+}
+
+cloud::AppCostProfile to_cost_profile(const MeasuredCosts& measured,
+                                      const std::string& name,
+                                      double io_bytes_per_input_byte,
+                                      cloud::MemoryPressure memory) {
+  cloud::AppCostProfile profile;
+  profile.name = name;
+  profile.setup = measured.setup;
+  profile.setup_jitter = Seconds(measured.setup.value() * 0.5);
+  profile.per_file_overhead = measured.per_file_overhead;
+  profile.cpu_seconds_per_byte = measured.seconds_per_byte;
+  profile.io_bytes_per_input_byte = io_bytes_per_input_byte;
+  profile.memory = memory;
+  return profile;
+}
+
+}  // namespace reshape::textproc

@@ -1,0 +1,213 @@
+#include "textproc/scanner.hpp"
+
+#include "common/error.hpp"
+
+namespace reshape::textproc {
+
+LiteralSearcher::LiteralSearcher(std::string pattern)
+    : pattern_(std::move(pattern)) {
+  RESHAPE_REQUIRE(!pattern_.empty(), "empty search pattern");
+  skip_.fill(pattern_.size());
+  for (std::size_t i = 0; i + 1 < pattern_.size(); ++i) {
+    skip_[static_cast<unsigned char>(pattern_[i])] = pattern_.size() - 1 - i;
+  }
+}
+
+std::size_t LiteralSearcher::find(std::string_view text,
+                                  std::size_t from) const {
+  const std::size_t m = pattern_.size();
+  if (from + m > text.size()) return npos;
+  std::size_t i = from;
+  while (i + m <= text.size()) {
+    std::size_t j = m;
+    while (j > 0 && pattern_[j - 1] == text[i + j - 1]) --j;
+    if (j == 0) return i;
+    i += skip_[static_cast<unsigned char>(text[i + m - 1])];
+  }
+  return npos;
+}
+
+std::size_t LiteralSearcher::count(std::string_view text) const {
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  while ((pos = find(text, pos)) != npos) {
+    ++n;
+    ++pos;  // overlapping occurrences count
+  }
+  return n;
+}
+
+RegexLite::RegexLite(std::string_view pattern) {
+  std::size_t i = 0;
+  if (!pattern.empty() && pattern.front() == '^') {
+    anchored_start_ = true;
+    ++i;
+  }
+  std::size_t end = pattern.size();
+  if (end > i && pattern[end - 1] == '$' &&
+      (end < 2 || pattern[end - 2] != '\\')) {
+    anchored_end_ = true;
+    --end;
+  }
+  while (i < end) {
+    Node node;
+    const char c = pattern[i];
+    if (c == '\\') {
+      RESHAPE_REQUIRE(i + 1 < end, "trailing backslash in pattern");
+      node.kind = Node::Kind::kLiteral;
+      node.literal = pattern[i + 1];
+      i += 2;
+    } else if (c == '.') {
+      node.kind = Node::Kind::kAny;
+      ++i;
+    } else if (c == '[') {
+      node.kind = Node::Kind::kClass;
+      ++i;
+      bool negate = false;
+      if (i < end && pattern[i] == '^') {
+        negate = true;
+        ++i;
+      }
+      bool closed = false;
+      bool first = true;
+      while (i < end) {
+        if (pattern[i] == ']' && !first) {
+          closed = true;
+          ++i;
+          break;
+        }
+        first = false;
+        if (i + 2 < end && pattern[i + 1] == '-' && pattern[i + 2] != ']') {
+          for (char ch = pattern[i]; ch <= pattern[i + 2]; ++ch) {
+            node.klass[static_cast<unsigned char>(ch)] = true;
+          }
+          i += 3;
+        } else {
+          node.klass[static_cast<unsigned char>(pattern[i])] = true;
+          ++i;
+        }
+      }
+      RESHAPE_REQUIRE(closed, "unterminated character class");
+      if (negate) {
+        for (bool& b : node.klass) b = !b;
+      }
+    } else {
+      RESHAPE_REQUIRE(c != '*' && c != '+' && c != '?',
+                      "repeat operator without preceding atom");
+      node.kind = Node::Kind::kLiteral;
+      node.literal = c;
+      ++i;
+    }
+    if (i < end) {
+      const char r = pattern[i];
+      if (r == '*') {
+        node.repeat = Node::Repeat::kStar;
+        ++i;
+      } else if (r == '+') {
+        node.repeat = Node::Repeat::kPlus;
+        ++i;
+      } else if (r == '?') {
+        node.repeat = Node::Repeat::kOpt;
+        ++i;
+      }
+    }
+    nodes_.push_back(node);
+  }
+}
+
+bool RegexLite::node_matches(const Node& n, char c) {
+  switch (n.kind) {
+    case Node::Kind::kLiteral: return n.literal == c;
+    case Node::Kind::kAny: return c != '\n';
+    case Node::Kind::kClass: return n.klass[static_cast<unsigned char>(c)];
+  }
+  return false;
+}
+
+bool RegexLite::match_here(std::size_t node, std::string_view text,
+                           std::size_t pos, bool to_end) const {
+  if (node == nodes_.size()) {
+    return !to_end || pos == text.size();
+  }
+  const Node& n = nodes_[node];
+  switch (n.repeat) {
+    case Node::Repeat::kOne:
+      return pos < text.size() && node_matches(n, text[pos]) &&
+             match_here(node + 1, text, pos + 1, to_end);
+    case Node::Repeat::kOpt:
+      if (pos < text.size() && node_matches(n, text[pos]) &&
+          match_here(node + 1, text, pos + 1, to_end)) {
+        return true;
+      }
+      return match_here(node + 1, text, pos, to_end);
+    case Node::Repeat::kStar:
+    case Node::Repeat::kPlus: {
+      std::size_t p = pos;
+      if (n.repeat == Node::Repeat::kPlus) {
+        if (p >= text.size() || !node_matches(n, text[p])) return false;
+        ++p;
+      }
+      // Greedy: consume as much as possible, then backtrack.
+      std::size_t max = p;
+      while (max < text.size() && node_matches(n, text[max])) ++max;
+      for (std::size_t q = max + 1; q-- > p;) {
+        if (match_here(node + 1, text, q, to_end)) return true;
+        if (q == p) break;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool RegexLite::search(std::string_view text) const {
+  if (anchored_start_) {
+    return match_here(0, text, 0, anchored_end_);
+  }
+  for (std::size_t start = 0; start <= text.size(); ++start) {
+    if (match_here(0, text, start, anchored_end_)) return true;
+  }
+  return false;
+}
+
+bool RegexLite::full_match(std::string_view text) const {
+  return match_here(0, text, 0, /*to_end=*/true);
+}
+
+namespace {
+
+template <typename LineMatcher>
+GrepResult grep_lines(std::string_view text, LineMatcher&& matches) {
+  GrepResult result;
+  result.bytes_scanned = text.size();
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    const std::size_t end = (nl == std::string_view::npos) ? text.size() : nl;
+    if (end > start || nl != std::string_view::npos) {
+      const std::string_view line = text.substr(start, end - start);
+      ++result.total_lines;
+      if (matches(line)) ++result.matching_lines;
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+GrepResult grep_literal(std::string_view text, const std::string& word) {
+  const LiteralSearcher searcher(word);
+  return grep_lines(text, [&searcher](std::string_view line) {
+    return searcher.find(line) != LiteralSearcher::npos;
+  });
+}
+
+GrepResult grep_regex(std::string_view text, std::string_view pattern) {
+  const RegexLite re(pattern);
+  return grep_lines(text,
+                    [&re](std::string_view line) { return re.search(line); });
+}
+
+}  // namespace reshape::textproc

@@ -1,0 +1,85 @@
+// grep-style scanning: fast literal search plus a small regex engine.
+//
+// §5.1 restricts grep usage to "simple patterns consisting of English
+// dictionary words", searched with GNU grep 2.5.1.  The literal path is a
+// Boyer-Moore-Horspool scan; the regex-lite path covers the metacharacters
+// such simple patterns might carry (., *, ?, +, character classes,
+// anchors).  Matching is line-oriented like grep: a match means "this line
+// contains the pattern".
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reshape::textproc {
+
+/// Boyer-Moore-Horspool literal searcher (case-sensitive).
+class LiteralSearcher {
+ public:
+  explicit LiteralSearcher(std::string pattern);
+
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+  /// Offset of the first occurrence at or after `from`, or npos.
+  [[nodiscard]] std::size_t find(std::string_view text,
+                                 std::size_t from = 0) const;
+
+  /// Number of (possibly overlapping) occurrences.
+  [[nodiscard]] std::size_t count(std::string_view text) const;
+
+  static constexpr std::size_t npos = std::string_view::npos;
+
+ private:
+  std::string pattern_;
+  std::array<std::size_t, 256> skip_{};
+};
+
+/// Minimal regular expressions: literals, '.', '*', '+', '?', character
+/// classes "[abc]"/"[a-z]"/"[^...]", anchors '^'/'$', and '\\' escapes.
+/// Backtracking matcher — adequate for dictionary-word patterns.
+class RegexLite {
+ public:
+  struct Node {
+    enum class Kind { kLiteral, kAny, kClass } kind = Kind::kLiteral;
+    enum class Repeat { kOne, kStar, kPlus, kOpt } repeat = Repeat::kOne;
+    char literal = '\0';
+    std::array<bool, 256> klass{};
+  };
+
+  explicit RegexLite(std::string_view pattern);
+
+  /// True if the pattern matches anywhere in `text`.
+  [[nodiscard]] bool search(std::string_view text) const;
+
+  /// True if the pattern matches the whole of `text`.
+  [[nodiscard]] bool full_match(std::string_view text) const;
+
+ private:
+  [[nodiscard]] bool match_here(std::size_t node, std::string_view text,
+                                std::size_t pos, bool to_end) const;
+  [[nodiscard]] static bool node_matches(const Node& n, char c);
+
+  std::vector<Node> nodes_;
+  bool anchored_start_ = false;
+  bool anchored_end_ = false;
+};
+
+/// grep over a document: counts matching lines (grep's default unit).
+struct GrepResult {
+  std::size_t matching_lines = 0;
+  std::size_t total_lines = 0;
+  std::size_t bytes_scanned = 0;
+};
+
+/// Literal scan of `text` for `word`, line by line.
+[[nodiscard]] GrepResult grep_literal(std::string_view text,
+                                      const std::string& word);
+
+/// Regex scan of `text`, line by line.
+[[nodiscard]] GrepResult grep_regex(std::string_view text,
+                                    std::string_view pattern);
+
+}  // namespace reshape::textproc

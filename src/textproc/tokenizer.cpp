@@ -1,0 +1,73 @@
+#include "textproc/tokenizer.hpp"
+
+#include <cctype>
+
+namespace reshape::textproc {
+
+namespace {
+bool is_terminator(char c) { return c == '.' || c == '!' || c == '?'; }
+
+std::string_view trim(std::string_view s) {
+  std::size_t lo = 0;
+  std::size_t hi = s.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
+  return s.substr(lo, hi - lo);
+}
+}  // namespace
+
+std::vector<std::string_view> split_sentences(std::string_view text) {
+  std::vector<std::string_view> sentences;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (is_terminator(text[i])) {
+      const std::string_view s = trim(text.substr(start, i - start + 1));
+      if (!s.empty()) sentences.push_back(s);
+      start = i + 1;
+    }
+  }
+  const std::string_view tail = trim(text.substr(start));
+  if (!tail.empty()) sentences.push_back(tail);
+  return sentences;
+}
+
+std::vector<std::string> tokenize(std::string_view sentence, bool keep_punct) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : sentence) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+      if (keep_punct && std::ispunct(static_cast<unsigned char>(c))) {
+        tokens.push_back(std::string(1, c));
+      }
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::size_t count_words(std::string_view text) {
+  std::size_t count = 0;
+  bool in_word = false;
+  for (const char c : text) {
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    if (alpha && !in_word) ++count;
+    in_word = alpha;
+  }
+  return count;
+}
+
+double mean_sentence_length(std::string_view text) {
+  const auto sentences = split_sentences(text);
+  if (sentences.empty()) return 0.0;
+  std::size_t words = 0;
+  for (const std::string_view s : sentences) words += count_words(s);
+  return static_cast<double>(words) / static_cast<double>(sentences.size());
+}
+
+}  // namespace reshape::textproc

@@ -1,0 +1,32 @@
+// Tokenization: sentence splitting and word extraction.
+//
+// Both applications consume it: the tagger parses documents into
+// sentences (§5.2: "parses a document into sentences"), and basic NLP
+// passes like the full-traversal tokenization the paper cites as the
+// motivating worst case for grep-style scans.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reshape::textproc {
+
+/// Splits on sentence-terminating punctuation (. ! ?), keeping nonempty
+/// trimmed sentences.
+[[nodiscard]] std::vector<std::string_view> split_sentences(
+    std::string_view text);
+
+/// Extracts lowercase word tokens (alphabetic runs); punctuation becomes
+/// its own single-character token when `keep_punct` is set.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view sentence,
+                                                bool keep_punct = false);
+
+/// Word count of a document (alphabetic tokens only).
+[[nodiscard]] std::size_t count_words(std::string_view text);
+
+/// Mean words per sentence; 0 for empty text.  This is the "average
+/// sentence length" parameter §5.2 calls important for POS tagging cost.
+[[nodiscard]] double mean_sentence_length(std::string_view text);
+
+}  // namespace reshape::textproc

@@ -1,0 +1,101 @@
+#include "cloud/billing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+constexpr InstanceId kA{1};
+constexpr InstanceId kB{2};
+
+TEST(BillingMeter, UnknownInstanceIsFree) {
+  const BillingMeter m;
+  EXPECT_DOUBLE_EQ(m.cost(kA, 1_h).amount(), 0.0);
+  EXPECT_DOUBLE_EQ(m.running_time(kA, 1_h).value(), 0.0);
+}
+
+TEST(BillingMeter, PartialHourBillsFullHour) {
+  // §1.1: flat rate per hour *or partial hour*.
+  BillingMeter m;
+  m.on_running(kA, InstanceType::kSmall, Seconds(0.0));
+  m.on_stopped(kA, Seconds(60.0));  // one minute
+  EXPECT_DOUBLE_EQ(m.cost(kA, 1_h).amount(), 0.085);
+}
+
+TEST(BillingMeter, ExactHourBillsOneHour) {
+  BillingMeter m;
+  m.on_running(kA, InstanceType::kSmall, Seconds(0.0));
+  m.on_stopped(kA, Seconds(3600.0));
+  EXPECT_DOUBLE_EQ(m.cost(kA, 2_h).amount(), 0.085);
+}
+
+TEST(BillingMeter, JustOverAnHourBillsTwo) {
+  BillingMeter m;
+  m.on_running(kA, InstanceType::kSmall, Seconds(0.0));
+  m.on_stopped(kA, Seconds(3601.0));
+  EXPECT_NEAR(m.cost(kA, 2_h).amount(), 0.170, 1e-12);
+}
+
+TEST(BillingMeter, OpenIntervalChargedToNow) {
+  BillingMeter m;
+  m.on_running(kA, InstanceType::kSmall, Seconds(100.0));
+  EXPECT_DOUBLE_EQ(m.running_time(kA, Seconds(1900.0)).value(), 1800.0);
+  EXPECT_DOUBLE_EQ(m.cost(kA, Seconds(1900.0)).amount(), 0.085);
+  EXPECT_NEAR(m.cost(kA, Seconds(100.0 + 7200.0)).amount(), 0.170, 1e-12);
+}
+
+TEST(BillingMeter, RestartStartsANewHourClock) {
+  // Two separate 30-minute runs cost two hours, not one: each launch is
+  // billed at hour granularity independently.
+  BillingMeter m;
+  m.on_running(kA, InstanceType::kSmall, Seconds(0.0));
+  m.on_stopped(kA, Seconds(1800.0));
+  m.on_running(kA, InstanceType::kSmall, Seconds(10000.0));
+  m.on_stopped(kA, Seconds(11800.0));
+  EXPECT_NEAR(m.cost(kA, Seconds(20000.0)).amount(), 0.170, 1e-12);
+  EXPECT_DOUBLE_EQ(m.running_time(kA, Seconds(20000.0)).value(), 3600.0);
+}
+
+TEST(BillingMeter, PendingTimeIsFree) {
+  // Payment is due only in the running state: an instance that never
+  // reaches running never bills.
+  BillingMeter m;
+  EXPECT_DOUBLE_EQ(m.total_cost(10_h).amount(), 0.0);
+}
+
+TEST(BillingMeter, TotalsAcrossFleet) {
+  BillingMeter m;
+  m.on_running(kA, InstanceType::kSmall, Seconds(0.0));
+  m.on_stopped(kA, Seconds(1800.0));
+  m.on_running(kB, InstanceType::kSmall, Seconds(0.0));
+  m.on_stopped(kB, Seconds(5400.0));  // 1.5 h -> 2 billed hours
+  EXPECT_DOUBLE_EQ(m.instance_hours(2_h), 3.0);
+  EXPECT_NEAR(m.total_cost(2_h).amount(), 3 * 0.085, 1e-12);
+  EXPECT_EQ(m.billed_instances(), 2u);
+}
+
+TEST(BillingMeter, LargerTypesBillTheirRate) {
+  BillingMeter m;
+  m.on_running(kA, InstanceType::kLarge, Seconds(0.0));
+  m.on_stopped(kA, Seconds(100.0));
+  EXPECT_DOUBLE_EQ(m.cost(kA, 1_h).amount(), 0.34);
+}
+
+TEST(BillingMeter, ProtocolViolationsThrow) {
+  BillingMeter m;
+  EXPECT_THROW(m.on_stopped(kA, Seconds(1.0)), Error);
+  m.on_running(kA, InstanceType::kSmall, Seconds(0.0));
+  EXPECT_THROW(m.on_running(kA, InstanceType::kSmall, Seconds(1.0)), Error);
+}
+
+TEST(BillingMeter, ZeroLengthRunIsFree) {
+  BillingMeter m;
+  m.on_running(kA, InstanceType::kSmall, Seconds(5.0));
+  m.on_stopped(kA, Seconds(5.0));
+  EXPECT_DOUBLE_EQ(m.cost(kA, 1_h).amount(), 0.0);
+}
+
+}  // namespace
+}  // namespace reshape::cloud

@@ -1,0 +1,79 @@
+#include "cloud/disk_bench.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reshape::cloud {
+namespace {
+
+Instance instance_with(double io_mbps, double jitter) {
+  InstanceQuality q;
+  q.io_rate = Rate::megabytes_per_second(io_mbps);
+  q.jitter = jitter;
+  return Instance(InstanceId{1}, InstanceType::kSmall, AvailabilityZone{}, q,
+                  Seconds(0.0));
+}
+
+TEST(DiskBench, ReportsRatesNearTrueQuality) {
+  const Instance inst = instance_with(65.0, 0.0);
+  Rng noise(1);
+  const DiskBenchResult r = run_disk_bench(inst, noise);
+  EXPECT_DOUBLE_EQ(r.block_read.mb_per_second(), 65.0);
+  EXPECT_NEAR(r.block_write.mb_per_second(), 65.0 * 0.92, 1e-9);
+  EXPECT_GT(r.elapsed.value(), 0.0);
+}
+
+TEST(DiskBench, PassesThresholdForFastInstances) {
+  const Instance fast = instance_with(70.0, 0.0);
+  const Instance slow = instance_with(40.0, 0.0);
+  Rng noise(2);
+  EXPECT_TRUE(
+      run_disk_bench(fast, noise).passes(Rate::megabytes_per_second(60.0)));
+  EXPECT_FALSE(
+      run_disk_bench(slow, noise).passes(Rate::megabytes_per_second(60.0)));
+}
+
+TEST(DiskBench, WriteSlowerThanReadCanFailAlone) {
+  // 64 MB/s reads but ~59 MB/s writes: the paper's >60 MB/s read/write
+  // criterion must reject it.
+  const Instance borderline = instance_with(64.0, 0.0);
+  Rng noise(3);
+  const DiskBenchResult r = run_disk_bench(borderline, noise);
+  EXPECT_GE(r.block_read.mb_per_second(), 60.0);
+  EXPECT_FALSE(r.passes(Rate::megabytes_per_second(60.0)));
+}
+
+TEST(DiskBench, StablePairDetectsConsistency) {
+  const Instance steady = instance_with(65.0, 0.01);
+  Rng noise(4);
+  const DiskBenchResult a = run_disk_bench(steady, noise);
+  const DiskBenchResult b = run_disk_bench(steady, noise);
+  EXPECT_TRUE(stable_pair(a, b));
+}
+
+TEST(DiskBench, InconsistentInstanceEventuallyFailsStability) {
+  const Instance wild = instance_with(65.0, 0.30);
+  Rng noise(5);
+  bool failed = false;
+  for (int i = 0; i < 20 && !failed; ++i) {
+    const DiskBenchResult a = run_disk_bench(wild, noise);
+    const DiskBenchResult b = run_disk_bench(wild, noise);
+    failed = !stable_pair(a, b);
+  }
+  EXPECT_TRUE(failed);
+}
+
+TEST(DiskBench, ElapsedScalesWithExtent) {
+  const Instance inst = instance_with(65.0, 0.0);
+  Rng noise(6);
+  DiskBenchConfig small_cfg;
+  small_cfg.test_extent = 100_MB;
+  DiskBenchConfig big_cfg;
+  big_cfg.test_extent = 1_GB;
+  Rng noise2(6);
+  const Seconds t_small = run_disk_bench(inst, noise, small_cfg).elapsed;
+  const Seconds t_big = run_disk_bench(inst, noise2, big_cfg).elapsed;
+  EXPECT_NEAR(t_big / t_small, 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace reshape::cloud

@@ -1,0 +1,141 @@
+#include "cloud/ebs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+const AvailabilityZone kZone{Region::kUsEast, 0};
+
+EbsVolume make_volume(std::uint64_t id = 1, Bytes capacity = 10_GB,
+                      EbsPlacementModel model = {}) {
+  return EbsVolume(VolumeId{id}, capacity, kZone, model, Rng(42));
+}
+
+TEST(EbsVolume, AttachDetachLifecycle) {
+  EbsVolume v = make_volume();
+  EXPECT_FALSE(v.attached());
+  v.attach(InstanceId{3});
+  EXPECT_TRUE(v.attached());
+  EXPECT_EQ(v.attached_to(), InstanceId{3});
+  v.detach();
+  EXPECT_FALSE(v.attached());
+}
+
+TEST(EbsVolume, SingleAttachmentEnforced) {
+  // §1.1: "an EBS storage volume may not be attached to multiple instances
+  // at the same time".
+  EbsVolume v = make_volume();
+  v.attach(InstanceId{1});
+  EXPECT_THROW(v.attach(InstanceId{2}), Error);
+  v.detach();
+  v.attach(InstanceId{2});  // reattachment after detach is fine
+}
+
+TEST(EbsVolume, DetachWithoutAttachThrows) {
+  EbsVolume v = make_volume();
+  EXPECT_THROW(v.detach(), Error);
+}
+
+TEST(EbsVolume, StagingTracksOffsetsAndCapacity) {
+  EbsVolume v = make_volume(1, 1_GB);
+  const Bytes first = v.stage(300_MB);
+  const Bytes second = v.stage(300_MB);
+  EXPECT_EQ(first, 0_B);
+  EXPECT_EQ(second, 300_MB);
+  EXPECT_EQ(v.used(), 600_MB);
+  EXPECT_THROW((void)v.stage(500_MB), Error);
+}
+
+TEST(EbsVolume, SegmentCountCoversCapacity) {
+  EbsPlacementModel model;
+  model.segment_size = 256_MB;
+  EbsVolume v = make_volume(1, 1024_MB, model);  // exactly 4 segments
+  EXPECT_EQ(v.segment_count(), 4u);
+  EbsVolume w = make_volume(2, Bytes((1024_MB).count() + 1), model);
+  EXPECT_EQ(w.segment_count(), 5u);
+}
+
+TEST(EbsVolume, SegmentFactorsAreRepeatable) {
+  // Fig. 5's spikes are repeatable and stable in time, ruling out
+  // contention: the factor of a segment must never change.
+  const EbsVolume v = make_volume();
+  for (std::uint64_t s = 0; s < v.segment_count(); ++s) {
+    EXPECT_DOUBLE_EQ(v.segment_factor(s), v.segment_factor(s));
+    EXPECT_GE(v.segment_factor(s), 1.0);
+  }
+}
+
+TEST(EbsVolume, SomeSegmentsAreSlowUpToFactorThree) {
+  EbsPlacementModel model;
+  model.segment_size = 64_MB;
+  const EbsVolume v = make_volume(7, 64_GB, model);
+  int slow = 0;
+  double worst = 1.0;
+  for (std::uint64_t s = 0; s < v.segment_count(); ++s) {
+    const double f = v.segment_factor(s);
+    if (f > 1.0) ++slow;
+    worst = std::max(worst, f);
+  }
+  const double frac = static_cast<double>(slow) /
+                      static_cast<double>(v.segment_count());
+  EXPECT_NEAR(frac, model.p_slow_segment, 0.05);
+  EXPECT_LE(worst, model.slow_factor_hi);
+  EXPECT_GT(worst, 2.0);  // the factor-3-ish outliers exist
+}
+
+TEST(EbsVolume, PlacementFactorIsLengthWeightedMean) {
+  EbsPlacementModel model;
+  model.segment_size = 100_MB;
+  const EbsVolume v = make_volume(3, 1_GB, model);
+  // A zero-length extent is a no-op.
+  EXPECT_DOUBLE_EQ(v.placement_factor(0_B, 0_B), 1.0);
+  // Whole-segment extents equal the segment factor exactly.
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const Bytes off = Bytes(s * (100_MB).count());
+    EXPECT_DOUBLE_EQ(v.placement_factor(off, 100_MB), v.segment_factor(s));
+  }
+  // A straddling extent lies between its segments' factors.
+  const double f0 = v.segment_factor(0);
+  const double f1 = v.segment_factor(1);
+  const double mid = v.placement_factor(50_MB, 100_MB);
+  EXPECT_GE(mid, std::min(f0, f1) - 1e-12);
+  EXPECT_LE(mid, std::max(f0, f1) + 1e-12);
+  EXPECT_NEAR(mid, 0.5 * (f0 + f1), 1e-9);
+}
+
+TEST(EbsVolume, ExtentBeyondCapacityThrows) {
+  const EbsVolume v = make_volume(1, 1_GB);
+  EXPECT_THROW((void)v.placement_factor(900_MB, 200_MB), Error);
+}
+
+TEST(EbsVolume, EffectiveRateCappedByInstanceIo) {
+  EbsPlacementModel model;
+  model.base_rate = Rate::megabytes_per_second(70.0);
+  const EbsVolume v = make_volume(1, 10_GB, model);
+  const Rate slow_instance = Rate::megabytes_per_second(30.0);
+  const Rate fast_instance = Rate::megabytes_per_second(500.0);
+  EXPECT_LE(v.effective_rate(0_B, 1_GB, slow_instance).mb_per_second(), 30.0);
+  EXPECT_LE(v.effective_rate(0_B, 1_GB, fast_instance).mb_per_second(), 70.0);
+}
+
+TEST(EbsVolume, DifferentVolumesHaveDifferentPlacementMaps) {
+  EbsPlacementModel model;
+  model.segment_size = 64_MB;
+  const EbsVolume a = make_volume(1, 64_GB, model);
+  const EbsVolume b = make_volume(2, 64_GB, model);
+  int differing = 0;
+  for (std::uint64_t s = 0; s < a.segment_count(); ++s) {
+    if (a.segment_factor(s) != b.segment_factor(s)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(EbsVolume, InvalidConstructionThrows) {
+  EXPECT_THROW(make_volume(1, 0_B), Error);
+}
+
+}  // namespace
+}  // namespace reshape::cloud

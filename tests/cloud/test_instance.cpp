@@ -1,0 +1,83 @@
+#include "cloud/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+Instance make_instance() {
+  return Instance(InstanceId{1}, InstanceType::kSmall,
+                  AvailabilityZone{Region::kUsEast, 0}, InstanceQuality{},
+                  Seconds(0.0));
+}
+
+TEST(Instance, LifecycleHappyPath) {
+  Instance i = make_instance();
+  EXPECT_EQ(i.state(), InstanceState::kPending);
+  EXPECT_FALSE(i.is_running());
+  i.mark_running(Seconds(60.0));
+  EXPECT_TRUE(i.is_running());
+  ASSERT_TRUE(i.running_since().has_value());
+  EXPECT_DOUBLE_EQ(i.running_since()->value(), 60.0);
+  i.begin_shutdown(Seconds(100.0));
+  EXPECT_EQ(i.state(), InstanceState::kShuttingDown);
+  i.mark_terminated(Seconds(110.0));
+  EXPECT_EQ(i.state(), InstanceState::kTerminated);
+}
+
+TEST(Instance, IllegalTransitionsThrow) {
+  Instance i = make_instance();
+  EXPECT_THROW(i.mark_terminated(Seconds(1.0)), Error);
+  i.mark_running(Seconds(1.0));
+  EXPECT_THROW(i.mark_running(Seconds(2.0)), Error);
+  i.begin_shutdown(Seconds(3.0));
+  EXPECT_THROW(i.begin_shutdown(Seconds(4.0)), Error);
+  i.mark_terminated(Seconds(5.0));
+  EXPECT_THROW(i.begin_shutdown(Seconds(6.0)), Error);
+}
+
+TEST(Instance, PendingCanBeShutDown) {
+  Instance i = make_instance();
+  i.begin_shutdown(Seconds(1.0));
+  EXPECT_EQ(i.state(), InstanceState::kShuttingDown);
+}
+
+TEST(Instance, VolumeBookkeeping) {
+  Instance i = make_instance();
+  i.note_attached(VolumeId{10});
+  i.note_attached(VolumeId{11});
+  EXPECT_EQ(i.attached_volumes().size(), 2u);
+  i.note_detached(VolumeId{10});
+  ASSERT_EQ(i.attached_volumes().size(), 1u);
+  EXPECT_EQ(i.attached_volumes()[0], VolumeId{11});
+  EXPECT_THROW(i.note_detached(VolumeId{10}), Error);
+}
+
+TEST(Instance, LocalStorageCapacityEnforced) {
+  Instance i = make_instance();
+  i.stage_local(100_GB);
+  EXPECT_EQ(i.local_used(), 100_GB);
+  i.stage_local(60_GB);  // exactly the 160 GB ephemeral store
+  EXPECT_THROW(i.stage_local(1_B), Error);
+}
+
+TEST(Instance, EphemeralStorageLostAtTermination) {
+  // §1.1: instance-store contents are lost when the instance dies.
+  Instance i = make_instance();
+  i.stage_local(10_GB);
+  i.mark_running(Seconds(1.0));
+  i.begin_shutdown(Seconds(2.0));
+  i.mark_terminated(Seconds(3.0));
+  EXPECT_EQ(i.local_used(), 0_B);
+}
+
+TEST(Instance, InvalidIdRejected) {
+  EXPECT_THROW(Instance(InstanceId{}, InstanceType::kSmall,
+                        AvailabilityZone{}, InstanceQuality{}, Seconds(0.0)),
+               Error);
+}
+
+}  // namespace
+}  // namespace reshape::cloud

@@ -1,0 +1,160 @@
+#include "cloud/provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+const AvailabilityZone kZoneA{Region::kUsEast, 0};
+const AvailabilityZone kZoneB{Region::kUsEast, 1};
+
+struct ProviderFixture : ::testing::Test {
+  sim::Simulation sim;
+  CloudProvider provider{sim, Rng(77), ProviderConfig{}};
+};
+
+TEST_F(ProviderFixture, LaunchBootsAfterPendingDelay) {
+  bool running_cb = false;
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA,
+                                        [&](Instance&) { running_cb = true; });
+  EXPECT_EQ(provider.instance(id).state(), InstanceState::kPending);
+  sim.run();
+  EXPECT_TRUE(running_cb);
+  EXPECT_TRUE(provider.instance(id).is_running());
+  const Seconds boot = *provider.instance(id).running_since();
+  EXPECT_GE(boot.value(), provider.config().boot_min.value());
+}
+
+TEST_F(ProviderFixture, BillingStartsAtRunningNotLaunch) {
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  const Seconds boot = *provider.instance(id).running_since();
+  // Bill 30 simulated minutes of running time.
+  sim.run_until(boot + 30_min);
+  provider.terminate(id);
+  EXPECT_DOUBLE_EQ(
+      provider.billing().running_time(id, sim.now()).value(), 1800.0);
+  EXPECT_DOUBLE_EQ(provider.billing().cost(id, sim.now()).amount(), 0.085);
+}
+
+TEST_F(ProviderFixture, TerminateReachesTerminatedState) {
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  provider.terminate(id);
+  EXPECT_EQ(provider.instance(id).state(), InstanceState::kShuttingDown);
+  sim.run();
+  EXPECT_EQ(provider.instance(id).state(), InstanceState::kTerminated);
+}
+
+TEST_F(ProviderFixture, TerminateWhilePendingNeverBills) {
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  provider.terminate(id);
+  sim.run();
+  EXPECT_EQ(provider.instance(id).state(), InstanceState::kTerminated);
+  EXPECT_DOUBLE_EQ(provider.billing().cost(id, sim.now()).amount(), 0.0);
+}
+
+TEST_F(ProviderFixture, DoubleTerminateThrows) {
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  provider.terminate(id);
+  EXPECT_THROW(provider.terminate(id), Error);
+}
+
+TEST_F(ProviderFixture, QualityIsStablePerInstance) {
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  const double f1 = provider.instance(id).quality().cpu_factor;
+  const double f2 = provider.instance(id).quality().cpu_factor;
+  EXPECT_DOUBLE_EQ(f1, f2);
+}
+
+TEST_F(ProviderFixture, SameSeedReplaysIdentically) {
+  sim::Simulation sim2;
+  CloudProvider other(sim2, Rng(77), ProviderConfig{});
+  const InstanceId a = provider.launch(InstanceType::kSmall, kZoneA);
+  const InstanceId b = other.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  sim2.run();
+  EXPECT_DOUBLE_EQ(provider.instance(a).quality().cpu_factor,
+                   other.instance(b).quality().cpu_factor);
+  EXPECT_DOUBLE_EQ(provider.instance(a).running_since()->value(),
+                   other.instance(b).running_since()->value());
+}
+
+TEST_F(ProviderFixture, VolumesAttachOnlyWithinZone) {
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  const VolumeId same_zone = provider.create_volume(10_GB, kZoneA);
+  const VolumeId other_zone = provider.create_volume(10_GB, kZoneB);
+  provider.attach(same_zone, id);
+  EXPECT_EQ(provider.volume(same_zone).attached_to(), id);
+  EXPECT_THROW(provider.attach(other_zone, id), Error);
+}
+
+TEST_F(ProviderFixture, VolumesPersistAcrossInstanceDeath) {
+  // §7's recovery strategy: detach from a bad instance, re-attach to a new
+  // one, no data transfer needed.
+  const InstanceId first = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  const VolumeId vol = provider.create_volume(10_GB, kZoneA);
+  provider.attach(vol, first);
+  (void)provider.volume(vol).stage(5_GB);
+  provider.terminate(first);  // force-detaches
+  EXPECT_FALSE(provider.volume(vol).attached());
+  EXPECT_EQ(provider.volume(vol).used(), 5_GB);  // data persisted
+
+  const InstanceId second = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  provider.attach(vol, second);
+  EXPECT_EQ(provider.volume(vol).attached_to(), second);
+}
+
+TEST_F(ProviderFixture, DiskBenchRequiresRunningInstance) {
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  EXPECT_THROW((void)provider.disk_bench(id), Error);
+  sim.run();
+  const DiskBenchResult r = provider.disk_bench(id);
+  EXPECT_GT(r.block_read.mb_per_second(), 0.0);
+}
+
+TEST_F(ProviderFixture, ScreenedAcquisitionYieldsFastStableInstance) {
+  const auto acq = provider.acquire_screened(InstanceType::kSmall, kZoneA);
+  ASSERT_TRUE(acq.id.valid());
+  const Instance& inst = provider.instance(acq.id);
+  EXPECT_TRUE(inst.is_running());
+  EXPECT_GE(inst.quality().io_rate.mb_per_second(), 55.0);
+  EXPECT_LE(inst.quality().cpu_factor, 1.2);
+  EXPECT_GE(acq.attempts, 1);
+}
+
+TEST_F(ProviderFixture, ScreeningRejectsWhenFleetIsAllSlow) {
+  ProviderConfig config;
+  config.mixture.p_fast = 0.0;
+  config.mixture.p_slow = 1.0;
+  sim::Simulation sim2;
+  CloudProvider slow_cloud(sim2, Rng(5), config);
+  EXPECT_THROW(slow_cloud.acquire_screened(InstanceType::kSmall, kZoneA,
+                                           Rate::megabytes_per_second(60.0),
+                                           5),
+               Error);
+  // All 5 rejected attempts must have been terminated (no leaked billing).
+  EXPECT_EQ(slow_cloud.launches(), 5u);
+}
+
+TEST_F(ProviderFixture, UnknownIdsThrow) {
+  EXPECT_THROW((void)provider.instance(InstanceId{999}), Error);
+  EXPECT_THROW((void)provider.volume(VolumeId{999}), Error);
+  EXPECT_FALSE(provider.exists(InstanceId{999}));
+}
+
+TEST_F(ProviderFixture, AttachLatencyIsPositive) {
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GT(provider.draw_attach_latency().value(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace reshape::cloud

@@ -1,0 +1,85 @@
+#include "cloud/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+QualityModel model_under_test() {
+  return QualityModel(Rng(1234).split("quality"), QualityMixture{});
+}
+
+TEST(QualityModel, DrawIsDeterministicPerIndex) {
+  const QualityModel m = model_under_test();
+  const InstanceQuality a = m.draw(5);
+  const InstanceQuality b = m.draw(5);
+  EXPECT_EQ(a.cls, b.cls);
+  EXPECT_DOUBLE_EQ(a.cpu_factor, b.cpu_factor);
+  EXPECT_DOUBLE_EQ(a.io_rate.bytes_per_second(), b.io_rate.bytes_per_second());
+}
+
+TEST(QualityModel, MixtureProportionsRoughlyHold) {
+  const QualityModel m = model_under_test();
+  int fast = 0, slow = 0, incons = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    switch (m.draw(static_cast<std::uint64_t>(i)).cls) {
+      case QualityClass::kFast: ++fast; break;
+      case QualityClass::kSlow: ++slow; break;
+      case QualityClass::kInconsistent: ++incons; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fast) / n, 0.80, 0.03);
+  EXPECT_NEAR(static_cast<double>(slow) / n, 0.15, 0.03);
+  EXPECT_NEAR(static_cast<double>(incons) / n, 0.05, 0.02);
+}
+
+TEST(QualityModel, SlowInstancesReachFactorFour) {
+  // Dejun et al. (cited in §3.1): CPU differences up to a factor of 4.
+  const QualityModel m = model_under_test();
+  double worst = 1.0;
+  for (int i = 0; i < 5000; ++i) {
+    worst = std::max(worst, m.draw(static_cast<std::uint64_t>(i)).cpu_factor);
+  }
+  EXPECT_GT(worst, 3.5);
+  EXPECT_LE(worst, 4.0);
+}
+
+TEST(QualityModel, FastInstancesClearScreeningThreshold) {
+  const QualityModel m = model_under_test();
+  for (int i = 0; i < 2000; ++i) {
+    const InstanceQuality q = m.draw(static_cast<std::uint64_t>(i));
+    if (q.cls == QualityClass::kFast) {
+      EXPECT_GE(q.io_rate.mb_per_second(), 58.0);
+      EXPECT_LE(q.cpu_factor, 1.10);
+    }
+  }
+}
+
+TEST(QualityModel, InconsistentClassHasHighJitter) {
+  const QualityModel m = model_under_test();
+  for (int i = 0; i < 5000; ++i) {
+    const InstanceQuality q = m.draw(static_cast<std::uint64_t>(i));
+    if (q.cls == QualityClass::kInconsistent) {
+      EXPECT_GT(q.jitter, 0.1);
+      return;
+    }
+  }
+  FAIL() << "no inconsistent instance in 5000 draws";
+}
+
+TEST(UniformFastMixture, IsNoiseFreeReference) {
+  const QualityModel m(Rng(9).split("q"), uniform_fast_mixture());
+  for (int i = 0; i < 50; ++i) {
+    const InstanceQuality q = m.draw(static_cast<std::uint64_t>(i));
+    EXPECT_EQ(q.cls, QualityClass::kFast);
+    EXPECT_DOUBLE_EQ(q.cpu_factor, 1.0);
+    EXPECT_DOUBLE_EQ(q.io_rate.mb_per_second(), 65.0);
+    EXPECT_DOUBLE_EQ(q.jitter, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace reshape::cloud

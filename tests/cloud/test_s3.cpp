@@ -1,0 +1,82 @@
+#include "cloud/s3.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+TEST(ObjectStore, PutHeadRemove) {
+  ObjectStore s3;
+  s3.put("corpus/part-0000", 100_MB);
+  ASSERT_TRUE(s3.contains("corpus/part-0000"));
+  const auto obj = s3.head("corpus/part-0000");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->size, 100_MB);
+  EXPECT_EQ(s3.object_count(), 1u);
+  EXPECT_TRUE(s3.remove("corpus/part-0000"));
+  EXPECT_FALSE(s3.contains("corpus/part-0000"));
+  EXPECT_FALSE(s3.remove("corpus/part-0000"));
+}
+
+TEST(ObjectStore, ReplaceUpdatesTotals) {
+  ObjectStore s3;
+  s3.put("k", 10_MB);
+  s3.put("k", 30_MB);
+  EXPECT_EQ(s3.object_count(), 1u);
+  EXPECT_EQ(s3.total_stored(), 30_MB);
+}
+
+TEST(ObjectStore, FiveGigabyteObjectCap) {
+  // §1.1: "objects each of size of up to 5 GB".
+  ObjectStore s3;
+  s3.put("big", 5_GB);
+  EXPECT_THROW(s3.put("too-big", Bytes((5_GB).count() + 1)), Error);
+  Rng rng(1);
+  EXPECT_THROW((void)s3.upload_time(6_GB, rng), Error);
+}
+
+TEST(ObjectStore, MissingFetchThrows) {
+  ObjectStore s3;
+  Rng rng(1);
+  EXPECT_THROW((void)s3.fetch_time("absent", rng), Error);
+}
+
+TEST(ObjectStore, FetchTimeScalesWithSize) {
+  ObjectStore s3;
+  s3.put("small", 1_MB);
+  s3.put("large", 1_GB);
+  Rng rng(7);
+  RunningStats small_times, large_times;
+  for (int i = 0; i < 50; ++i) {
+    small_times.add(s3.fetch_time("small", rng).value());
+    large_times.add(s3.fetch_time("large", rng).value());
+  }
+  EXPECT_GT(large_times.mean(), small_times.mean() * 50.0);
+}
+
+TEST(ObjectStore, LatencyIsMoreVariableThanEbs) {
+  // §1.1: S3 latency is "higher and more variable" than EBS.  The model's
+  // per-transfer jitter should show up as a meaningful CV on equal fetches.
+  ObjectStore s3;
+  s3.put("obj", 100_MB);
+  Rng rng(11);
+  RunningStats times;
+  for (int i = 0; i < 200; ++i) times.add(s3.fetch_time("obj", rng).value());
+  EXPECT_GT(times.cv(), 0.10);
+}
+
+TEST(ObjectStore, UploadAndFetchAreDeterministicPerStream) {
+  ObjectStore s3;
+  s3.put("obj", 10_MB);
+  Rng a(5), b(5);
+  EXPECT_DOUBLE_EQ(s3.fetch_time("obj", a).value(),
+                   s3.fetch_time("obj", b).value());
+  EXPECT_DOUBLE_EQ(s3.upload_time(10_MB, a).value(),
+                   s3.upload_time(10_MB, b).value());
+}
+
+}  // namespace
+}  // namespace reshape::cloud

@@ -1,0 +1,116 @@
+#include "cloud/spot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+SpotMarket market(std::uint64_t seed = 21) {
+  return SpotMarket(Rng(seed).split("spot"), SpotMarketModel{});
+}
+
+TEST(SpotMarket, PricePathIsDeterministic) {
+  const SpotMarket a = market();
+  const SpotMarket b = market();
+  for (std::uint64_t h = 0; h < 100; ++h) {
+    EXPECT_DOUBLE_EQ(a.price_at_hour(h).amount(), b.price_at_hour(h).amount());
+  }
+}
+
+TEST(SpotMarket, QueryOrderDoesNotChangeHistory) {
+  const SpotMarket a = market();
+  const SpotMarket b = market();
+  const double late_first = a.price_at_hour(50).amount();
+  (void)b.price_at_hour(10);
+  EXPECT_DOUBLE_EQ(b.price_at_hour(50).amount(), late_first);
+}
+
+TEST(SpotMarket, PricesStayWithinBounds) {
+  const SpotMarket m = market();
+  const SpotMarketModel& model = m.model();
+  for (std::uint64_t h = 0; h < 1000; ++h) {
+    const Dollars p = m.price_at_hour(h);
+    EXPECT_GE(p, model.floor);
+    EXPECT_LE(p, model.cap);
+  }
+}
+
+TEST(SpotMarket, MeanReversionKeepsLongRunAverageNearMean) {
+  const SpotMarket m = market();
+  RunningStats prices;
+  for (std::uint64_t h = 0; h < 2000; ++h) {
+    prices.add(m.price_at_hour(h).amount());
+  }
+  EXPECT_NEAR(prices.mean(), m.model().mean.amount(), 0.01);
+}
+
+TEST(SpotMarket, PriceAtMapsSecondsToHours) {
+  const SpotMarket m = market();
+  EXPECT_DOUBLE_EQ(m.price_at(Seconds(10.0)).amount(),
+                   m.price_at_hour(0).amount());
+  EXPECT_DOUBLE_EQ(m.price_at(Seconds(3600.0)).amount(),
+                   m.price_at_hour(1).amount());
+  EXPECT_THROW((void)m.price_at(Seconds(-1.0)), Error);
+}
+
+TEST(SpotBid, HighBidHoldsContinuously) {
+  const SpotMarket m = market();
+  const auto spans = spans_running(m, m.model().cap, 24_h);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_DOUBLE_EQ(spans[0].start.value(), 0.0);
+  EXPECT_DOUBLE_EQ(spans[0].end.value(), 24.0 * 3600.0);
+}
+
+TEST(SpotBid, BelowFloorNeverRuns) {
+  const SpotMarket m = market();
+  const auto spans =
+      spans_running(m, Dollars(m.model().floor.amount() / 2.0), 24_h);
+  EXPECT_TRUE(spans.empty());
+  const SpotOutcome out =
+      simulate_bid(m, Dollars(m.model().floor.amount() / 2.0), 24_h);
+  EXPECT_DOUBLE_EQ(out.compute.value(), 0.0);
+  EXPECT_DOUBLE_EQ(out.cost.amount(), 0.0);
+}
+
+TEST(SpotBid, MidBidGetsInterrupted) {
+  const SpotMarket m = market();
+  // A bid at the long-run mean should hold some hours and lose others
+  // over a long horizon.
+  const SpotOutcome out = simulate_bid(m, m.model().mean, Seconds(500 * 3600.0));
+  EXPECT_GT(out.compute.value(), 0.0);
+  EXPECT_LT(out.compute.value(), 500 * 3600.0);
+  EXPECT_GT(out.interruptions, 0u);
+}
+
+TEST(SpotBid, CostIsMarketPriceNotBid) {
+  const SpotMarket m = market();
+  const SpotOutcome out = simulate_bid(m, m.model().cap, 10_h);
+  double expected = 0.0;
+  for (std::uint64_t h = 0; h < 10; ++h) {
+    expected += m.price_at_hour(h).amount();
+  }
+  EXPECT_NEAR(out.cost.amount(), expected, 1e-9);
+  // Paying spot beats on-demand when bidding sanely: 10 on-demand hours
+  // would cost 10 * 0.085.
+  EXPECT_LT(out.cost.amount(), 10 * 0.085);
+}
+
+TEST(SpotBid, PartialHourHorizonClipsLastSpan) {
+  const SpotMarket m = market();
+  const auto spans = spans_running(m, m.model().cap, Seconds(5400.0));
+  ASSERT_FALSE(spans.empty());
+  EXPECT_DOUBLE_EQ(spans.back().end.value(), 5400.0);
+}
+
+TEST(SpotModel, InvalidBoundsThrow) {
+  SpotMarketModel bad;
+  bad.floor = Dollars(0.5);
+  bad.cap = Dollars(0.1);
+  EXPECT_THROW(SpotMarket(Rng(1), bad), Error);
+}
+
+}  // namespace
+}  // namespace reshape::cloud

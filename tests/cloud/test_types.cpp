@@ -1,0 +1,60 @@
+#include "cloud/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reshape::cloud {
+namespace {
+
+TEST(InstanceSpec, SmallMatchesPaperSetup) {
+  // §3.1: 1.7 GB memory, 1 ECU, 160 GB local storage, $0.085/h.
+  const InstanceSpec& s = spec_for(InstanceType::kSmall);
+  EXPECT_DOUBLE_EQ(s.compute_units, 1.0);
+  EXPECT_EQ(s.memory, Bytes(1'700'000'000));
+  EXPECT_EQ(s.local_storage, Bytes(160'000'000'000));
+  EXPECT_DOUBLE_EQ(s.hourly_rate.amount(), 0.085);
+  EXPECT_DOUBLE_EQ(s.cpu_share, 0.5);  // Wang & Ng: small gets <= 50% CPU
+}
+
+TEST(InstanceSpec, LargerTypesScaleUp) {
+  EXPECT_GT(spec_for(InstanceType::kMedium).compute_units,
+            spec_for(InstanceType::kSmall).compute_units);
+  EXPECT_GT(spec_for(InstanceType::kLarge).hourly_rate,
+            spec_for(InstanceType::kMedium).hourly_rate);
+}
+
+TEST(InstanceTypeNames, Render) {
+  EXPECT_EQ(to_string(InstanceType::kSmall), "m1.small");
+  EXPECT_EQ(to_string(InstanceType::kLarge), "m1.large");
+}
+
+TEST(AvailabilityZone, NamesFollowAmazonScheme) {
+  const AvailabilityZone a{Region::kUsEast, 0};
+  const AvailabilityZone d{Region::kUsEast, 3};
+  EXPECT_EQ(a.name(), "us-east-1a");
+  EXPECT_EQ(d.name(), "us-east-1d");
+  EXPECT_EQ((AvailabilityZone{Region::kEuWest, 1}).name(), "eu-west-1b");
+}
+
+TEST(AvailabilityZone, Equality) {
+  const AvailabilityZone a{Region::kUsEast, 0};
+  const AvailabilityZone b{Region::kUsEast, 0};
+  const AvailabilityZone c{Region::kUsWest, 0};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Ids, ValidityAndHash) {
+  EXPECT_FALSE(InstanceId{}.valid());
+  EXPECT_TRUE(InstanceId{7}.valid());
+  EXPECT_EQ(std::hash<InstanceId>{}(InstanceId{7}),
+            std::hash<InstanceId>{}(InstanceId{7}));
+  EXPECT_FALSE(VolumeId{}.valid());
+}
+
+TEST(StateNames, Render) {
+  EXPECT_EQ(to_string(InstanceState::kPending), "pending");
+  EXPECT_EQ(to_string(InstanceState::kShuttingDown), "shutting-down");
+}
+
+}  // namespace
+}  // namespace reshape::cloud

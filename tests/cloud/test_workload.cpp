@@ -1,0 +1,212 @@
+#include "cloud/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+Instance fast_instance(double cpu_factor = 1.0, double io_mbps = 65.0,
+                       double jitter = 0.0) {
+  InstanceQuality q;
+  q.cpu_factor = cpu_factor;
+  q.io_rate = Rate::megabytes_per_second(io_mbps);
+  q.jitter = jitter;
+  return Instance(InstanceId{1}, InstanceType::kSmall,
+                  AvailabilityZone{Region::kUsEast, 0}, q, Seconds(0.0));
+}
+
+TEST(DataLayout, ReshapedCountsCeil) {
+  const DataLayout l = DataLayout::reshaped(1_GB, 100_MB);
+  EXPECT_EQ(l.file_count, 10u);
+  const DataLayout m = DataLayout::reshaped(Bytes((1_GB).count() + 1), 100_MB);
+  EXPECT_EQ(m.file_count, 11u);
+  EXPECT_EQ(m.unit_file_size, 100_MB);
+}
+
+TEST(DataLayout, OriginalKeepsGivenCount) {
+  const DataLayout l = DataLayout::original(1_GB, 400'000, 5_kB);
+  EXPECT_EQ(l.file_count, 400'000u);
+  EXPECT_EQ(l.total_volume, 1_GB);
+}
+
+TEST(MemoryPressure, DisabledAndBelowThreshold) {
+  const MemoryPressure none{};
+  EXPECT_DOUBLE_EQ(none.multiplier(1_GB), 1.0);
+  const MemoryPressure p{64_kB, 0.05};
+  EXPECT_DOUBLE_EQ(p.multiplier(64_kB), 1.0);
+  EXPECT_DOUBLE_EQ(p.multiplier(1_kB), 1.0);
+}
+
+TEST(MemoryPressure, GrowsPerDoubling) {
+  const MemoryPressure p{64_kB, 0.05};
+  EXPECT_NEAR(p.multiplier(128_kB), 1.05, 1e-9);
+  EXPECT_NEAR(p.multiplier(256_kB), 1.10, 1e-9);
+}
+
+TEST(GrepWorkload, IoBoundOnceOverheadAmortized) {
+  // With 100 MB units the scan should run at roughly the disk rate.
+  const Instance inst = fast_instance();
+  const AppCostProfile grep = grep_profile();
+  const DataLayout big = DataLayout::reshaped(5_GB, 100_MB);
+  const Seconds t = expected_run_time(grep, big, inst, LocalStorage{});
+  const double disk_seconds = (5_GB).as_double() / (65.0 * 1e6);
+  EXPECT_NEAR(t.value(), disk_seconds, disk_seconds * 0.05);
+}
+
+TEST(GrepWorkload, SmallFilesPayPerFileOverhead) {
+  // Fig. 6's headline: the original few-kB layout is several times slower
+  // than the reshaped 100 MB layout at equal volume.
+  const Instance inst = fast_instance();
+  const AppCostProfile grep = grep_profile();
+  const DataLayout reshaped = DataLayout::reshaped(1_GB, 100_MB);
+  const DataLayout original = DataLayout::original(1_GB, 20'000, 50_kB);
+  const double t_big =
+      expected_run_time(grep, reshaped, inst, LocalStorage{}).value();
+  const double t_small =
+      expected_run_time(grep, original, inst, LocalStorage{}).value();
+  EXPECT_GT(t_small / t_big, 4.0);
+  EXPECT_LT(t_small / t_big, 9.0);
+}
+
+TEST(GrepWorkload, PlateauAboveTenMegabytes) {
+  // Fig. 4: from 10 MB unit size to ~2 GB the execution time is flat.
+  const Instance inst = fast_instance();
+  const AppCostProfile grep = grep_profile();
+  std::vector<double> times;
+  for (const Bytes unit : {10_MB, 50_MB, 100_MB, 500_MB, 2_GB}) {
+    times.push_back(
+        expected_run_time(grep, DataLayout::reshaped(5_GB, unit), inst,
+                          LocalStorage{})
+            .value());
+  }
+  const Summary s = summarize(times);
+  EXPECT_LT((s.max - s.min) / s.mean, 0.05);
+}
+
+TEST(PosWorkload, CpuBoundIgnoresDiskSpeed) {
+  const AppCostProfile pos = pos_profile();
+  const DataLayout layout = DataLayout::original(1_MB, 2183, 5_kB);
+  const Instance fast_disk = fast_instance(1.0, 75.0);
+  const Instance slow_disk = fast_instance(1.0, 25.0);
+  const double a =
+      expected_run_time(pos, layout, fast_disk, LocalStorage{}).value();
+  const double b =
+      expected_run_time(pos, layout, slow_disk, LocalStorage{}).value();
+  EXPECT_NEAR(a, b, a * 0.01);
+}
+
+TEST(PosWorkload, MatchesPaperSlopeOnReferenceInstance) {
+  // Eq. (3): ~0.865e-4 s per byte beyond setup, i.e. ~86.5 s per MB.
+  const AppCostProfile pos = pos_profile();
+  const Instance inst = fast_instance();
+  const DataLayout layout = DataLayout::original(1_MB, 2183, 500_B);
+  const Seconds t = expected_run_time(pos, layout, inst, LocalStorage{});
+  EXPECT_NEAR(t.value() - pos.setup.value(), 86.5, 6.0);
+}
+
+TEST(PosWorkload, MergingDoesNotHelpAndLargeFilesDegrade) {
+  // Fig. 7: the original segmentation fairs best; merging into larger
+  // units costs more (memory pressure) and never less.
+  const AppCostProfile pos = pos_profile();
+  const Instance inst = fast_instance();
+  const DataLayout original = DataLayout::original(1_MB, 2183, 500_B);
+  const double t_orig =
+      expected_run_time(pos, original, inst, LocalStorage{}).value();
+  double prev = t_orig;
+  for (const Bytes unit : {100_kB, 200_kB, 500_kB, 1_MB}) {
+    const double t =
+        expected_run_time(pos, DataLayout::reshaped(1_MB, unit), inst,
+                          LocalStorage{})
+            .value();
+    EXPECT_GE(t, prev * 0.999);
+    prev = t;
+  }
+  EXPECT_GT(prev, t_orig * 1.1);
+}
+
+TEST(Workload, SlowCpuScalesCpuBoundApp) {
+  const AppCostProfile pos = pos_profile();
+  const DataLayout layout = DataLayout::original(1_MB, 1000, 1_kB);
+  const Instance ref = fast_instance(1.0);
+  const Instance slow = fast_instance(4.0);
+  const double t_ref =
+      expected_run_time(pos, layout, ref, LocalStorage{}).value() -
+      pos.setup.value();
+  const double t_slow =
+      expected_run_time(pos, layout, slow, LocalStorage{}).value() -
+      pos.setup.value();
+  EXPECT_NEAR(t_slow / t_ref, 4.0, 0.1);
+}
+
+TEST(Workload, EbsPlacementPenaltySlowsIoBoundApp) {
+  EbsPlacementModel model;
+  model.segment_size = 64_MB;
+  model.p_slow_segment = 1.0;  // every segment slow
+  model.slow_factor_lo = 2.0;
+  model.slow_factor_hi = 2.0;
+  const EbsVolume bad(VolumeId{1}, 10_GB, AvailabilityZone{}, model, Rng(1));
+  EbsPlacementModel clean_model;
+  clean_model.p_slow_segment = 0.0;
+  const EbsVolume clean(VolumeId{2}, 10_GB, AvailabilityZone{}, clean_model,
+                        Rng(1));
+  const Instance inst = fast_instance(1.0, 500.0);  // disk not the cap
+  const AppCostProfile grep = grep_profile();
+  const DataLayout layout = DataLayout::reshaped(1_GB, 100_MB);
+  const double t_bad =
+      expected_run_time(grep, layout, inst, EbsStorage{&bad, 0_B}).value();
+  const double t_clean =
+      expected_run_time(grep, layout, inst, EbsStorage{&clean, 0_B}).value();
+  EXPECT_NEAR(t_bad / t_clean, 2.0, 0.1);
+}
+
+TEST(Workload, MeasuredRunsAreNoisyButUnbiased) {
+  InstanceQuality q;
+  q.jitter = 0.05;
+  const Instance inst(InstanceId{1}, InstanceType::kSmall,
+                      AvailabilityZone{}, q, Seconds(0.0));
+  const AppCostProfile grep = grep_profile();
+  const DataLayout layout = DataLayout::reshaped(5_GB, 100_MB);
+  const double expected =
+      expected_run_time(grep, layout, inst, LocalStorage{}).value();
+  Rng noise(3);
+  RunningStats obs;
+  for (int i = 0; i < 200; ++i) {
+    obs.add(run_time(grep, layout, inst, LocalStorage{}, noise).value());
+  }
+  EXPECT_NEAR(obs.mean(), expected, expected * 0.03);
+  EXPECT_GT(obs.stddev(), 0.0);
+}
+
+TEST(Workload, TinyProbesHaveLargeRelativeStddev) {
+  // Fig. 3: on a 1 MB probe the unstable setup overhead dominates, so the
+  // coefficient of variation is large; on 5 GB it is small.
+  const Instance inst = fast_instance(1.0, 65.0, 0.02);
+  const AppCostProfile grep = grep_profile();
+  Rng noise(9);
+  RunningStats tiny, big;
+  for (int i = 0; i < 100; ++i) {
+    tiny.add(run_time(grep, DataLayout::reshaped(1_MB, 100_kB), inst,
+                      LocalStorage{}, noise)
+                 .value());
+    big.add(run_time(grep, DataLayout::reshaped(5_GB, 100_MB), inst,
+                     LocalStorage{}, noise)
+                .value());
+  }
+  EXPECT_GT(tiny.cv(), 5.0 * big.cv());
+}
+
+TEST(Workload, ExpectedTimeIsDeterministic) {
+  const Instance inst = fast_instance();
+  const AppCostProfile grep = grep_profile();
+  const DataLayout layout = DataLayout::reshaped(1_GB, 10_MB);
+  EXPECT_DOUBLE_EQ(
+      expected_run_time(grep, layout, inst, LocalStorage{}).value(),
+      expected_run_time(grep, layout, inst, LocalStorage{}).value());
+}
+
+}  // namespace
+}  // namespace reshape::cloud

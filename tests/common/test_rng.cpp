@@ -1,0 +1,178 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace reshape {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitIsOrderIndependent) {
+  Rng root(7);
+  Rng a1 = root.split("corpus");
+  root.next_u64();  // consuming the parent must not change child streams
+  Rng a2 = Rng(7).split("corpus");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a1.next_u64(), a2.next_u64());
+}
+
+TEST(Rng, NamedSplitsAreIndependent) {
+  Rng root(7);
+  Rng a = root.split("instances");
+  Rng b = root.split("placement");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, IndexedSplitsAreIndependent) {
+  Rng root(9);
+  Rng a = root.split(std::uint64_t{0});
+  Rng b = root.split(std::uint64_t{1});
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(4);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformBelowCoversRangeWithoutBias) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[rng.uniform_below(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 4500);
+    EXPECT_LT(c, 5500);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, LognormalIsPositiveWithLongTail) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(2.0, 1.0);
+    EXPECT_GT(x, 0.0);
+    s.add(x);
+  }
+  // E[X] = exp(mu + sigma^2/2).
+  EXPECT_NEAR(s.mean(), std::exp(2.5), std::exp(2.5) * 0.1);
+  EXPECT_GT(s.max(), s.mean() * 5.0);  // heavy right tail
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(10);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(0.25));
+  EXPECT_NEAR(s.mean(), 4.0, 0.15);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+  }
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(12);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t k = rng.zipf(100, 1.2);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+    ++counts[k];
+  }
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(14);
+  const auto sample = rng.sample_without_replacement(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const std::size_t i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(15);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(16);
+  EXPECT_THROW(rng.uniform_below(0), Error);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), Error);
+}
+
+}  // namespace
+}  // namespace reshape

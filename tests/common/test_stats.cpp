@@ -1,0 +1,141 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace reshape {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValuesTrackMinMax) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(2.0);
+  s.add(-10.0);
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+}
+
+TEST(RunningStats, CoefficientOfVariation) {
+  RunningStats s;
+  for (const double x : {10.0, 10.0, 10.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+  RunningStats t;
+  t.add(0.0);
+  EXPECT_DOUBLE_EQ(t.cv(), 0.0);  // guarded zero mean
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.2909944487, 1e-9);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, InvalidInputsThrow) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile({}, 50.0), Error);
+  EXPECT_THROW((void)percentile(xs, -1.0), Error);
+  EXPECT_THROW((void)percentile(xs, 101.0), Error);
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(0.0);    // bin 0
+  h.add(9.999);  // bin 0
+  h.add(10.0);   // bin 1
+  h.add(95.0);   // bin 9
+  EXPECT_EQ(h.count_in_bin(0), 2u);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+  EXPECT_EQ(h.count_in_bin(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(50.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 300.0, 30);  // 10-unit bins, like Fig. 1(a)'s 10 kB bins
+  EXPECT_DOUBLE_EQ(h.bin_width(), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 30.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 40.0);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 30.0, 3);
+  h.add(5.0);
+  h.add(15.0);
+  h.add(16.0);
+  h.add(25.0);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, AsciiRenderingHasOneRowPerBin) {
+  Histogram h(0.0, 20.0, 2);
+  h.add(1.0);
+  h.add(11.0);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  Histogram h(0.0, 1.0, 1);
+  EXPECT_THROW((void)h.count_in_bin(1), Error);
+}
+
+}  // namespace
+}  // namespace reshape

@@ -1,0 +1,86 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace reshape {
+namespace {
+
+TEST(Bytes, LiteralsAndConversions) {
+  EXPECT_EQ((5_kB).count(), 5000u);
+  EXPECT_EQ((3_MB).count(), 3'000'000u);
+  EXPECT_EQ((2_GB).count(), 2'000'000'000u);
+  EXPECT_DOUBLE_EQ((1536_B).kilobytes(), 1.536);
+  EXPECT_DOUBLE_EQ((1_GB).megabytes(), 1000.0);
+  EXPECT_DOUBLE_EQ((43_MB).gigabytes(), 0.043);
+}
+
+TEST(Bytes, Arithmetic) {
+  EXPECT_EQ(1_kB + 500_B, 1500_B);
+  EXPECT_EQ(2_MB - 500_kB, Bytes(1'500'000));
+  EXPECT_EQ(3_kB * 4, 12_kB);
+  EXPECT_EQ(7_kB / 2_kB, 3u);  // integral file-count division
+  EXPECT_EQ(7_kB % 2_kB, 1_kB);
+  Bytes b = 1_kB;
+  b += 1_kB;
+  EXPECT_EQ(b, 2_kB);
+  b -= 500_B;
+  EXPECT_EQ(b, 1500_B);
+}
+
+TEST(Bytes, Ordering) {
+  EXPECT_LT(1_kB, 1_MB);
+  EXPECT_GT(43_MB, 705_kB);
+  EXPECT_EQ(1000_kB, 1_MB);
+}
+
+TEST(Bytes, HumanReadableString) {
+  EXPECT_EQ((512_B).str(), "512 B");
+  EXPECT_EQ((1500_B).str(), "1.50 kB");
+  EXPECT_EQ((100_MB).str(), "100.00 MB");
+  std::ostringstream os;
+  os << 2_GB;
+  EXPECT_EQ(os.str(), "2.00 GB");
+}
+
+TEST(Seconds, LiteralsAndHours) {
+  EXPECT_DOUBLE_EQ((90_min).value(), 5400.0);
+  EXPECT_DOUBLE_EQ((2_h).value(), 7200.0);
+  EXPECT_DOUBLE_EQ((1_h).hours(), 1.0);
+  EXPECT_DOUBLE_EQ((0.5_s).value(), 0.5);
+}
+
+TEST(Seconds, CeilHoursMatchesPricingGranularity) {
+  // The paper bills a flat rate per hour *or partial hour*.
+  EXPECT_DOUBLE_EQ(Seconds(1.0).ceil_hours().hours(), 1.0);
+  EXPECT_DOUBLE_EQ(Seconds(3600.0).ceil_hours().hours(), 1.0);
+  EXPECT_DOUBLE_EQ(Seconds(3601.0).ceil_hours().hours(), 2.0);
+  EXPECT_DOUBLE_EQ(Seconds(0.0).ceil_hours().hours(), 0.0);
+}
+
+TEST(Seconds, Arithmetic) {
+  EXPECT_DOUBLE_EQ((1_h + 30_min).value(), 5400.0);
+  EXPECT_DOUBLE_EQ((1_h - 15_min).value(), 3600.0 - 900.0);
+  EXPECT_DOUBLE_EQ((2_h / 4.0).value(), 1800.0);
+  EXPECT_DOUBLE_EQ(2_h / 1_h, 2.0);
+}
+
+TEST(Rate, TimeForVolume) {
+  const Rate r = Rate::megabytes_per_second(60.0);
+  EXPECT_DOUBLE_EQ(r.mb_per_second(), 60.0);
+  EXPECT_NEAR(r.time_for(600_MB).value(), 10.0, 1e-9);
+  // §3.1's calculation: a 60 MB/s instance processes ~210 GB in an hour.
+  EXPECT_NEAR(r.time_for(216_GB).hours(), 1.0, 1e-9);
+}
+
+TEST(Dollars, FlatRateAccumulation) {
+  Dollars total;
+  total += Dollars(0.085);
+  total += Dollars(0.085) * 3.0;
+  EXPECT_NEAR(total.amount(), 0.34, 1e-12);
+  EXPECT_EQ(Dollars(0.1).str(), "$0.100");
+}
+
+}  // namespace
+}  // namespace reshape

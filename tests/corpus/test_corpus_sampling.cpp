@@ -1,0 +1,123 @@
+// Tests for complexity clustering, contiguous sampling and
+// complexity-aware corpus statistics — the machinery behind the Eq. (4)
+// random-sampling refit.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/distribution.hpp"
+
+namespace reshape::corpus {
+namespace {
+
+Corpus clustered_corpus(std::size_t files = 50'000, double spread = 0.25,
+                        std::size_t cluster = 2000, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return Corpus::generate(text_400k_sizes(), files, rng, spread, cluster);
+}
+
+TEST(ComplexityClusters, FilesWithinClusterShareComplexity) {
+  const Corpus c = clustered_corpus();
+  const auto& files = c.files();
+  for (std::size_t i = 1; i < 2000; ++i) {
+    EXPECT_DOUBLE_EQ(files[i].complexity, files[0].complexity);
+  }
+  // Different clusters almost surely differ.
+  EXPECT_NE(files[0].complexity, files[2000].complexity);
+}
+
+TEST(ComplexityClusters, ClusterOfOneIsIndependentDraws) {
+  Rng rng(6);
+  const Corpus c =
+      Corpus::generate(text_400k_sizes(), 1000, rng, 0.2, 1);
+  std::set<double> values;
+  for (const VirtualFile& f : c.files()) values.insert(f.complexity);
+  EXPECT_GT(values.size(), 900u);
+}
+
+TEST(ComplexityClusters, CorpusMeanStaysNearOne) {
+  const Corpus c = clustered_corpus(100'000);
+  EXPECT_NEAR(c.mean_complexity(), 1.0, 0.05);
+}
+
+TEST(ComplexityClusters, InvalidClusterThrows) {
+  Rng rng(7);
+  EXPECT_THROW(
+      (void)Corpus::generate(text_400k_sizes(), 10, rng, 0.2, 0), Error);
+}
+
+TEST(MeanComplexity, VolumeWeighted) {
+  std::vector<VirtualFile> files;
+  files.push_back(VirtualFile{0, Bytes(900), 2.0});
+  files.push_back(VirtualFile{1, Bytes(100), 1.0});
+  const Corpus c{std::move(files)};
+  EXPECT_NEAR(c.mean_complexity(), 1.9, 1e-12);
+  EXPECT_DOUBLE_EQ(Corpus().mean_complexity(), 1.0);
+}
+
+TEST(SampleContiguous, PreservesOrderAndVolume) {
+  const Corpus c = clustered_corpus(20'000);
+  Rng rng(8);
+  const Corpus sample = c.sample_contiguous(5_MB, rng);
+  EXPECT_GE(sample.total_volume(), 5_MB);
+  EXPECT_LE(sample.total_volume(), 5_MB + c.max_file_size());
+  // Contiguity: ids are consecutive (modulo wrap-around).
+  std::size_t breaks = 0;
+  for (std::size_t i = 1; i < sample.file_count(); ++i) {
+    if (sample.files()[i].id != sample.files()[i - 1].id + 1) ++breaks;
+  }
+  EXPECT_LE(breaks, 1u);  // at most one wrap
+}
+
+TEST(SampleContiguous, CapturesClusterLevelComplexitySpread) {
+  // The §5.2 point: contiguous samples inherit their source's complexity,
+  // so sample means vary far more than shuffled samples of equal size.
+  const Corpus c = clustered_corpus(200'000, 0.25, 2000, 11);
+  Rng rng(9);
+  RunningStats contiguous_means, shuffled_means;
+  for (int s = 0; s < 40; ++s) {
+    contiguous_means.add(c.sample_contiguous(5_MB, rng).mean_complexity());
+    shuffled_means.add(c.sample_volume(5_MB, rng).mean_complexity());
+  }
+  EXPECT_GT(contiguous_means.stddev(), 4.0 * shuffled_means.stddev());
+}
+
+TEST(SampleContiguous, WrapsAroundTheTail) {
+  std::vector<VirtualFile> files;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    files.push_back(VirtualFile{i, Bytes(1000), 1.0});
+  }
+  const Corpus c{std::move(files)};
+  // Force a start near the end by trying seeds until the sample wraps.
+  bool wrapped = false;
+  for (std::uint64_t seed = 0; seed < 50 && !wrapped; ++seed) {
+    Rng rng(seed);
+    const Corpus s = c.sample_contiguous(Bytes(5000), rng);
+    EXPECT_EQ(s.file_count(), 5u);
+    if (s.files().front().id > s.files().back().id) wrapped = true;
+  }
+  EXPECT_TRUE(wrapped);
+}
+
+TEST(SampleContiguous, InvalidInputsThrow) {
+  const Corpus empty;
+  Rng rng(1);
+  EXPECT_THROW((void)empty.sample_contiguous(1_kB, rng), Error);
+  const Corpus c = clustered_corpus(100);
+  EXPECT_THROW((void)c.sample_contiguous(1_GB, rng), Error);
+}
+
+TEST(SampleContiguous, DeterministicPerStream) {
+  const Corpus c = clustered_corpus(10'000);
+  Rng a(3), b(3);
+  const Corpus s1 = c.sample_contiguous(1_MB, a);
+  const Corpus s2 = c.sample_contiguous(1_MB, b);
+  ASSERT_EQ(s1.file_count(), s2.file_count());
+  EXPECT_EQ(s1.files().front().id, s2.files().front().id);
+}
+
+}  // namespace
+}  // namespace reshape::corpus

@@ -1,0 +1,53 @@
+#include "corpus/gutenberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "textproc/tokenizer.hpp"
+
+namespace reshape::corpus {
+namespace {
+
+TEST(Gutenberg, NovelsReachTargetLength) {
+  const Document d = make_novel("Test", 5000, 1.0, Rng(1));
+  EXPECT_GE(d.word_count, 5000u);
+  EXPECT_LT(d.word_count, 5300u);  // overshoot bounded by one sentence
+  EXPECT_FALSE(d.text.empty());
+}
+
+TEST(Gutenberg, StandInsMatchPaperWordCounts) {
+  // §5.2: Dubliners 67,496 words vs Agnes Grey 67,755 — within 300 words.
+  const Document dub = dubliners_like(Rng(2));
+  const Document agnes = agnes_grey_like(Rng(2));
+  EXPECT_GE(dub.word_count, 67'496u);
+  EXPECT_GE(agnes.word_count, 67'755u);
+  const double rel_gap =
+      std::abs(static_cast<double>(dub.word_count) -
+               static_cast<double>(agnes.word_count)) /
+      static_cast<double>(agnes.word_count);
+  EXPECT_LT(rel_gap, 0.01);
+}
+
+TEST(Gutenberg, ComplexNovelHasLongerSentences) {
+  const Document dub = dubliners_like(Rng(3));
+  const Document agnes = agnes_grey_like(Rng(3));
+  const double dub_len = textproc::mean_sentence_length(dub.text);
+  const double agnes_len = textproc::mean_sentence_length(agnes.text);
+  EXPECT_GT(dub_len, agnes_len * 1.3);
+}
+
+TEST(Gutenberg, DeterministicPerSeed) {
+  const Document a = make_novel("N", 1000, 1.2, Rng(9));
+  const Document b = make_novel("N", 1000, 1.2, Rng(9));
+  EXPECT_EQ(a.text, b.text);
+  const Document c = make_novel("N", 1000, 1.2, Rng(10));
+  EXPECT_NE(a.text, c.text);
+}
+
+TEST(Gutenberg, TitleSeedsDistinctStreams) {
+  const Document a = make_novel("Alpha", 1000, 1.0, Rng(9));
+  const Document b = make_novel("Beta", 1000, 1.0, Rng(9));
+  EXPECT_NE(a.text, b.text);
+}
+
+}  // namespace
+}  // namespace reshape::corpus

@@ -1,0 +1,149 @@
+#include "corpus/textgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace reshape::corpus {
+namespace {
+
+TextGenerator make_generator(double complexity = 1.0,
+                             std::uint64_t seed = 11) {
+  TextGenerator::Options options;
+  options.complexity = complexity;
+  return TextGenerator(options, Rng(seed));
+}
+
+TEST(TextGenerator, SentencesEndWithPunctuation) {
+  TextGenerator gen = make_generator();
+  for (int i = 0; i < 50; ++i) {
+    const TaggedSentence s = gen.sentence();
+    ASSERT_GE(s.size(), 3u);
+    EXPECT_EQ(s.back().tag, PosTag::kPunct);
+    EXPECT_EQ(s.back().text, ".");
+  }
+}
+
+TEST(TextGenerator, SentencesContainNounAndVerb) {
+  TextGenerator gen = make_generator();
+  for (int i = 0; i < 50; ++i) {
+    const TaggedSentence s = gen.sentence();
+    bool has_noun = false, has_verb = false;
+    for (const TaggedWord& w : s) {
+      has_noun |= (w.tag == PosTag::kNoun || w.tag == PosTag::kPron);
+      has_verb |= (w.tag == PosTag::kVerb);
+    }
+    EXPECT_TRUE(has_noun);
+    EXPECT_TRUE(has_verb);
+  }
+}
+
+TEST(TextGenerator, DeterministicPerSeed) {
+  TextGenerator a = make_generator(1.0, 5);
+  TextGenerator b = make_generator(1.0, 5);
+  for (int i = 0; i < 20; ++i) {
+    const TaggedSentence sa = a.sentence();
+    const TaggedSentence sb = b.sentence();
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t j = 0; j < sa.size(); ++j) {
+      EXPECT_EQ(sa[j].text, sb[j].text);
+      EXPECT_EQ(sa[j].tag, sb[j].tag);
+    }
+  }
+}
+
+TEST(TextGenerator, ComplexityIncreasesSentenceLength) {
+  TextGenerator simple = make_generator(0.7);
+  TextGenerator complex_gen = make_generator(2.0);
+  RunningStats len_simple, len_complex;
+  for (int i = 0; i < 400; ++i) {
+    len_simple.add(static_cast<double>(simple.sentence().size()));
+    len_complex.add(static_cast<double>(complex_gen.sentence().size()));
+  }
+  EXPECT_GT(len_complex.mean(), len_simple.mean() * 1.3);
+}
+
+TEST(TextGenerator, VocabularySuffixesMatchTagClasses) {
+  const TextGenerator gen = make_generator();
+  // Adverbs are built with the regular "-ly".
+  for (const std::string& w : gen.vocabulary(PosTag::kAdv)) {
+    EXPECT_EQ(w.substr(w.size() - 2), "ly");
+  }
+  EXPECT_THROW((void)gen.vocabulary(PosTag::kDet), Error);
+}
+
+TEST(TextGenerator, VocabularyIsDuplicateFree) {
+  const TextGenerator gen = make_generator();
+  for (const PosTag tag :
+       {PosTag::kNoun, PosTag::kVerb, PosTag::kAdj, PosTag::kAdv}) {
+    const auto& vocab = gen.vocabulary(tag);
+    const std::set<std::string> unique(vocab.begin(), vocab.end());
+    EXPECT_EQ(unique.size(), vocab.size());
+  }
+}
+
+TEST(TextGenerator, RenderCapitalizesAndSpaces) {
+  const TaggedSentence s{{"the", PosTag::kDet},
+                         {"report", PosTag::kNoun},
+                         {"arrived", PosTag::kVerb},
+                         {".", PosTag::kPunct}};
+  EXPECT_EQ(TextGenerator::render(s), "The report arrived.");
+}
+
+TEST(TextGenerator, TextOfSizeMeetsTarget) {
+  TextGenerator gen = make_generator();
+  const std::string text = gen.text_of_size(10_kB);
+  EXPECT_GE(text.size(), (10_kB).count());
+  EXPECT_LT(text.size(), (12_kB).count());  // whole sentences, small slack
+  // Printable ASCII words and spaces only.
+  for (const char c : text) {
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(c)) || c == ' ' ||
+                c == '.')
+        << "unexpected byte " << static_cast<int>(c);
+  }
+}
+
+TEST(TextGenerator, TaggedCorpusHasRequestedCount) {
+  TextGenerator gen = make_generator();
+  const auto corpus = gen.tagged_corpus(25);
+  EXPECT_EQ(corpus.size(), 25u);
+}
+
+TEST(TextGenerator, ZipfMakesFrequentWordsDominate) {
+  TextGenerator gen = make_generator();
+  std::unordered_map<std::string, int> freq;
+  for (int i = 0; i < 2000; ++i) {
+    for (const TaggedWord& w : gen.sentence()) {
+      if (w.tag == PosTag::kNoun) ++freq[w.text];
+    }
+  }
+  int max_freq = 0;
+  int total = 0;
+  for (const auto& [w, n] : freq) {
+    max_freq = std::max(max_freq, n);
+    total += n;
+  }
+  // The rank-1 noun should claim a disproportionate share.
+  EXPECT_GT(static_cast<double>(max_freq) / total, 0.10);
+}
+
+TEST(TextGenerator, InvalidOptionsThrow) {
+  TextGenerator::Options options;
+  options.complexity = 0.1;
+  EXPECT_THROW(TextGenerator(options, Rng(1)), Error);
+  TextGenerator::Options no_nouns;
+  no_nouns.noun_count = 0;
+  EXPECT_THROW(TextGenerator(no_nouns, Rng(1)), Error);
+}
+
+TEST(PosTagNames, Render) {
+  EXPECT_EQ(to_string(PosTag::kNoun), "NOUN");
+  EXPECT_EQ(to_string(PosTag::kPunct), "PUNCT");
+}
+
+}  // namespace
+}  // namespace reshape::corpus

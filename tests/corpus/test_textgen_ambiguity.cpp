@@ -1,0 +1,102 @@
+// Tests for the generator's tag-ambiguity features: noun/verb homographs,
+// noun-noun compounds, and the shared-vocabulary held-out constructor.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/textgen.hpp"
+
+namespace reshape::corpus {
+namespace {
+
+std::size_t shared_forms(const TextGenerator& gen) {
+  const auto& nouns = gen.vocabulary(PosTag::kNoun);
+  const std::set<std::string> noun_set(nouns.begin(), nouns.end());
+  std::size_t shared = 0;
+  for (const std::string& v : gen.vocabulary(PosTag::kVerb)) {
+    if (noun_set.count(v) > 0) ++shared;
+  }
+  return shared;
+}
+
+TEST(Homographs, EngineeredOverlapExceedsAccidental) {
+  // Short suffix-free pseudo-words collide across classes by chance; the
+  // noun_verb_overlap knob must add the requested share on top of that.
+  TextGenerator::Options with_overlap;
+  with_overlap.noun_verb_overlap = 0.2;
+  TextGenerator::Options without;
+  without.noun_verb_overlap = 0.0;
+  const std::size_t overlapped = shared_forms(TextGenerator(with_overlap, Rng(3)));
+  const std::size_t accidental = shared_forms(TextGenerator(without, Rng(3)));
+  const auto engineered = static_cast<std::size_t>(
+      0.2 * static_cast<double>(
+                TextGenerator(with_overlap, Rng(3))
+                    .vocabulary(PosTag::kVerb)
+                    .size()));
+  EXPECT_GE(overlapped, engineered);
+  EXPECT_GT(overlapped, accidental + engineered / 2);
+  // Accidental collisions stay a small minority of the inventory.
+  EXPECT_LT(accidental,
+            TextGenerator(without, Rng(3)).vocabulary(PosTag::kVerb).size() /
+                5);
+}
+
+TEST(Homographs, AmbiguousTokensGetContextualGoldTags) {
+  // A homograph appears with both NOUN and VERB gold tags across enough
+  // sentences — the irreducible ambiguity the tagger must resolve.
+  TextGenerator::Options options;
+  options.noun_verb_overlap = 0.3;
+  TextGenerator gen(options, Rng(5));
+  std::map<std::string, std::set<PosTag>> observed;
+  for (int i = 0; i < 3000; ++i) {
+    for (const TaggedWord& w : gen.sentence()) {
+      if (w.tag == PosTag::kNoun || w.tag == PosTag::kVerb) {
+        observed[w.text].insert(w.tag);
+      }
+    }
+  }
+  std::size_t ambiguous = 0;
+  for (const auto& [word, tags] : observed) {
+    if (tags.size() > 1) ++ambiguous;
+  }
+  EXPECT_GT(ambiguous, 5u);
+}
+
+TEST(Compounds, NounNounSequencesOccur) {
+  TextGenerator gen({}, Rng(6));
+  std::size_t compounds = 0;
+  for (int i = 0; i < 500; ++i) {
+    const TaggedSentence s = gen.sentence();
+    for (std::size_t j = 1; j < s.size(); ++j) {
+      if (s[j].tag == PosTag::kNoun && s[j - 1].tag == PosTag::kNoun) {
+        ++compounds;
+      }
+    }
+  }
+  EXPECT_GT(compounds, 20u);
+}
+
+TEST(SharedVocabulary, HeldOutCtorMatchesVocabDiffersInSentences) {
+  const TextGenerator train({}, Rng(31));
+  TextGenerator held({}, Rng(31), Rng(99));
+  // Same vocabulary...
+  EXPECT_EQ(train.vocabulary(PosTag::kNoun), held.vocabulary(PosTag::kNoun));
+  EXPECT_EQ(train.vocabulary(PosTag::kVerb), held.vocabulary(PosTag::kVerb));
+  // ...different sentence stream.
+  TextGenerator train_again({}, Rng(31));
+  const std::string a = TextGenerator::render(train_again.sentence());
+  const std::string b = TextGenerator::render(held.sentence());
+  EXPECT_NE(a, b);
+}
+
+TEST(SharedVocabulary, SameSentenceSeedReplays) {
+  TextGenerator a({}, Rng(31), Rng(99));
+  TextGenerator b({}, Rng(31), Rng(99));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(TextGenerator::render(a.sentence()),
+              TextGenerator::render(b.sentence()));
+  }
+}
+
+}  // namespace
+}  // namespace reshape::corpus

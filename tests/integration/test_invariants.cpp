@@ -1,0 +1,186 @@
+// Cross-module monotonicity and dominance invariants, swept with
+// parameterized tests.  These pin down the *shapes* the paper's figures
+// rely on: more volume never runs faster, bigger grep units never run
+// slower (up to the plateau), tighter deadlines never need fewer
+// instances, higher spot bids never get less compute, and less-segmented
+// output never retrieves slower.
+#include <gtest/gtest.h>
+
+#include "cloud/app_profile.hpp"
+#include "cloud/workload.hpp"
+#include "common/rng.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/distribution.hpp"
+#include "cloud/spot.hpp"
+#include "model/predictor.hpp"
+#include "provision/planner.hpp"
+#include "provision/retrieval.hpp"
+#include "reshape/merge.hpp"
+
+namespace reshape {
+namespace {
+
+cloud::Instance reference_instance() {
+  cloud::InstanceQuality q;
+  q.io_rate = Rate::megabytes_per_second(65.0);
+  return cloud::Instance(cloud::InstanceId{1}, cloud::InstanceType::kSmall,
+                         cloud::AvailabilityZone{}, q, Seconds(0.0));
+}
+
+// ---------------------------------------------------------------- workload
+
+class VolumeMonotone : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(VolumeMonotone, MoreVolumeNeverRunsFaster) {
+  const cloud::AppCostProfile app = std::string(GetParam()) == "grep"
+                                        ? cloud::grep_profile()
+                                        : cloud::pos_profile();
+  const cloud::Instance inst = reference_instance();
+  double prev = 0.0;
+  for (std::uint64_t mb = 1; mb <= 4096; mb *= 4) {
+    const double t = cloud::expected_run_time(
+        app, cloud::DataLayout::reshaped(Bytes(mb * 1000 * 1000), 1_MB),
+        inst, cloud::LocalStorage{}).value();
+    EXPECT_GE(t, prev) << GetParam() << " at " << mb << " MB";
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, VolumeMonotone,
+                         ::testing::Values("grep", "pos"));
+
+TEST(UnitMonotone, GrepNeverSlowsWithBiggerUnits) {
+  const cloud::AppCostProfile grep = cloud::grep_profile();
+  const cloud::Instance inst = reference_instance();
+  double prev = 1e300;
+  for (const Bytes unit : {10_kB, 100_kB, 1_MB, 10_MB, 100_MB, 1_GB}) {
+    const double t = cloud::expected_run_time(
+        grep, cloud::DataLayout::reshaped(2_GB, unit), inst,
+        cloud::LocalStorage{}).value();
+    EXPECT_LE(t, prev + 1e-9) << unit.str();
+    prev = t;
+  }
+}
+
+TEST(UnitMonotone, PosNeverSpeedsUpWithBiggerUnitsBeyondComfort) {
+  const cloud::AppCostProfile pos = cloud::pos_profile();
+  const cloud::Instance inst = reference_instance();
+  double prev = 0.0;
+  for (const Bytes unit : {64_kB, 128_kB, 512_kB, 2_MB, 8_MB}) {
+    const double t = cloud::expected_run_time(
+        pos, cloud::DataLayout::reshaped(10_MB, unit), inst,
+        cloud::LocalStorage{}).value();
+    EXPECT_GE(t, prev - 1e-9) << unit.str();
+    prev = t;
+  }
+}
+
+// ----------------------------------------------------------------- planner
+
+class DeadlineSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeadlineSweep, TighterDeadlinesNeverNeedFewerInstances) {
+  Rng rng(GetParam());
+  const corpus::Corpus data =
+      corpus::Corpus::generate(corpus::text_400k_sizes(), 30'000, rng)
+          .take_volume(100_MB);
+  std::vector<double> xs{1e6, 1e8};
+  std::vector<double> ys{0.3 + 0.865e-4 * 1e6, 0.3 + 0.865e-4 * 1e8};
+  const provision::StaticPlanner planner(model::Predictor::fit(xs, ys));
+  std::size_t prev = 1u << 30;
+  for (const double d : {600.0, 1200.0, 1800.0, 3600.0, 7200.0}) {
+    provision::PlanOptions options;
+    options.deadline = Seconds(d);
+    const std::size_t count = planner.plan(data, options).instance_count();
+    EXPECT_LE(count, prev) << "deadline " << d;
+    prev = count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlineSweep,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(PlannerDominance, PredictedCostNeverBelowLowerBound) {
+  // Cost >= rate * ceil(total predicted work / 1h) for deadlines >= 1h.
+  Rng rng(55);
+  const corpus::Corpus data =
+      corpus::Corpus::generate(corpus::text_400k_sizes(), 30'000, rng)
+          .take_volume(120_MB);
+  std::vector<double> xs{1e6, 1e8};
+  std::vector<double> ys{0.3 + 0.865e-4 * 1e6, 0.3 + 0.865e-4 * 1e8};
+  const model::Predictor predictor = model::Predictor::fit(xs, ys);
+  const provision::StaticPlanner planner(predictor);
+  provision::PlanOptions options;
+  options.deadline = 1_h;
+  const provision::ExecutionPlan plan = planner.plan(data, options);
+  const double total_work =
+      predictor.predict(data.total_volume()).value() / 3600.0;
+  EXPECT_GE(plan.predicted_cost.amount(),
+            std::ceil(total_work) * 0.085 - 1e-9);
+}
+
+// -------------------------------------------------------------------- spot
+
+class BidSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BidSweep, HigherBidsNeverGetLessCompute) {
+  const cloud::SpotMarket market(Rng(GetParam()).split("spot"),
+                                 cloud::SpotMarketModel{});
+  const Seconds horizon(200.0 * 3600.0);
+  double prev_compute = 0.0;
+  for (const double bid : {0.01, 0.02, 0.03, 0.05, 0.10, 0.30}) {
+    const cloud::SpotOutcome out =
+        cloud::simulate_bid(market, Dollars(bid), horizon);
+    EXPECT_GE(out.compute.value(), prev_compute) << "bid " << bid;
+    prev_compute = out.compute.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BidSweep, ::testing::Values(1, 2, 3));
+
+TEST(SpotEconomics, EffectiveRateNeverAboveBid) {
+  const cloud::SpotMarket market(Rng(5).split("spot"),
+                                 cloud::SpotMarketModel{});
+  for (const double bid : {0.03, 0.05, 0.08}) {
+    const cloud::SpotOutcome out =
+        cloud::simulate_bid(market, Dollars(bid), Seconds(500.0 * 3600.0));
+    if (out.compute.value() > 0.0) {
+      EXPECT_LE(out.cost.amount() / out.compute.hours(), bid + 1e-9);
+    }
+  }
+}
+
+// --------------------------------------------------------------- retrieval
+
+TEST(RetrievalMonotone, BiggerBlocksNeverRetrieveSlower) {
+  const cloud::S3Model s3;
+  double prev = 1e300;
+  for (const Bytes unit : {1_MB, 10_MB, 100_MB, 1_GB}) {
+    const auto seg = provision::OutputSegmentation::per_block(1_GB, unit, 0.5);
+    const double t =
+        provision::expected_retrieval_time(seg, s3).total.value();
+    EXPECT_LE(t, prev + 1e-9) << unit.str();
+    prev = t;
+  }
+}
+
+// ------------------------------------------------------------ reshaping
+
+class MergeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeSweep, BiggerUnitsNeverProduceMoreBlocks) {
+  Rng rng(GetParam());
+  const corpus::Corpus data =
+      corpus::Corpus::generate(corpus::text_400k_sizes(), 5000, rng);
+  std::size_t prev = 1u << 30;
+  for (const Bytes unit : {1_MB, 2_MB, 5_MB, 20_MB, 100_MB}) {
+    const std::size_t blocks = pack::merge_to_unit(data, unit).block_count();
+    EXPECT_LE(blocks, prev) << unit.str();
+    prev = blocks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeSweep, ::testing::Values(7, 8, 9));
+
+}  // namespace
+}  // namespace reshape

@@ -1,0 +1,237 @@
+// End-to-end integration tests: the complete reshape -> probe -> model ->
+// plan -> execute pipeline, plus cross-module invariants the unit tests
+// cannot see.
+#include <gtest/gtest.h>
+
+#include "cloud/app_profile.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/workload.hpp"
+#include "common/stats.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/distribution.hpp"
+#include "model/predictor.hpp"
+#include "provision/executor.hpp"
+#include "provision/planner.hpp"
+#include "reshape/merge.hpp"
+#include "reshape/probe.hpp"
+#include "sim/simulation.hpp"
+
+namespace reshape {
+namespace {
+
+/// Fits a grep predictor from probes on a screened instance.
+model::Predictor fit_grep_model(cloud::CloudProvider& ec2,
+                                cloud::InstanceId id, Rng& noise) {
+  std::vector<double> xs, ys;
+  const cloud::AppCostProfile grep = cloud::grep_profile();
+  for (const Bytes v : {500_MB, 1_GB, 2_GB, 5_GB}) {
+    RunningStats reps;
+    for (int r = 0; r < 5; ++r) {
+      reps.add(cloud::run_time(grep, cloud::DataLayout::reshaped(v, 100_MB),
+                               ec2.instance(id), cloud::LocalStorage{}, noise)
+                   .value());
+    }
+    xs.push_back(v.as_double());
+    ys.push_back(reps.mean());
+  }
+  return model::Predictor::fit(xs, ys);
+}
+
+const cloud::AvailabilityZone kZone{cloud::Region::kUsEast, 0};
+
+TEST(Pipeline, EndToEndGrepCampaign) {
+  const Rng root(9001);
+  Rng corpus_rng = root.split("corpus");
+  const corpus::Corpus data = corpus::Corpus::generate(
+      corpus::html_18mil_sizes(), 100'000, corpus_rng);
+
+  // Reshape.
+  const pack::MergedCorpus merged = pack::merge_to_unit(data, 100_MB);
+  EXPECT_LT(merged.block_count() * 50, data.file_count());
+  EXPECT_EQ(merged.total_volume(), data.total_volume());
+
+  // Probe and model.
+  sim::Simulation sim;
+  cloud::CloudProvider ec2(sim, root.split("cloud"), cloud::ProviderConfig{});
+  const auto acq = ec2.acquire_screened(cloud::InstanceType::kSmall, kZone);
+  Rng noise = root.split("noise");
+  const model::Predictor predictor = fit_grep_model(ec2, acq.id, noise);
+  EXPECT_GT(predictor.r2(), 0.999);
+
+  // Plan with 50% slack over the single-instance prediction and execute
+  // on a same-quality fleet: the deadline must hold.
+  const Seconds deadline(
+      predictor.predict(data.total_volume()).value() * 0.75);
+  provision::StaticPlanner planner(predictor);
+  provision::PlanOptions options;
+  options.deadline = deadline;
+  options.strategy = provision::PackingStrategy::kUniform;
+  const provision::ExecutionPlan plan = planner.plan(data, options);
+  EXPECT_GE(plan.instance_count(), 2u);
+
+  sim::Simulation exec_sim;
+  cloud::ProviderConfig fleet_config;
+  fleet_config.mixture = cloud::uniform_fast_mixture();
+  cloud::CloudProvider fleet(exec_sim, root.split("fleet"), fleet_config);
+  provision::ExecutionOptions exec;
+  exec.reshaped_unit = 100_MB;
+  exec.data_on_ebs = false;  // pre-staged local data, like the probes
+  exec.local_staging_time = Seconds(0.0);
+  Rng run_noise = root.split("runs");
+  const provision::ExecutionReport report = provision::execute_plan(
+      fleet, plan, cloud::grep_profile(), exec, run_noise);
+  EXPECT_EQ(report.missed, 0u)
+      << "uniform fleet at 25% slack must meet the deadline";
+  EXPECT_EQ(report.instance_count(), plan.instance_count());
+}
+
+TEST(Pipeline, ReshapingWinsForGrepNotForPos) {
+  // The paper's asymmetric conclusion in one test: merging helps the
+  // I/O-bound scanner and hurts the memory-bound tagger.
+  const Rng root(9002);
+  sim::Simulation sim;
+  cloud::ProviderConfig config;
+  config.mixture = cloud::uniform_fast_mixture();
+  cloud::CloudProvider ec2(sim, root.split("cloud"), config);
+  const cloud::InstanceId id = ec2.launch(cloud::InstanceType::kSmall, kZone);
+  sim.run();
+
+  const cloud::Instance& inst = ec2.instance(id);
+  const cloud::DataLayout original =
+      cloud::DataLayout::original(100_MB, 25'000, 4_kB);
+  const cloud::DataLayout reshaped =
+      cloud::DataLayout::reshaped(100_MB, 10_MB);
+
+  const double grep_orig = cloud::expected_run_time(
+      cloud::grep_profile(), original, inst, cloud::LocalStorage{}).value();
+  const double grep_merged = cloud::expected_run_time(
+      cloud::grep_profile(), reshaped, inst, cloud::LocalStorage{}).value();
+  EXPECT_GT(grep_orig / grep_merged, 3.0);
+
+  const double pos_orig = cloud::expected_run_time(
+      cloud::pos_profile(), original, inst, cloud::LocalStorage{}).value();
+  const double pos_merged = cloud::expected_run_time(
+      cloud::pos_profile(), reshaped, inst, cloud::LocalStorage{}).value();
+  EXPECT_LT(pos_orig, pos_merged);
+}
+
+TEST(Pipeline, ProbeSetsFeedThePlannerConsistently) {
+  // Probe construction -> model -> plan must round-trip: planning for the
+  // predicted whole-corpus time with one instance yields one assignment
+  // whose predicted time matches.
+  const Rng root(9003);
+  Rng corpus_rng = root.split("corpus");
+  const corpus::Corpus data = corpus::Corpus::generate(
+      corpus::text_400k_sizes(), 30'000, corpus_rng);
+  const std::vector<std::uint64_t> multiples{2, 4};
+  const pack::ProbeSet probes =
+      pack::build_probe_set(data, 2_MB, 1_MB, multiples);
+  EXPECT_EQ(probes.probes.size(), 4u);
+
+  // A synthetic exact model: t = 2 + 1e-7 * bytes.
+  std::vector<double> xs{1e6, 1e7, 1e8};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.0 + 1e-7 * x);
+  provision::StaticPlanner planner(model::Predictor::fit(xs, ys));
+  provision::PlanOptions options;
+  options.deadline =
+      Seconds(2.0 + 1e-7 * data.total_volume().as_double() + 1.0);
+  const provision::ExecutionPlan plan = planner.plan(data, options);
+  EXPECT_EQ(plan.instance_count(), 1u);
+  EXPECT_NEAR(plan.predicted_makespan.value(),
+              2.0 + 1e-7 * data.total_volume().as_double(), 0.5);
+}
+
+TEST(Pipeline, StrategyOrderingHoldsAcrossSeeds) {
+  // Property over seeds: uniform never needs more instances than
+  // adjusted, and uniform's predicted makespan never exceeds first-fit's.
+  std::vector<double> xs{1e6, 1e8};
+  std::vector<double> ys{0.3 + 0.865e-4 * 1e6, 0.3 + 0.865e-4 * 1e8};
+  const provision::StaticPlanner planner(model::Predictor::fit(xs, ys));
+  model::RelativeResiduals residuals;
+  residuals.stddev = 0.1;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    const corpus::Corpus data =
+        corpus::Corpus::generate(corpus::text_400k_sizes(), 40'000, rng)
+            .take_volume(150_MB);
+    provision::PlanOptions ff;
+    ff.deadline = 1_h;
+    ff.strategy = provision::PackingStrategy::kFirstFit;
+    provision::PlanOptions uni = ff;
+    uni.strategy = provision::PackingStrategy::kUniform;
+    provision::PlanOptions adj = ff;
+    adj.strategy = provision::PackingStrategy::kAdjusted;
+    adj.residuals = residuals;
+
+    const auto plan_ff = planner.plan(data, ff);
+    const auto plan_uni = planner.plan(data, uni);
+    const auto plan_adj = planner.plan(data, adj);
+    EXPECT_LE(plan_uni.predicted_makespan, plan_ff.predicted_makespan)
+        << "seed " << seed;
+    EXPECT_GE(plan_adj.instance_count(), plan_uni.instance_count())
+        << "seed " << seed;
+    EXPECT_EQ(plan_uni.total_volume(), data.total_volume());
+  }
+}
+
+TEST(Pipeline, BillingNeverChargesMoreThanCeilPerInstance) {
+  // Across a whole execution, cost divided by instances is at most the
+  // ceil of the longest run in hours times the rate.
+  const Rng root(9004);
+  Rng corpus_rng = root.split("corpus");
+  const corpus::Corpus data =
+      corpus::Corpus::generate(corpus::text_400k_sizes(), 30'000, corpus_rng)
+          .take_volume(100_MB);
+  std::vector<double> xs{1e6, 1e8};
+  std::vector<double> ys{0.3 + 0.865e-4 * 1e6, 0.3 + 0.865e-4 * 1e8};
+  provision::StaticPlanner planner(model::Predictor::fit(xs, ys));
+  provision::PlanOptions options;
+  options.deadline = 1_h;
+  const provision::ExecutionPlan plan = planner.plan(data, options);
+
+  sim::Simulation sim;
+  cloud::CloudProvider fleet(sim, root.split("fleet"),
+                             cloud::ProviderConfig{});
+  Rng noise = root.split("noise");
+  const provision::ExecutionReport report = provision::execute_plan(
+      fleet, plan, cloud::pos_profile(), provision::ExecutionOptions{},
+      noise);
+  const double worst_hours = std::ceil(report.makespan.hours());
+  EXPECT_LE(report.cost.amount(),
+            static_cast<double>(report.instance_count()) * worst_hours *
+                0.085 + 1e-9);
+  EXPECT_GE(report.cost.amount(),
+            static_cast<double>(report.instance_count()) * 0.085 - 1e-9);
+}
+
+TEST(Pipeline, WholePipelineIsDeterministic) {
+  auto run_once = [] {
+    const Rng root(9005);
+    Rng corpus_rng = root.split("corpus");
+    const corpus::Corpus data =
+        corpus::Corpus::generate(corpus::text_400k_sizes(), 20'000,
+                                 corpus_rng)
+            .take_volume(50_MB);
+    std::vector<double> xs{1e6, 1e8};
+    std::vector<double> ys{0.3 + 0.865e-4 * 1e6, 0.3 + 0.865e-4 * 1e8};
+    provision::StaticPlanner planner(model::Predictor::fit(xs, ys));
+    provision::PlanOptions options;
+    options.deadline = 30_min;
+    const provision::ExecutionPlan plan = planner.plan(data, options);
+    sim::Simulation sim;
+    cloud::CloudProvider fleet(sim, root.split("fleet"),
+                               cloud::ProviderConfig{});
+    Rng noise = root.split("noise");
+    return provision::execute_plan(fleet, plan, cloud::pos_profile(),
+                                   provision::ExecutionOptions{}, noise);
+  };
+  const provision::ExecutionReport a = run_once();
+  const provision::ExecutionReport b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  EXPECT_EQ(a.missed, b.missed);
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+}  // namespace
+}  // namespace reshape

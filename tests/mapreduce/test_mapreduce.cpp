@@ -1,0 +1,181 @@
+#include "mapreduce/job.hpp"
+#include "mapreduce/jobs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "corpus/textgen.hpp"
+#include "textproc/tokenizer.hpp"
+
+namespace reshape::mr {
+namespace {
+
+std::vector<std::string> tiny_files() {
+  return {"apple banana apple", "banana cherry", "apple", ""};
+}
+
+TEST(Splits, WholeFileOnePerFile) {
+  const auto files = tiny_files();
+  const auto splits = whole_file_splits(files);
+  ASSERT_EQ(splits.size(), files.size());
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    ASSERT_EQ(splits[i].file_indices.size(), 1u);
+    EXPECT_EQ(splits[i].file_indices[0], i);
+    EXPECT_EQ(splits[i].total.count(), files[i].size());
+  }
+}
+
+TEST(Splits, CombinedRespectsTargetAndCoversAll) {
+  std::vector<std::string> files(100, std::string(1000, 'x'));
+  const auto splits = combined_splits(files, 10_kB);
+  EXPECT_EQ(splits.size(), 10u);
+  std::size_t covered = 0;
+  for (const Split& s : splits) {
+    covered += s.file_indices.size();
+    EXPECT_GE(s.total, 10_kB);
+  }
+  EXPECT_EQ(covered, files.size());
+  EXPECT_THROW((void)combined_splits(files, 0_B), Error);
+}
+
+TEST(Splits, CombinedKeepsTailSplit) {
+  std::vector<std::string> files(7, std::string(1000, 'x'));
+  const auto splits = combined_splits(files, Bytes(3000));
+  ASSERT_EQ(splits.size(), 3u);
+  EXPECT_EQ(splits.back().file_indices.size(), 1u);
+}
+
+TEST(WordCount, CountsAcrossFiles) {
+  const auto files = tiny_files();
+  const MapReduceJob job = word_count_job();
+  const JobResult r = LocalRunner(2).run(job, files, whole_file_splits(files));
+  std::map<std::string, std::uint64_t> counts;
+  for (const KeyValue& kv : r.output) {
+    counts[kv.key] = parse_count(kv.value);
+  }
+  EXPECT_EQ(counts["apple"], 3u);
+  EXPECT_EQ(counts["banana"], 2u);
+  EXPECT_EQ(counts["cherry"], 1u);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(WordCount, OutputSortedByKey) {
+  const auto files = tiny_files();
+  const JobResult r =
+      LocalRunner(1).run(word_count_job(), files, whole_file_splits(files));
+  for (std::size_t i = 1; i < r.output.size(); ++i) {
+    EXPECT_LT(r.output[i - 1].key, r.output[i].key);
+  }
+}
+
+TEST(WordCount, SplitLayoutDoesNotChangeAnswer) {
+  // The reshaping invariant: combining files must not change results.
+  Rng rng(3);
+  corpus::TextGenerator gen({}, rng);
+  std::vector<std::string> files;
+  for (int i = 0; i < 200; ++i) files.push_back(gen.text_of_size(2_kB));
+
+  const MapReduceJob job = word_count_job();
+  const JobResult per_file =
+      LocalRunner(2).run(job, files, whole_file_splits(files));
+  const JobResult combined =
+      LocalRunner(2).run(job, files, combined_splits(files, 64_kB));
+  ASSERT_EQ(per_file.output.size(), combined.output.size());
+  for (std::size_t i = 0; i < per_file.output.size(); ++i) {
+    EXPECT_EQ(per_file.output[i].key, combined.output[i].key);
+    EXPECT_EQ(per_file.output[i].value, combined.output[i].value);
+  }
+}
+
+TEST(WordCount, CombinerShrinksShuffle) {
+  Rng rng(4);
+  corpus::TextGenerator gen({}, rng);
+  std::vector<std::string> files;
+  for (int i = 0; i < 50; ++i) files.push_back(gen.text_of_size(4_kB));
+
+  MapReduceJob with_combiner = word_count_job();
+  MapReduceJob without = word_count_job();
+  without.combiner = nullptr;
+  const auto splits = combined_splits(files, 32_kB);
+  const JobResult a = LocalRunner(2).run(with_combiner, files, splits);
+  const JobResult b = LocalRunner(2).run(without, files, splits);
+  EXPECT_LT(a.stats.intermediate_pairs, b.stats.intermediate_pairs / 2);
+  // Same final answer.
+  ASSERT_EQ(a.output.size(), b.output.size());
+  for (std::size_t i = 0; i < a.output.size(); ++i) {
+    EXPECT_EQ(a.output[i].value, b.output[i].value);
+  }
+}
+
+TEST(WordCount, StatsAreConsistent) {
+  const auto files = tiny_files();
+  const auto splits = whole_file_splits(files);
+  const JobResult r = LocalRunner(2).run(word_count_job(), files, splits);
+  EXPECT_EQ(r.stats.map_tasks, splits.size());
+  EXPECT_EQ(r.stats.input_records, files.size());
+  EXPECT_EQ(r.stats.output_pairs, r.output.size());
+  std::size_t bytes = 0;
+  for (const auto& f : files) bytes += f.size();
+  EXPECT_EQ(r.stats.input_bytes.count(), bytes);
+  EXPECT_GE(r.stats.total_wall.value(), 0.0);
+}
+
+TEST(GrepJob, CountsMatchingLinesAcrossCorpus) {
+  const std::vector<std::string> files{
+      "the word here\nnot this line", "word again\nword twice", "nothing"};
+  const MapReduceJob job = grep_job("word");
+  const JobResult r = LocalRunner(1).run(job, files, whole_file_splits(files));
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0].key, "word");
+  EXPECT_EQ(parse_count(r.output[0].value), 3u);
+}
+
+TEST(GrepJob, NonsenseWordProducesEmptyOutput) {
+  const auto files = tiny_files();
+  const JobResult r = LocalRunner(1).run(grep_job("xyzzyplugh"), files,
+                                         whole_file_splits(files));
+  EXPECT_TRUE(r.output.empty());
+}
+
+TEST(Runner, ReducerCountControlsParallelPartitions) {
+  const auto files = tiny_files();
+  MapReduceJob job = word_count_job(8);
+  const JobResult r =
+      LocalRunner(4).run(job, files, whole_file_splits(files));
+  EXPECT_EQ(r.stats.reduce_tasks, 8u);
+  EXPECT_EQ(r.output.size(), 3u);  // partitioning must not lose keys
+}
+
+TEST(Runner, InvalidJobsThrow) {
+  const auto files = tiny_files();
+  MapReduceJob no_mapper;
+  no_mapper.reducer = [](const auto&, const auto&, const Emit&) {};
+  EXPECT_THROW(
+      (void)LocalRunner(1).run(no_mapper, files, whole_file_splits(files)),
+      Error);
+  MapReduceJob zero_reducers = word_count_job();
+  zero_reducers.num_reducers = 0;
+  EXPECT_THROW((void)LocalRunner(1).run(zero_reducers, files,
+                                        whole_file_splits(files)),
+               Error);
+}
+
+TEST(Runner, SplitReferencingMissingFileThrows) {
+  const auto files = tiny_files();
+  Split bad;
+  bad.file_indices.push_back(999);
+  EXPECT_THROW((void)LocalRunner(1).run(word_count_job(), files, {bad}),
+               Error);
+}
+
+TEST(ParseCount, RejectsGarbage) {
+  EXPECT_EQ(parse_count("42"), 42u);
+  EXPECT_THROW((void)parse_count("4x2"), Error);
+  EXPECT_THROW((void)parse_count(""), Error);
+}
+
+}  // namespace
+}  // namespace reshape::mr

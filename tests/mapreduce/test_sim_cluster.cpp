@@ -1,0 +1,125 @@
+// Tests for the simulated MapReduce cluster scheduler.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "mapreduce/sim_cluster.hpp"
+
+namespace reshape::mr {
+namespace {
+
+std::vector<Split> uniform_splits(std::size_t count, Bytes each) {
+  std::vector<Split> splits(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    splits[i].file_indices.push_back(i);
+    splits[i].total = each;
+  }
+  return splits;
+}
+
+SimClusterConfig reference_config(std::size_t workers = 8) {
+  SimClusterConfig config;
+  config.workers = workers;
+  config.mixture = cloud::uniform_fast_mixture();
+  return config;
+}
+
+TEST(SimCluster, SingleTaskSingleWorkerArithmetic) {
+  SimClusterConfig config = reference_config(1);
+  const SimCluster cluster(config, Rng(1));
+  const auto splits = uniform_splits(1, 40_MB);
+  const SimJobReport r = cluster.run(splits, 0_B);
+  // 1.5 s overhead + 40 MB / 40 MB/s = 2.5 s.
+  EXPECT_NEAR(r.map_makespan.value(), 2.5, 1e-9);
+  EXPECT_NEAR(r.overhead_fraction, 1.5 / 2.5, 1e-9);
+  EXPECT_DOUBLE_EQ(r.total.value(), r.map_makespan.value());
+}
+
+TEST(SimCluster, WorkSpreadsAcrossWorkers) {
+  const SimCluster cluster(reference_config(8), Rng(2));
+  const auto splits = uniform_splits(64, 40_MB);
+  const SimJobReport r = cluster.run(splits, 0_B);
+  // 64 tasks of 2.5 s over 8 workers: exactly 8 per worker.
+  EXPECT_NEAR(r.map_makespan.value(), 8 * 2.5, 1e-9);
+  for (const Seconds busy : r.worker_busy) {
+    EXPECT_NEAR(busy.value(), 8 * 2.5, 1e-9);
+  }
+}
+
+TEST(SimCluster, SmallFilesPayOverheadLargeSplitsDoNot) {
+  const SimCluster cluster(reference_config(8), Rng(3));
+  // Same bytes: 100k 4 kB splits vs 16 combined 25 MB splits.
+  const auto small = uniform_splits(100'000, 4_kB);
+  const auto large = uniform_splits(16, 25_MB);
+  const SimJobReport r_small = cluster.run(small, 0_B);
+  const SimJobReport r_large = cluster.run(large, 0_B);
+  EXPECT_GT(r_small.overhead_fraction, 0.95);
+  EXPECT_LT(r_large.overhead_fraction, 0.75);
+  EXPECT_GT(r_small.map_makespan.value() / r_large.map_makespan.value(),
+            100.0);
+}
+
+TEST(SimCluster, ShuffleAndReduceTailsScaleWithIntermediateVolume) {
+  const SimCluster cluster(reference_config(4), Rng(4));
+  const auto splits = uniform_splits(4, 10_MB);
+  const SimJobReport none = cluster.run(splits, 0_B);
+  const SimJobReport heavy = cluster.run(splits, 600_MB);
+  EXPECT_DOUBLE_EQ(none.shuffle_time.value(), 0.0);
+  EXPECT_NEAR(heavy.shuffle_time.value(), 6.0, 1e-9);   // 600MB / 100MB/s
+  EXPECT_NEAR(heavy.reduce_time.value(), 10.0, 1e-9);   // 600MB / 60MB/s
+  EXPECT_GT(heavy.total, none.total);
+}
+
+TEST(SimCluster, LptSchedulingBalancesSkewedSplits) {
+  const SimCluster cluster(reference_config(4), Rng(5));
+  // One huge split plus many small: LPT puts the huge one first, so the
+  // makespan is close to max(huge, total/4).
+  std::vector<Split> splits = uniform_splits(40, 10_MB);
+  Split huge;
+  huge.file_indices.push_back(999);
+  huge.total = 400_MB;
+  splits.push_back(huge);
+  const SimJobReport r = cluster.run(splits, 0_B);
+  const double huge_time = 1.5 + 400.0 / 40.0;            // 11.5 s
+  const double small_work = 40.0 * (1.5 + 10.0 / 40.0);   // 70 s
+  const double lower_bound =
+      std::max(huge_time, (huge_time + small_work) / 4.0);
+  EXPECT_LT(r.map_makespan.value(), lower_bound * 1.15);
+  EXPECT_GE(r.map_makespan.value(), lower_bound - 1e-9);
+}
+
+TEST(SimCluster, HeterogeneousWorkersStretchMakespan) {
+  SimClusterConfig slow_config = reference_config(8);
+  slow_config.mixture = cloud::QualityMixture{};  // default heterogeneous
+  slow_config.mixture.p_slow = 0.5;
+  slow_config.mixture.p_fast = 0.5;
+  const SimCluster uniform_cluster(reference_config(8), Rng(6));
+  const SimCluster mixed_cluster(slow_config, Rng(6));
+  const auto splits = uniform_splits(64, 40_MB);
+  EXPECT_GT(mixed_cluster.run(splits, 0_B).map_makespan.value(),
+            uniform_cluster.run(splits, 0_B).map_makespan.value());
+}
+
+TEST(SimCluster, DeterministicPerSeed) {
+  const SimCluster a(reference_config(8), Rng(7));
+  const SimCluster b(reference_config(8), Rng(7));
+  const auto splits = uniform_splits(32, 20_MB);
+  EXPECT_DOUBLE_EQ(a.run(splits, 1_MB).total.value(),
+                   b.run(splits, 1_MB).total.value());
+}
+
+TEST(SimCluster, ZeroWorkersThrows) {
+  SimClusterConfig config;
+  config.workers = 0;
+  EXPECT_THROW(SimCluster(config, Rng(8)), Error);
+}
+
+TEST(SimCluster, EmptySplitPlanIsInstant) {
+  const SimCluster cluster(reference_config(2), Rng(9));
+  const SimJobReport r = cluster.run({}, 0_B);
+  EXPECT_DOUBLE_EQ(r.map_makespan.value(), 0.0);
+  EXPECT_EQ(r.map_tasks, 0u);
+}
+
+}  // namespace
+}  // namespace reshape::mr

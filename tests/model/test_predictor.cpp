@@ -1,0 +1,110 @@
+#include "model/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace reshape::model {
+namespace {
+
+/// Predictor equal to the paper's Eq. (3): f(x) = 0.327 + 0.865e-4 x.
+Predictor eq3_predictor() {
+  std::vector<double> xs, ys;
+  for (double v = 1e4; v <= 1e6; v += 1e5) {
+    xs.push_back(v);
+    ys.push_back(0.327 + 0.865e-4 * v);
+  }
+  return Predictor::fit(xs, ys);
+}
+
+TEST(Predictor, PredictMatchesEquationThree) {
+  const Predictor p = eq3_predictor();
+  // A 1 MB run is ~86.8 s, the scale of Fig. 7.
+  EXPECT_NEAR(p.predict(1_MB).value(), 86.83, 0.2);
+  EXPECT_GT(p.r2(), 0.9999);
+}
+
+TEST(Predictor, MaxVolumeWithinSolvesInverse) {
+  const Predictor p = eq3_predictor();
+  // Solving Eq. (3) for D = 3600 gives x0 ~ 41.6 MB (the §5.2 step that
+  // prescribes 27 instances for ~1.09 GB).
+  const Bytes x0 = p.max_volume_within(Seconds(3600.0));
+  EXPECT_NEAR(x0.as_double(), (3600.0 - 0.327) / 0.865e-4, 1e4);
+  // ceil(1.09 GB / x0) = 27 instances, as the paper reports.
+  const double v = 1.09e9;
+  EXPECT_EQ(std::ceil(v / x0.as_double()), 27.0);
+}
+
+TEST(Predictor, ImpossibleDeadlineYieldsZeroVolume) {
+  const Predictor p = eq3_predictor();
+  EXPECT_EQ(p.max_volume_within(Seconds(0.1)).count(), 0u);
+}
+
+TEST(RelativeResiduals, ZeroForPerfectFit) {
+  const Predictor p = eq3_predictor();
+  std::vector<double> xs, ys;
+  for (double v = 1e5; v < 1e6; v += 2e5) {
+    xs.push_back(v);
+    ys.push_back(p.affine().predict(v));
+  }
+  const RelativeResiduals r = relative_residuals(p, xs, ys);
+  EXPECT_NEAR(r.mean, 0.0, 1e-12);
+  EXPECT_NEAR(r.stddev, 0.0, 1e-12);
+  EXPECT_EQ(r.count, xs.size());
+}
+
+TEST(RelativeResiduals, CapturesSystematicUnderestimate) {
+  const Predictor p = eq3_predictor();
+  std::vector<double> xs, ys;
+  for (double v = 1e5; v < 1e6; v += 1e5) {
+    xs.push_back(v);
+    ys.push_back(p.affine().predict(v) * 1.3);  // 30% slower than modelled
+  }
+  const RelativeResiduals r = relative_residuals(p, xs, ys);
+  EXPECT_NEAR(r.mean, 0.3, 1e-9);
+}
+
+TEST(UpperTailZ, MatchesStandardQuantiles) {
+  // The paper: P(Z > z) <= 0.1 gives z = 1.29 (1.2816 exactly).
+  EXPECT_NEAR(upper_tail_z(0.10), 1.2816, 2e-3);
+  EXPECT_NEAR(upper_tail_z(0.05), 1.6449, 2e-3);
+  EXPECT_NEAR(upper_tail_z(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(upper_tail_z(0.01), 2.3263, 2e-3);
+  EXPECT_THROW((void)upper_tail_z(0.0), Error);
+  EXPECT_THROW((void)upper_tail_z(1.0), Error);
+}
+
+TEST(AdjustmentFactor, MatchesPaperFormula) {
+  // §5.2: a = 1.29 sigma + mu; their residuals gave a = 1.525.
+  RelativeResiduals r;
+  r.mean = 0.0;
+  r.stddev = 1.525 / 1.2816;
+  EXPECT_NEAR(adjustment_factor(r, 0.10), 1.525, 5e-3);
+}
+
+TEST(AdjustedDeadline, MatchesPaperNumbers) {
+  // D = 3600 -> D1 = 3600 / (1 + 1.525) ~= 1425?  No: the paper reports
+  // 3124 for D=3600, implying a ~= 0.152 for that fit — but its printed
+  // a = 1.525 and D1 = 3124 are mutually inconsistent; 3600/(1+0.1525) =
+  // 3123.6 matches D1, so we treat a = 0.1525 as the operative value.
+  RelativeResiduals r;
+  r.mean = 0.0;
+  r.stddev = 0.1525 / 1.2816;
+  EXPECT_NEAR(adjusted_deadline(Seconds(3600.0), r, 0.10).value(), 3123.6,
+              2.0);
+  EXPECT_NEAR(adjusted_deadline(Seconds(7200.0), r, 0.10).value(), 6247.2,
+              4.0);
+}
+
+TEST(AdjustedDeadline, DegenerateAdjustmentThrows) {
+  RelativeResiduals r;
+  r.mean = -2.0;  // would flip the deadline sign
+  r.stddev = 0.0;
+  EXPECT_THROW((void)adjusted_deadline(Seconds(3600.0), r, 0.10), Error);
+}
+
+}  // namespace
+}  // namespace reshape::model

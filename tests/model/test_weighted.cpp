@@ -1,0 +1,73 @@
+// Tests for weighted least squares (§7's proposed model improvement).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "model/regression.hpp"
+
+namespace reshape::model {
+namespace {
+
+TEST(WeightedFit, UniformWeightsMatchOls) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.1, 3.9, 6.2, 7.8};
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  const AffineFit plain = fit_affine(xs, ys);
+  const AffineFit weighted = fit_affine_weighted(xs, ys, w);
+  EXPECT_NEAR(plain.slope, weighted.slope, 1e-12);
+  EXPECT_NEAR(plain.intercept, weighted.intercept, 1e-12);
+}
+
+TEST(WeightedFit, DownweightsNoisySmallVolumes) {
+  // Clean signal at large x, garbage at small x (the Fig. 3 situation):
+  // volume weighting must recover the true slope where OLS is pulled off.
+  std::vector<double> xs, ys;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {  // noisy small probes
+    const double x = rng.uniform(1e4, 1e5);
+    xs.push_back(x);
+    ys.push_back(0.5 + 1e-6 * x + rng.normal(0.0, 0.5));
+  }
+  for (double x = 1e8; x <= 1e9; x += 2e8) {  // clean large probes
+    xs.push_back(x);
+    ys.push_back(0.5 + 1e-6 * x);
+  }
+  const AffineFit weighted =
+      fit_affine_weighted(xs, ys, volume_weights(xs));
+  EXPECT_NEAR(weighted.slope, 1e-6, 2e-9);
+  const AffineFit plain = fit_affine(xs, ys);
+  EXPECT_LE(std::abs(weighted.slope - 1e-6), std::abs(plain.slope - 1e-6));
+}
+
+TEST(WeightedFit, ZeroWeightPointsAreIgnored) {
+  const std::vector<double> xs{1.0, 2.0, 100.0};
+  const std::vector<double> ys{5.0, 7.0, -999.0};  // outlier
+  const std::vector<double> w{1.0, 1.0, 0.0};
+  const AffineFit fit = fit_affine_weighted(xs, ys, w);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+}
+
+TEST(WeightedFit, InvalidInputsThrow) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  const std::vector<double> short_w{1.0};
+  const std::vector<double> neg_w{1.0, -1.0};
+  const std::vector<double> zero_w{0.0, 0.0};
+  EXPECT_THROW((void)fit_affine_weighted(xs, ys, short_w), Error);
+  EXPECT_THROW((void)fit_affine_weighted(xs, ys, neg_w), Error);
+  EXPECT_THROW((void)fit_affine_weighted(xs, ys, zero_w), Error);
+}
+
+TEST(VolumeWeights, ProportionalAndNormalized) {
+  const std::vector<double> xs{1.0, 3.0};
+  const std::vector<double> w = volume_weights(xs);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0] + w[1], 2.0, 1e-12);  // mean 1
+  EXPECT_NEAR(w[1] / w[0], 3.0, 1e-12);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW((void)volume_weights(zeros), Error);
+}
+
+}  // namespace
+}  // namespace reshape::model

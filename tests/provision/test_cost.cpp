@@ -1,0 +1,89 @@
+#include "provision/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace reshape::provision {
+namespace {
+
+constexpr Dollars kRate{0.085};
+
+TEST(CostForDeadline, WholeHourDeadlineBillsCeilOfWork) {
+  // d >= 1: f(d) = r * ceil(P).
+  EXPECT_NEAR(cost_for_deadline(Seconds(3600.0), 1_h, kRate).amount(), 0.085,
+              1e-12);
+  EXPECT_NEAR(cost_for_deadline(Seconds(3601.0), 2_h, kRate).amount(),
+              2 * 0.085, 1e-12);
+  EXPECT_NEAR(cost_for_deadline(Seconds(9.5 * 3600.0), 1_h, kRate).amount(),
+              10 * 0.085, 1e-12);
+}
+
+TEST(CostForDeadline, SubHourDeadlinePaysFullHoursForPartialWork) {
+  // d < 1: f(d) = r * ceil(P / d) — every instance works d, bills 1 h.
+  EXPECT_NEAR(
+      cost_for_deadline(Seconds(3600.0), Seconds(1800.0), kRate).amount(),
+      2 * 0.085, 1e-12);
+  EXPECT_NEAR(
+      cost_for_deadline(Seconds(3600.0), Seconds(900.0), kRate).amount(),
+      4 * 0.085, 1e-12);
+  // Sub-hour deadlines are strictly more expensive than the 1-hour plan.
+  EXPECT_GT(cost_for_deadline(10_h, Seconds(1800.0), kRate),
+            cost_for_deadline(10_h, 1_h, kRate));
+}
+
+TEST(CostForDeadline, DeadlineBeyondOneHourDoesNotChangeCost) {
+  // With linear work and hour-granular billing, packing an hour into each
+  // instance is already optimal: f is flat for d >= 1.
+  const Seconds work(7.3 * 3600.0);
+  EXPECT_EQ(cost_for_deadline(work, 1_h, kRate),
+            cost_for_deadline(work, 5_h, kRate));
+}
+
+TEST(CostForDeadline, ZeroWorkIsFree) {
+  EXPECT_DOUBLE_EQ(cost_for_deadline(Seconds(0.0), 1_h, kRate).amount(), 0.0);
+}
+
+TEST(InstanceHours, Matches) {
+  EXPECT_DOUBLE_EQ(instance_hours_for_deadline(Seconds(3600.0 * 2.5), 1_h),
+                   3.0);
+  EXPECT_DOUBLE_EQ(
+      instance_hours_for_deadline(Seconds(3600.0), Seconds(1200.0)), 3.0);
+}
+
+TEST(CostForDeadline, InvalidInputsThrow) {
+  EXPECT_THROW((void)cost_for_deadline(Seconds(-1.0), 1_h, kRate), Error);
+  EXPECT_THROW((void)cost_for_deadline(1_h, Seconds(0.0), kRate), Error);
+}
+
+TEST(InstancesNeeded, CeilDivision) {
+  EXPECT_EQ(instances_needed(1_GB, 100_MB), 10u);
+  EXPECT_EQ(instances_needed(Bytes((1_GB).count() + 1), 100_MB), 11u);
+  EXPECT_EQ(instances_needed(0_B, 100_MB), 0u);
+  EXPECT_THROW((void)instances_needed(1_GB, 0_B), Error);
+}
+
+TEST(SwitchGain, MatchesPaperCalculation) {
+  // §3.1: a slow instance at 60 MB/s processes ~216 GB in the next hour;
+  // switching with a 3-minute penalty to an ~80 MB/s instance still nets
+  // ~57 GB extra (80e6 * 3420 s - 216 GB = 57.6 GB).
+  const Rate slow = Rate::megabytes_per_second(60.0);
+  const Rate fast = Rate::megabytes_per_second(80.0);
+  const Bytes gain = switch_gain(slow, fast, 3_min);
+  EXPECT_NEAR(gain.gigabytes(), 57.0, 3.0);
+}
+
+TEST(SwitchGain, NoGainWhenReplacementIsSlower) {
+  EXPECT_EQ(switch_gain(Rate::megabytes_per_second(60.0),
+                        Rate::megabytes_per_second(55.0), 3_min),
+            0_B);
+}
+
+TEST(SwitchGain, PenaltyLongerThanHourYieldsZero) {
+  EXPECT_EQ(switch_gain(Rate::megabytes_per_second(10.0),
+                        Rate::megabytes_per_second(100.0), 2_h),
+            0_B);
+}
+
+}  // namespace
+}  // namespace reshape::provision

@@ -1,0 +1,129 @@
+#include "provision/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "corpus/distribution.hpp"
+
+namespace reshape::provision {
+namespace {
+
+model::Predictor eq3_predictor() {
+  std::vector<double> xs, ys;
+  for (double v = 1e4; v <= 1e6; v += 1e5) {
+    xs.push_back(v);
+    ys.push_back(0.327 + 0.865e-4 * v);
+  }
+  return model::Predictor::fit(xs, ys);
+}
+
+corpus::Corpus data_200mb(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  corpus::Corpus all =
+      corpus::Corpus::generate(corpus::text_400k_sizes(), 60'000, rng);
+  return all.take_volume(200_MB);
+}
+
+ExecutionPlan uniform_plan(const corpus::Corpus& data) {
+  const StaticPlanner planner(eq3_predictor());
+  PlanOptions options;
+  options.deadline = 1_h;
+  options.strategy = PackingStrategy::kUniform;
+  return planner.plan(data, options);
+}
+
+TEST(DynamicExecution, CompletesEveryAssignment) {
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(31), cloud::ProviderConfig{});
+  const corpus::Corpus data = data_200mb();
+  const ExecutionPlan plan = uniform_plan(data);
+  Rng noise(1);
+  ReschedulingOptions options;
+  const DynamicReport report = execute_with_rescheduling(
+      provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_EQ(report.execution.instance_count(), plan.instance_count());
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    EXPECT_GT(o.work_time.value(), 0.0);
+  }
+}
+
+TEST(DynamicExecution, ReplacesSlowInstances) {
+  // Force a fleet with many slow instances so replacement triggers.
+  cloud::ProviderConfig config;
+  config.mixture.p_fast = 0.5;
+  config.mixture.p_slow = 0.5;
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(77), config);
+  const corpus::Corpus data = data_200mb();
+  const ExecutionPlan plan = uniform_plan(data);
+  Rng noise(2);
+  ReschedulingOptions options;
+  const DynamicReport report = execute_with_rescheduling(
+      provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_GT(report.replacements.size(), 0u);
+  for (const RescheduleEvent& e : report.replacements) {
+    EXPECT_TRUE(e.replaced.valid());
+    EXPECT_TRUE(e.replacement.valid());
+    EXPECT_NE(e.replaced.value, e.replacement.value);
+    // The policy only switches when it projects an improvement.
+    EXPECT_LT(e.new_completion.value(), e.old_projection.value());
+  }
+}
+
+TEST(DynamicExecution, BeatsStaticOnSlowFleet) {
+  cloud::ProviderConfig config;
+  config.mixture.p_fast = 0.5;
+  config.mixture.p_slow = 0.5;
+  const corpus::Corpus data = data_200mb();
+  const ExecutionPlan plan = uniform_plan(data);
+
+  sim::Simulation sim_static;
+  cloud::CloudProvider provider_static(sim_static, Rng(77), config);
+  Rng noise_static(2);
+  ExecutionOptions exec_options;
+  const ExecutionReport static_report = execute_plan(
+      provider_static, plan, cloud::pos_profile(), exec_options,
+      noise_static);
+
+  sim::Simulation sim_dyn;
+  cloud::CloudProvider provider_dyn(sim_dyn, Rng(77), config);
+  Rng noise_dyn(2);
+  ReschedulingOptions dyn_options;
+  const DynamicReport dynamic_report = execute_with_rescheduling(
+      provider_dyn, plan, cloud::pos_profile(), dyn_options, noise_dyn);
+
+  EXPECT_LT(dynamic_report.execution.makespan.value(),
+            static_report.makespan.value());
+  EXPECT_LE(dynamic_report.execution.missed, static_report.missed);
+}
+
+TEST(DynamicExecution, NoReplacementsOnUniformFastFleet) {
+  cloud::ProviderConfig config;
+  config.mixture = cloud::uniform_fast_mixture();
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(5), config);
+  const corpus::Corpus data = data_200mb();
+  const ExecutionPlan plan = uniform_plan(data);
+  Rng noise(3);
+  ReschedulingOptions options;
+  const DynamicReport report = execute_with_rescheduling(
+      provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_TRUE(report.replacements.empty());
+  EXPECT_EQ(report.execution.missed, 0u);
+}
+
+TEST(DynamicExecution, RequiresEbs) {
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(5), cloud::ProviderConfig{});
+  const ExecutionPlan plan = uniform_plan(data_200mb());
+  Rng noise(4);
+  ReschedulingOptions options;
+  options.base.data_on_ebs = false;
+  EXPECT_THROW((void)execute_with_rescheduling(provider, plan,
+                                               cloud::pos_profile(), options,
+                                               noise),
+               Error);
+}
+
+}  // namespace
+}  // namespace reshape::provision

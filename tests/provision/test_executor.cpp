@@ -1,0 +1,160 @@
+#include "provision/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "corpus/distribution.hpp"
+#include "provision/planner.hpp"
+
+namespace reshape::provision {
+namespace {
+
+model::Predictor eq3_predictor() {
+  std::vector<double> xs, ys;
+  for (double v = 1e4; v <= 1e6; v += 1e5) {
+    xs.push_back(v);
+    ys.push_back(0.327 + 0.865e-4 * v);
+  }
+  return model::Predictor::fit(xs, ys);
+}
+
+corpus::Corpus small_gig(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  corpus::Corpus all =
+      corpus::Corpus::generate(corpus::text_400k_sizes(), 60'000, rng);
+  return all.take_volume(200_MB);
+}
+
+ExecutionPlan uniform_plan(const corpus::Corpus& data, Seconds deadline) {
+  const StaticPlanner planner(eq3_predictor());
+  PlanOptions options;
+  options.deadline = deadline;
+  options.strategy = PackingStrategy::kUniform;
+  return planner.plan(data, options);
+}
+
+struct ExecutorFixture : ::testing::Test {
+  sim::Simulation sim;
+  cloud::ProviderConfig uniform_config() {
+    cloud::ProviderConfig config;
+    config.mixture = cloud::uniform_fast_mixture();
+    return config;
+  }
+};
+
+TEST_F(ExecutorFixture, AllAssignmentsRunAndTerminate) {
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  const corpus::Corpus data = small_gig();
+  const ExecutionPlan plan = uniform_plan(data, 1_h);
+  Rng noise(1);
+  const ExecutionReport report = execute_plan(
+      provider, plan, cloud::pos_profile(), ExecutionOptions{}, noise);
+  EXPECT_EQ(report.instance_count(), plan.instance_count());
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.id.valid());
+    EXPECT_GT(o.exec_time.value(), 0.0);
+    EXPECT_EQ(provider.instance(o.id).state(),
+              cloud::InstanceState::kTerminated);
+  }
+  EXPECT_GT(report.makespan.value(), 0.0);
+}
+
+TEST_F(ExecutorFixture, UniformFleetMeetsDeadline) {
+  // With the paper's simplifying assumption (all instances uniform and
+  // well-performing), a uniform plan meets its deadline.
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(2);
+  ExecutionOptions options;
+  options.data_on_ebs = true;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_EQ(report.missed, 0u);
+  EXPECT_LE(report.makespan, plan.deadline);
+}
+
+TEST_F(ExecutorFixture, HeterogeneousFleetCanMiss) {
+  // Slow instances (up to 4x CPU) blow through a deadline the uniform
+  // model predicted comfortably — the paper's Fig. 8(a)/9(b) misses.
+  cloud::ProviderConfig config;  // default heterogeneous mixture
+  cloud::CloudProvider provider(sim, Rng(123), config);
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(3);
+  const ExecutionReport report = execute_plan(
+      provider, plan, cloud::pos_profile(), ExecutionOptions{}, noise);
+  EXPECT_GT(report.missed, 0u);
+  EXPECT_GT(report.worst_overrun(), 1.0);
+}
+
+TEST_F(ExecutorFixture, CostMatchesBilledInstanceHours) {
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(4);
+  const ExecutionReport report = execute_plan(
+      provider, plan, cloud::pos_profile(), ExecutionOptions{}, noise);
+  EXPECT_NEAR(report.cost.amount(), report.instance_hours * 0.085, 1e-9);
+  // Sub-hour runs bill one hour each.
+  EXPECT_DOUBLE_EQ(report.instance_hours,
+                   static_cast<double>(plan.instance_count()));
+}
+
+TEST_F(ExecutorFixture, LocalStagingAddsConstantTime) {
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(5);
+  ExecutionOptions local;
+  local.data_on_ebs = false;
+  local.local_staging_time = Seconds(180.0);
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), local, noise);
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_DOUBLE_EQ(o.staging.value(), 180.0);
+  }
+}
+
+TEST_F(ExecutorFixture, ReshapedUnitChangesFileCount) {
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  const corpus::Corpus data = small_gig();
+  const ExecutionPlan plan = uniform_plan(data, 1_h);
+  Rng noise(6);
+  ExecutionOptions reshaped;
+  reshaped.reshaped_unit = 10_MB;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::grep_profile(), reshaped, noise);
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_LE(o.file_count,
+              o.volume.count() / (10_MB).count() + 1);
+  }
+}
+
+TEST_F(ExecutorFixture, DeterministicAcrossReplays) {
+  const corpus::Corpus data = small_gig();
+  const ExecutionPlan plan = uniform_plan(data, 1_h);
+  auto run_once = [&](std::uint64_t seed) {
+    sim::Simulation local_sim;
+    cloud::CloudProvider provider(local_sim, Rng(seed), cloud::ProviderConfig{});
+    Rng noise(9);
+    return execute_plan(provider, plan, cloud::pos_profile(),
+                        ExecutionOptions{}, noise);
+  };
+  const ExecutionReport a = run_once(42);
+  const ExecutionReport b = run_once(42);
+  ASSERT_EQ(a.instance_count(), b.instance_count());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outcomes[i].work_time.value(),
+                     b.outcomes[i].work_time.value());
+  }
+  EXPECT_EQ(a.cost, b.cost);
+}
+
+TEST_F(ExecutorFixture, EmptyPlanThrows) {
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  ExecutionPlan plan;
+  Rng noise(1);
+  EXPECT_THROW((void)execute_plan(provider, plan, cloud::pos_profile(),
+                                  ExecutionOptions{}, noise),
+               Error);
+}
+
+}  // namespace
+}  // namespace reshape::provision

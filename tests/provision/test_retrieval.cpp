@@ -1,0 +1,99 @@
+// Tests for the output-retrieval model (§1's second reshaping benefit).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "provision/retrieval.hpp"
+
+namespace reshape::provision {
+namespace {
+
+TEST(OutputSegmentation, PerInputFile) {
+  const OutputSegmentation seg =
+      OutputSegmentation::per_input_file(400'000, 1_GB, 0.1);
+  EXPECT_EQ(seg.object_count, 400'000u);
+  EXPECT_EQ(seg.total_volume, 100_MB);
+}
+
+TEST(OutputSegmentation, PerBlockCeil) {
+  const OutputSegmentation seg =
+      OutputSegmentation::per_block(1_GB, 100_MB, 0.1);
+  EXPECT_EQ(seg.object_count, 10u);
+  const OutputSegmentation odd =
+      OutputSegmentation::per_block(Bytes((1_GB).count() + 1), 100_MB, 1.0);
+  EXPECT_EQ(odd.object_count, 11u);
+}
+
+TEST(Retrieval, RequestOverheadDominatesManySmallObjects) {
+  const cloud::S3Model s3;
+  const OutputSegmentation fragmented =
+      OutputSegmentation::per_input_file(400'000, 1_GB, 0.1);
+  const RetrievalEstimate est = expected_retrieval_time(fragmented, s3);
+  EXPECT_GT(est.request_overhead, est.transfer);
+  EXPECT_DOUBLE_EQ(est.total.value(),
+                   est.request_overhead.value() + est.transfer.value());
+}
+
+TEST(Retrieval, ReshapedOutputRetrievesMuchFaster) {
+  // §1: "a lower number of output files ... results in a shorter
+  // retrieval time".  Same bytes, 40000x fewer objects.
+  const cloud::S3Model s3;
+  const OutputSegmentation fragmented =
+      OutputSegmentation::per_input_file(400'000, 1_GB, 0.1);
+  const OutputSegmentation merged =
+      OutputSegmentation::per_block(1_GB, 100_MB, 0.1);
+  const double t_frag = expected_retrieval_time(fragmented, s3).total.value();
+  const double t_merged = expected_retrieval_time(merged, s3).total.value();
+  EXPECT_GT(t_frag / t_merged, 5.0);
+}
+
+TEST(Retrieval, TransferBoundForLargeObjects) {
+  const cloud::S3Model s3;
+  const OutputSegmentation merged =
+      OutputSegmentation::per_block(10_GB, 1_GB, 1.0);
+  const RetrievalEstimate est = expected_retrieval_time(merged, s3);
+  EXPECT_LT(est.request_overhead.value(), est.transfer.value() * 0.01);
+  EXPECT_NEAR(est.transfer.value(),
+              (10_GB).as_double() / s3.transfer_rate.bytes_per_second(),
+              1e-6);
+}
+
+TEST(Retrieval, SampledMatchesExpectedOnAverage) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  const double expected = expected_retrieval_time(seg, s3).total.value();
+  Rng rng(4);
+  double total = 0.0;
+  const int reps = 50;
+  for (int i = 0; i < reps; ++i) {
+    total += retrieval_time_sampled(seg, s3, rng).value();
+  }
+  EXPECT_NEAR(total / reps, expected, expected * 0.15);
+}
+
+TEST(Retrieval, ParallelStreamsDivideTime) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg =
+      OutputSegmentation::per_input_file(10'000, 100_MB, 0.5);
+  const double seq = expected_retrieval_time(seg, s3).total.value();
+  EXPECT_NEAR(parallel_retrieval_time(seg, s3, 10).value(), seq / 10.0,
+              1e-9);
+  EXPECT_THROW((void)parallel_retrieval_time(seg, s3, 0), Error);
+}
+
+TEST(Retrieval, EmptyOutputIsFree) {
+  const cloud::S3Model s3;
+  const OutputSegmentation none{};
+  EXPECT_DOUBLE_EQ(expected_retrieval_time(none, s3).total.value(), 0.0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(retrieval_time_sampled(none, s3, rng).value(), 0.0);
+}
+
+TEST(OutputSegmentation, InvalidInputsThrow) {
+  EXPECT_THROW(
+      (void)OutputSegmentation::per_input_file(10, 1_MB, -0.1), Error);
+  EXPECT_THROW((void)OutputSegmentation::per_block(1_MB, 0_B, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace reshape::provision

@@ -1,0 +1,259 @@
+#include "reshape/binpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "corpus/distribution.hpp"
+
+namespace reshape::pack {
+namespace {
+
+std::vector<Item> items_of(std::initializer_list<std::uint64_t> sizes) {
+  std::vector<Item> items;
+  std::uint64_t id = 0;
+  for (const std::uint64_t s : sizes) items.push_back(Item{id++, Bytes(s)});
+  return items;
+}
+
+std::vector<Item> random_items(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const corpus::FileSizeDistribution dist = corpus::text_400k_sizes();
+  std::vector<Item> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(Item{i, dist.sample(rng)});
+  }
+  return items;
+}
+
+/// Every input item appears in exactly one bin.
+void expect_partition(std::span<const Item> items,
+                      const std::vector<Bin>& bins) {
+  std::multiset<std::uint64_t> placed;
+  Bytes packed{0};
+  for (const Bin& b : bins) {
+    Bytes used{0};
+    for (const std::uint64_t id : b.item_ids) {
+      placed.insert(id);
+      used += items[id].size;  // ids are positional in these tests
+    }
+    EXPECT_EQ(used, b.used) << "bin bookkeeping disagrees with contents";
+    packed += used;
+  }
+  EXPECT_EQ(placed.size(), items.size());
+  std::set<std::uint64_t> unique(placed.begin(), placed.end());
+  EXPECT_EQ(unique.size(), items.size()) << "an item was placed twice";
+  Bytes total{0};
+  for (const Item& i : items) total += i.size;
+  EXPECT_EQ(packed, total);
+}
+
+TEST(FirstFit, PlacesInFirstBinWithRoom) {
+  const auto items = items_of({60, 50, 40, 30, 20});
+  const PackResult r = first_fit(items, Bytes(100));
+  // 60 -> bin0; 50 -> bin1 (110 > 100); 40 -> bin0 (exactly 100);
+  // 30 -> bin1 (80); 20 -> bin1 (100).
+  ASSERT_EQ(r.bin_count(), 2u);
+  EXPECT_EQ(r.bins[0].used, Bytes(100));
+  EXPECT_EQ(r.bins[1].used, Bytes(100));
+  expect_partition(items, r.bins);
+}
+
+TEST(FirstFit, DecreasingOrderPacksTighter) {
+  const auto items = random_items(2000, 1);
+  const PackResult original = first_fit(items, 64_kB, ItemOrder::kOriginal);
+  const PackResult decreasing =
+      first_fit(items, 64_kB, ItemOrder::kDecreasing);
+  expect_partition(items, original.bins);
+  expect_partition(items, decreasing.bins);
+  EXPECT_LE(decreasing.bin_count(), original.bin_count());
+}
+
+TEST(FirstFit, RespectsCapacityExceptOversize) {
+  const auto items = random_items(3000, 2);
+  const Bytes cap = 32_kB;
+  const PackResult r = first_fit(items, cap);
+  for (const Bin& b : r.bins) {
+    if (b.item_ids.size() > 1) {
+      EXPECT_LE(b.used, cap);
+    }
+  }
+}
+
+TEST(FirstFit, OversizeItemGetsOwnBin) {
+  const auto items = items_of({10, 500, 10});
+  const PackResult r = first_fit(items, Bytes(100));
+  bool found_oversize = false;
+  for (const Bin& b : r.bins) {
+    if (b.used == Bytes(500)) {
+      EXPECT_EQ(b.item_ids.size(), 1u);
+      found_oversize = true;
+    }
+  }
+  EXPECT_TRUE(found_oversize);
+  expect_partition(items, r.bins);
+}
+
+TEST(FirstFit, NeverWorseThanTwiceOptimal) {
+  // Classic guarantee: FF uses < 2 * OPT + 1 bins; OPT >= ceil(V/C).
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    const auto items = random_items(1500, seed);
+    const PackResult r = first_fit(items, 64_kB);
+    const std::size_t lb = bin_lower_bound(items, 64_kB);
+    EXPECT_LT(r.bin_count(), 2 * lb + 2) << "seed " << seed;
+  }
+}
+
+TEST(BestFit, PartitionAndCapacity) {
+  const auto items = random_items(2000, 6);
+  const PackResult r = best_fit(items, 64_kB);
+  expect_partition(items, r.bins);
+  for (const Bin& b : r.bins) {
+    if (b.item_ids.size() > 1) {
+      EXPECT_LE(b.used, 64_kB);
+    }
+  }
+}
+
+TEST(BestFit, ChoosesTightestBin) {
+  // Bins after 70, 50: [70], [50].  Item 30 fits both; best-fit puts it
+  // in the fuller bin ([70] -> free 30) not the first with room.
+  const auto items = items_of({70, 50, 30});
+  const PackResult r = best_fit(items, Bytes(100));
+  ASSERT_EQ(r.bin_count(), 2u);
+  EXPECT_EQ(r.bins[0].used, Bytes(100));
+  EXPECT_EQ(r.bins[1].used, Bytes(50));
+}
+
+TEST(NextFit, OnlyLastBinConsidered) {
+  const auto items = items_of({60, 60, 30});
+  const PackResult r = next_fit(items, Bytes(100));
+  // 60 | 60+30: next-fit cannot go back to bin 0.
+  ASSERT_EQ(r.bin_count(), 2u);
+  EXPECT_EQ(r.bins[1].used, Bytes(90));
+}
+
+TEST(NextFit, UsesAtLeastAsManyBinsAsFirstFit) {
+  for (const std::uint64_t seed : {7u, 8u}) {
+    const auto items = random_items(1500, seed);
+    EXPECT_GE(next_fit(items, 64_kB).bin_count(),
+              first_fit(items, 64_kB).bin_count());
+  }
+}
+
+TEST(PackIntoK, ExactlyKBinsCoveringAllItems) {
+  const auto items = random_items(500, 9);
+  const auto bins = pack_into_k(items, 7, 10_MB);
+  EXPECT_EQ(bins.size(), 7u);
+  expect_partition(items, bins);
+}
+
+TEST(PackIntoK, SpillsToLeastLoadedWhenFull) {
+  // Capacity far below total: everything spills, ending near-balanced.
+  const auto items = random_items(1000, 10);
+  const auto bins = pack_into_k(items, 4, 1_kB);
+  expect_partition(items, bins);
+  Bytes lo = bins[0].used, hi = bins[0].used;
+  for (const Bin& b : bins) {
+    lo = std::min(lo, b.used);
+    hi = std::max(hi, b.used);
+  }
+  EXPECT_LT(hi.as_double() / std::max(1.0, lo.as_double()), 1.6);
+}
+
+TEST(UniformBins, BalancesVolume) {
+  const auto items = random_items(5000, 11);
+  const auto bins = uniform_bins(items, 9);
+  expect_partition(items, bins);
+  Bytes total{0};
+  for (const Item& i : items) total += i.size;
+  const double ideal = total.as_double() / 9.0;
+  for (const Bin& b : bins) {
+    EXPECT_NEAR(b.used.as_double(), ideal, ideal * 0.05);
+  }
+}
+
+TEST(UniformBins, MaxBinBelowFirstFitMaxBin) {
+  // The Fig. 8(a)->8(b) improvement: balancing lowers the largest share.
+  const auto items = random_items(3000, 12);
+  const auto ff = pack_into_k(items, 5, 40_MB);
+  const auto uni = uniform_bins(items, 5);
+  auto max_used = [](const std::vector<Bin>& bins) {
+    Bytes m{0};
+    for (const Bin& b : bins) m = std::max(m, b.used);
+    return m;
+  };
+  EXPECT_LE(max_used(uni), max_used(ff));
+}
+
+TEST(PackResult, Accessors) {
+  const auto items = items_of({40, 40, 40});
+  const PackResult r = first_fit(items, Bytes(100));
+  EXPECT_EQ(r.total_packed(), Bytes(120));
+  EXPECT_EQ(r.item_count(), 3u);
+  EXPECT_GT(r.mean_utilization(), 0.0);
+  EXPECT_LE(r.mean_utilization(), 1.0);
+}
+
+TEST(BinPack, InvalidArgumentsThrow) {
+  const auto items = items_of({1});
+  EXPECT_THROW((void)first_fit(items, Bytes(0)), Error);
+  EXPECT_THROW((void)best_fit(items, Bytes(0)), Error);
+  EXPECT_THROW((void)next_fit(items, Bytes(0)), Error);
+  EXPECT_THROW((void)pack_into_k(items, 0, Bytes(10)), Error);
+  EXPECT_THROW((void)uniform_bins(items, 0), Error);
+  EXPECT_THROW((void)bin_lower_bound(items, Bytes(0)), Error);
+}
+
+TEST(BinPack, EmptyInputYieldsNoBins) {
+  const std::vector<Item> none;
+  EXPECT_EQ(first_fit(none, Bytes(10)).bin_count(), 0u);
+  EXPECT_EQ(bin_lower_bound(none, Bytes(10)), 0u);
+}
+
+// Property sweep: partition + capacity invariants across algorithms,
+// capacities and seeds.
+struct PackCase {
+  std::uint64_t seed;
+  std::uint64_t capacity;
+};
+
+class PackProperty : public ::testing::TestWithParam<PackCase> {};
+
+TEST_P(PackProperty, AllAlgorithmsPartitionInput) {
+  const auto [seed, capacity] = GetParam();
+  const auto items = random_items(800, seed);
+  const Bytes cap(capacity);
+  const bool no_oversize = std::all_of(
+      items.begin(), items.end(),
+      [cap](const Item& i) { return i.size <= cap; });
+  for (const PackResult& r :
+       {first_fit(items, cap), best_fit(items, cap), next_fit(items, cap),
+        first_fit(items, cap, ItemOrder::kDecreasing),
+        best_fit(items, cap, ItemOrder::kDecreasing)}) {
+    expect_partition(items, r.bins);
+    if (no_oversize) {
+      // With oversize items the ceil(V/C) bound does not apply: a
+      // dedicated oversize bin can carry more than C.
+      EXPECT_GE(r.bin_count(), bin_lower_bound(items, cap));
+    }
+    for (const Bin& b : r.bins) {
+      EXPECT_FALSE(b.item_ids.empty());
+      if (b.item_ids.size() > 1) {
+        EXPECT_LE(b.used, cap);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PackProperty,
+    ::testing::Values(PackCase{21, 8'000}, PackCase{22, 16'000},
+                      PackCase{23, 64'000}, PackCase{24, 256'000},
+                      PackCase{25, 1'000'000}, PackCase{26, 5'000'000}));
+
+}  // namespace
+}  // namespace reshape::pack

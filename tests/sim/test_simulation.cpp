@@ -1,0 +1,135 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace reshape::sim {
+namespace {
+
+TEST(Simulation, ClockStartsAtZero) {
+  Simulation s;
+  EXPECT_DOUBLE_EQ(s.now().value(), 0.0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(Seconds(10.0), [&order](Simulation&) { order.push_back(2); });
+  s.schedule_at(Seconds(5.0), [&order](Simulation&) { order.push_back(1); });
+  s.schedule_at(Seconds(20.0), [&order](Simulation&) { order.push_back(3); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now().value(), 20.0);
+}
+
+TEST(Simulation, EqualTimestampsFireInScheduleOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(Seconds(1.0), [&order, i](Simulation&) { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation s;
+  double fired_at = -1.0;
+  s.schedule_at(Seconds(10.0), [&fired_at](Simulation& sim) {
+    sim.schedule_in(Seconds(5.0), [&fired_at](Simulation& inner) {
+      fired_at = inner.now().value();
+    });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation s;
+  bool fired = false;
+  const EventHandle h =
+      s.schedule_at(Seconds(1.0), [&fired](Simulation&) { fired = true; });
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_EQ(s.pending(), 0u);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, DoubleCancelReturnsFalse) {
+  Simulation s;
+  const EventHandle h = s.schedule_at(Seconds(1.0), [](Simulation&) {});
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(EventHandle{}));
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon) {
+  Simulation s;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    s.schedule_at(Seconds(t), [&fired](Simulation& sim) {
+      fired.push_back(sim.now().value());
+    });
+  }
+  EXPECT_EQ(s.run_until(Seconds(2.5)), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(s.now().value(), 2.5);
+  EXPECT_EQ(s.pending(), 2u);
+}
+
+TEST(Simulation, RunUntilAdvancesIdleClock) {
+  Simulation s;
+  s.run_until(Seconds(100.0));
+  EXPECT_DOUBLE_EQ(s.now().value(), 100.0);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation s;
+  int chain = 0;
+  Simulation::Callback next = [&](Simulation& sim) {
+    if (++chain < 10) {
+      sim.schedule_in(Seconds(1.0), [&](Simulation& inner) {
+        if (++chain < 10) inner.schedule_in(Seconds(1.0), next);
+      });
+    }
+  };
+  s.schedule_at(Seconds(0.0), next);
+  s.run();
+  EXPECT_GE(chain, 2);
+}
+
+TEST(Simulation, PastSchedulingThrows) {
+  Simulation s;
+  s.schedule_at(Seconds(5.0), [](Simulation&) {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(Seconds(1.0), [](Simulation&) {}), Error);
+  EXPECT_THROW(s.schedule_in(Seconds(-1.0), [](Simulation&) {}), Error);
+}
+
+TEST(Simulation, StepFiresExactlyOne) {
+  Simulation s;
+  int count = 0;
+  s.schedule_at(Seconds(1.0), [&count](Simulation&) { ++count; });
+  s.schedule_at(Seconds(2.0), [&count](Simulation&) { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulation, CancelledEventSkippedByStep) {
+  Simulation s;
+  bool second = false;
+  const EventHandle h = s.schedule_at(Seconds(1.0), [](Simulation&) {});
+  s.schedule_at(Seconds(2.0), [&second](Simulation&) { second = true; });
+  s.cancel(h);
+  EXPECT_TRUE(s.step());  // skips cancelled, fires the 2.0s event
+  EXPECT_TRUE(second);
+}
+
+}  // namespace
+}  // namespace reshape::sim

@@ -1,0 +1,147 @@
+#include "textproc/pos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "corpus/textgen.hpp"
+
+namespace reshape::textproc {
+namespace {
+
+using corpus::TaggedSentence;
+using corpus::TaggedWord;
+using corpus::TextGenerator;
+
+std::vector<TaggedSentence> training_corpus(std::size_t sentences = 3000,
+                                            std::uint64_t seed = 17) {
+  TextGenerator gen({}, Rng(seed));
+  return gen.tagged_corpus(sentences);
+}
+
+class PosTaggerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { tagger_.train(training_corpus()); }
+  PosTagger tagger_;
+};
+
+TEST(Lexicon, ObservesAndRanksTags) {
+  Lexicon lex;
+  lex.observe({{"run", PosTag::kVerb},
+               {"run", PosTag::kVerb},
+               {"run", PosTag::kNoun}});
+  EXPECT_TRUE(lex.knows("run"));
+  EXPECT_FALSE(lex.knows("walk"));
+  EXPECT_EQ(lex.best_tag("run"), PosTag::kVerb);
+  EXPECT_NEAR(lex.tag_probability("run", PosTag::kVerb), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(lex.tag_probability("run", PosTag::kNoun), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(lex.tag_probability("walk", PosTag::kVerb), 0.0);
+}
+
+TEST(Lexicon, SuffixGuessLearnsMorphology) {
+  Lexicon lex;
+  lex.observe({{"rapidly", PosTag::kAdv},
+               {"slowly", PosTag::kAdv},
+               {"motion", PosTag::kNoun},
+               {"station", PosTag::kNoun}});
+  EXPECT_EQ(lex.guess_by_suffix("quickly"), PosTag::kAdv);
+  EXPECT_EQ(lex.guess_by_suffix("nation"), PosTag::kNoun);
+}
+
+TEST(Lexicon, EmissionSumsToOne) {
+  Lexicon lex;
+  lex.observe({{"word", PosTag::kNoun}, {"word", PosTag::kVerb}});
+  const auto e = lex.emission("word");
+  double sum = 0.0;
+  for (const double p : e) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  const auto unknown = lex.emission("zzz");
+  sum = 0.0;
+  for (const double p : unknown) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TransitionModel, LearnsSentenceStructure) {
+  TransitionModel tm;
+  TextGenerator gen({}, Rng(5));
+  for (const TaggedSentence& s : gen.tagged_corpus(2000)) tm.observe(s);
+  // After a determiner, a noun or adjective is far likelier than a verb.
+  const double det_noun =
+      tm.probability(PosTag::kPunct, PosTag::kDet, PosTag::kNoun);
+  const double det_verb =
+      tm.probability(PosTag::kPunct, PosTag::kDet, PosTag::kVerb);
+  EXPECT_GT(det_noun, 4.0 * det_verb);
+}
+
+TEST(TransitionModel, SmoothingKeepsUnseenPositive) {
+  const TransitionModel tm;
+  EXPECT_GT(tm.probability(PosTag::kAdv, PosTag::kAdv, PosTag::kAdv), 0.0);
+}
+
+TEST_F(PosTaggerFixture, UntrainedTaggerThrows) {
+  const PosTagger fresh;
+  EXPECT_FALSE(fresh.trained());
+  EXPECT_THROW((void)fresh.tag({"word"}), Error);
+}
+
+TEST_F(PosTaggerFixture, GreedyAccuracyIsHighOnHeldOut) {
+  // Same vocabulary, unseen sentence stream: the proper held-out split.
+  TextGenerator gen({}, Rng(17), Rng(99));
+  const auto held_out = gen.tagged_corpus(300);
+  const double accuracy =
+      tagger_.evaluate(held_out, DecodeMode::kGreedyLeft3);
+  EXPECT_GT(accuracy, 0.95);
+}
+
+TEST_F(PosTaggerFixture, SuffixGeneralizationToUnseenVocabulary) {
+  // A corpus over an entirely different synthetic vocabulary: every open-
+  // class token is OOV, so accuracy rests on the suffix guesser plus the
+  // closed classes — clearly above chance, clearly below in-vocabulary.
+  TextGenerator gen({}, Rng(99));
+  const auto foreign = gen.tagged_corpus(300);
+  const double accuracy =
+      tagger_.evaluate(foreign, DecodeMode::kGreedyLeft3);
+  EXPECT_GT(accuracy, 0.80);
+  EXPECT_LT(accuracy, 0.99);
+}
+
+TEST_F(PosTaggerFixture, ViterbiAtLeastMatchesGreedy) {
+  TextGenerator gen({}, Rng(100));
+  const auto held_out = gen.tagged_corpus(150);
+  const double greedy = tagger_.evaluate(held_out, DecodeMode::kGreedyLeft3);
+  const double viterbi = tagger_.evaluate(held_out, DecodeMode::kViterbi);
+  EXPECT_GE(viterbi, greedy - 0.02);
+  EXPECT_GT(viterbi, 0.90);
+}
+
+TEST_F(PosTaggerFixture, HandlesUnknownWordsViaSuffix) {
+  // Words never seen in training, but with clear class suffixes.
+  const auto tags = tagger_.tag({"the", "zorgful", "blorbment", "quzzified"});
+  EXPECT_EQ(tags[0], PosTag::kDet);
+  EXPECT_EQ(tags[1], PosTag::kAdj);
+  EXPECT_EQ(tags[2], PosTag::kNoun);
+}
+
+TEST_F(PosTaggerFixture, EmptySentence) {
+  EXPECT_TRUE(tagger_.tag({}).empty());
+  EXPECT_TRUE(tagger_.tag({}, DecodeMode::kViterbi).empty());
+}
+
+TEST_F(PosTaggerFixture, TagDocumentCountsTokens) {
+  TextGenerator gen({}, Rng(55));
+  const std::string text = gen.text_of_size(5_kB);
+  const std::size_t tokens = tagger_.tag_document(text);
+  EXPECT_GT(tokens, 500u);  // ~6 bytes/word average
+}
+
+TEST_F(PosTaggerFixture, LexiconCoversGeneratorVocabulary) {
+  EXPECT_GT(tagger_.lexicon().vocabulary_size(), 300u);
+}
+
+TEST(PosTagger, TrainingOnEmptyCorpusThrows) {
+  PosTagger t;
+  EXPECT_THROW(t.train({}), Error);
+}
+
+}  // namespace
+}  // namespace reshape::textproc

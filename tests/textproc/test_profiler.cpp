@@ -1,0 +1,92 @@
+#include "textproc/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "textproc/scanner.hpp"
+
+namespace reshape::textproc {
+namespace {
+
+TEST(AppProfiler, ChunkSplitsExactly) {
+  const std::string text(10'000, 'x');
+  const auto files = AppProfiler::chunk(text, 3_kB);
+  ASSERT_EQ(files.size(), 4u);
+  EXPECT_EQ(files[0].size(), 3000u);
+  EXPECT_EQ(files[3].size(), 1000u);
+}
+
+TEST(AppProfiler, MeasuresSyntheticAppWithKnownCosts) {
+  // A fake app with exactly known per-file and per-byte costs (busy-wait
+  // free: we just burn deterministic arithmetic per unit).
+  constexpr double kPerFileUnits = 40'000.0;
+  constexpr double kPerByteUnits = 60.0;
+  std::atomic<double> sink{0.0};
+  const App app = [&sink](const std::vector<std::string>& files) {
+    double acc = 0.0;
+    for (const std::string& f : files) {
+      for (double i = 0; i < kPerFileUnits; ++i) acc += i * 1e-9;
+      for (const char c : f) acc += static_cast<double>(c) * kPerByteUnits * 1e-9;
+    }
+    sink.store(acc);
+  };
+
+  corpus::TextGenerator gen({}, Rng(3));
+  AppProfiler::Options options;
+  options.probe_volume = 1_MB;
+  options.repetitions = 3;
+  const MeasuredCosts costs = AppProfiler(options).profile(app, gen);
+
+  // The many-small layout must be measurably slower per file.
+  EXPECT_GT(costs.per_file_overhead.value(), 0.0);
+  EXPECT_GT(costs.seconds_per_byte, 0.0);
+  EXPECT_GT(costs.reference_run.value(), 0.0);
+}
+
+TEST(AppProfiler, RealScannerIsByteDominated) {
+  // The BMH scanner has negligible per-file cost relative to its per-byte
+  // scan cost at these sizes.
+  const App scan = [](const std::vector<std::string>& files) {
+    const LiteralSearcher searcher("xyzzyplugh");
+    std::size_t total = 0;
+    for (const std::string& f : files) total += searcher.count(f);
+    ASSERT_EQ(total, 0u);
+  };
+  corpus::TextGenerator gen({}, Rng(4));
+  AppProfiler::Options options;
+  options.probe_volume = 4_MB;
+  const MeasuredCosts costs = AppProfiler(options).profile(scan, gen);
+  EXPECT_GT(costs.seconds_per_byte, 0.0);
+  // Scanning 4 MB should take well under a second on any host.
+  EXPECT_LT(costs.reference_run.value(), 2.0);
+}
+
+TEST(AppProfiler, ToCostProfileLiftsConstants) {
+  MeasuredCosts costs;
+  costs.setup = Seconds(0.5);
+  costs.per_file_overhead = Seconds(0.002);
+  costs.seconds_per_byte = 1e-8;
+  const cloud::AppCostProfile p =
+      to_cost_profile(costs, "scan", 1.0, cloud::MemoryPressure{64_kB, 0.05});
+  EXPECT_EQ(p.name, "scan");
+  EXPECT_DOUBLE_EQ(p.setup.value(), 0.5);
+  EXPECT_DOUBLE_EQ(p.per_file_overhead.value(), 0.002);
+  EXPECT_DOUBLE_EQ(p.cpu_seconds_per_byte, 1e-8);
+  EXPECT_EQ(p.memory.comfortable, 64_kB);
+}
+
+TEST(AppProfiler, InvalidOptionsThrow) {
+  AppProfiler::Options bad;
+  bad.small_unit = 1_MB;
+  bad.large_unit = 1_kB;
+  corpus::TextGenerator gen({}, Rng(5));
+  const App noop = [](const std::vector<std::string>&) {};
+  EXPECT_THROW((void)AppProfiler(bad).profile(noop, gen), Error);
+}
+
+}  // namespace
+}  // namespace reshape::textproc

@@ -1,0 +1,141 @@
+#include "textproc/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "corpus/textgen.hpp"
+
+namespace reshape::textproc {
+namespace {
+
+TEST(LiteralSearcher, FindsFirstOccurrence) {
+  const LiteralSearcher s("needle");
+  EXPECT_EQ(s.find("a needle in a haystack"), 2u);
+  EXPECT_EQ(s.find("no match here"), LiteralSearcher::npos);
+  EXPECT_EQ(s.find("needle"), 0u);
+}
+
+TEST(LiteralSearcher, FindFromOffset) {
+  const LiteralSearcher s("ab");
+  EXPECT_EQ(s.find("ab ab ab", 1), 3u);
+  EXPECT_EQ(s.find("ab ab ab", 7), LiteralSearcher::npos);
+}
+
+TEST(LiteralSearcher, CountsOverlapping) {
+  const LiteralSearcher s("aa");
+  EXPECT_EQ(s.count("aaaa"), 3u);
+  EXPECT_EQ(s.count(""), 0u);
+  EXPECT_EQ(s.count("a"), 0u);
+}
+
+TEST(LiteralSearcher, PatternLongerThanText) {
+  const LiteralSearcher s("abcdef");
+  EXPECT_EQ(s.find("abc"), LiteralSearcher::npos);
+}
+
+TEST(LiteralSearcher, EmptyPatternThrows) {
+  EXPECT_THROW(LiteralSearcher(""), Error);
+}
+
+TEST(LiteralSearcher, AgreesWithStringFindOnRandomText) {
+  Rng rng(7);
+  corpus::TextGenerator gen({}, rng);
+  const std::string text = gen.text_of_size(50_kB);
+  for (const std::string pattern : {"tion", "the", "ly ", "zzqq"}) {
+    const LiteralSearcher s(pattern);
+    EXPECT_EQ(s.find(text), text.find(pattern)) << pattern;
+  }
+}
+
+TEST(RegexLite, LiteralsAndDot) {
+  EXPECT_TRUE(RegexLite("cat").search("concatenate"));
+  EXPECT_FALSE(RegexLite("dog").search("concatenate"));
+  EXPECT_TRUE(RegexLite("c.t").search("cut"));
+  EXPECT_FALSE(RegexLite("c.t").search("coat"));
+}
+
+TEST(RegexLite, StarAndPlus) {
+  EXPECT_TRUE(RegexLite("ab*c").search("ac"));
+  EXPECT_TRUE(RegexLite("ab*c").search("abbbc"));
+  EXPECT_FALSE(RegexLite("ab+c").search("ac"));
+  EXPECT_TRUE(RegexLite("ab+c").search("abc"));
+}
+
+TEST(RegexLite, Optional) {
+  EXPECT_TRUE(RegexLite("colou?r").search("color"));
+  EXPECT_TRUE(RegexLite("colou?r").search("colour"));
+  EXPECT_FALSE(RegexLite("colou?r").search("colouur"));
+}
+
+TEST(RegexLite, CharacterClasses) {
+  EXPECT_TRUE(RegexLite("[abc]at").search("bat"));
+  EXPECT_FALSE(RegexLite("[abc]at").search("rat"));
+  EXPECT_TRUE(RegexLite("[a-z]+").search("word"));
+  EXPECT_TRUE(RegexLite("[^0-9]").search("a"));
+  EXPECT_FALSE(RegexLite("[^0-9]+").search("123"));
+}
+
+TEST(RegexLite, Anchors) {
+  EXPECT_TRUE(RegexLite("^start").search("start here"));
+  EXPECT_FALSE(RegexLite("^start").search("a start"));
+  EXPECT_TRUE(RegexLite("end$").search("the end"));
+  EXPECT_FALSE(RegexLite("end$").search("end of it"));
+  EXPECT_TRUE(RegexLite("^whole$").search("whole"));
+  EXPECT_FALSE(RegexLite("^whole$").search("wholes"));
+}
+
+TEST(RegexLite, Escapes) {
+  EXPECT_TRUE(RegexLite("a\\.b").search("a.b"));
+  EXPECT_FALSE(RegexLite("a\\.b").search("axb"));
+  EXPECT_TRUE(RegexLite("a\\*").search("a*"));
+}
+
+TEST(RegexLite, FullMatch) {
+  EXPECT_TRUE(RegexLite("[a-z]+tion").full_match("motivation"));
+  EXPECT_FALSE(RegexLite("[a-z]+tion").full_match("motivations"));
+}
+
+TEST(RegexLite, GreedyStarBacktracks) {
+  EXPECT_TRUE(RegexLite("a.*b").search("axxbzzb"));
+  EXPECT_TRUE(RegexLite("a.*bz").search("axxbzzb"));
+}
+
+TEST(RegexLite, MalformedPatternsThrow) {
+  EXPECT_THROW(RegexLite("*a"), Error);
+  EXPECT_THROW(RegexLite("[abc"), Error);
+  EXPECT_THROW(RegexLite("a\\"), Error);
+}
+
+TEST(GrepLiteral, CountsMatchingLines) {
+  const std::string text = "alpha beta\ngamma\nalpha alpha\n";
+  const GrepResult r = grep_literal(text, "alpha");
+  EXPECT_EQ(r.matching_lines, 2u);  // lines, not occurrences
+  EXPECT_EQ(r.total_lines, 3u);
+  EXPECT_EQ(r.bytes_scanned, text.size());
+}
+
+TEST(GrepLiteral, NoTrailingNewline) {
+  const GrepResult r = grep_literal("only line with word", "word");
+  EXPECT_EQ(r.matching_lines, 1u);
+  EXPECT_EQ(r.total_lines, 1u);
+}
+
+TEST(GrepLiteral, NonsenseWordScansEverythingFindsNothing) {
+  // §5.1's worst case: a word that never occurs forces a full traversal.
+  Rng rng(3);
+  corpus::TextGenerator gen({}, rng);
+  const std::string text = gen.text_of_size(100_kB);
+  const GrepResult r = grep_literal(text, "xyzzyplugh");
+  EXPECT_EQ(r.matching_lines, 0u);
+  EXPECT_EQ(r.bytes_scanned, text.size());
+}
+
+TEST(GrepRegex, PatternOverLines) {
+  const GrepResult r =
+      grep_regex("date 2008\nno digits\nyear 1999\n", "[0-9]+");
+  EXPECT_EQ(r.matching_lines, 2u);
+}
+
+}  // namespace
+}  // namespace reshape::textproc

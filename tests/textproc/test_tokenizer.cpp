@@ -1,0 +1,66 @@
+#include "textproc/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reshape::textproc {
+namespace {
+
+TEST(SplitSentences, BasicTerminators) {
+  const auto s = split_sentences("One two. Three four! Five?");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "One two.");
+  EXPECT_EQ(s[1], "Three four!");
+  EXPECT_EQ(s[2], "Five?");
+}
+
+TEST(SplitSentences, TrailingFragmentKept) {
+  const auto s = split_sentences("Done. trailing words");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], "trailing words");
+}
+
+TEST(SplitSentences, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(split_sentences("").empty());
+  EXPECT_TRUE(split_sentences("   \n\t ").empty());
+  // Consecutive terminators produce no empty sentences.
+  const auto s = split_sentences("Hi... there.");
+  for (const auto& sentence : s) EXPECT_FALSE(sentence.empty());
+}
+
+TEST(Tokenize, LowercasesAndSplitsOnNonAlpha) {
+  const auto t = tokenize("The Quick-Brown fox!");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "the");
+  EXPECT_EQ(t[1], "quick");
+  EXPECT_EQ(t[2], "brown");
+  EXPECT_EQ(t[3], "fox");
+}
+
+TEST(Tokenize, KeepPunctEmitsSingleCharTokens) {
+  const auto t = tokenize("stop.", /*keep_punct=*/true);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "stop");
+  EXPECT_EQ(t[1], ".");
+}
+
+TEST(Tokenize, NumbersAreSeparators) {
+  const auto t = tokenize("a1b2c");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+}
+
+TEST(CountWords, MatchesTokenCount) {
+  EXPECT_EQ(count_words("one two three."), 3u);
+  EXPECT_EQ(count_words(""), 0u);
+  EXPECT_EQ(count_words("...!!!"), 0u);
+  EXPECT_EQ(count_words("hyphen-ated"), 2u);
+}
+
+TEST(MeanSentenceLength, Averages) {
+  EXPECT_DOUBLE_EQ(mean_sentence_length("One two. Three four five six."),
+                   3.0);
+  EXPECT_DOUBLE_EQ(mean_sentence_length(""), 0.0);
+}
+
+}  // namespace
+}  // namespace reshape::textproc
