@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_datasets.dir/fig01_datasets.cpp.o"
+  "CMakeFiles/fig01_datasets.dir/fig01_datasets.cpp.o.d"
+  "fig01_datasets"
+  "fig01_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

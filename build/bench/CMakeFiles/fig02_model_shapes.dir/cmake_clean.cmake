@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_model_shapes.dir/fig02_model_shapes.cpp.o"
+  "CMakeFiles/fig02_model_shapes.dir/fig02_model_shapes.cpp.o.d"
+  "fig02_model_shapes"
+  "fig02_model_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_model_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

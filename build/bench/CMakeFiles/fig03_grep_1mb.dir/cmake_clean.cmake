@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_grep_1mb.dir/fig03_grep_1mb.cpp.o"
+  "CMakeFiles/fig03_grep_1mb.dir/fig03_grep_1mb.cpp.o.d"
+  "fig03_grep_1mb"
+  "fig03_grep_1mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_grep_1mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_grep_1mb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_grep_5gb.dir/fig04_grep_5gb.cpp.o"
+  "CMakeFiles/fig04_grep_5gb.dir/fig04_grep_5gb.cpp.o.d"
+  "fig04_grep_5gb"
+  "fig04_grep_5gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_grep_5gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_grep_5gb.
+# This may be replaced when dependencies are built.

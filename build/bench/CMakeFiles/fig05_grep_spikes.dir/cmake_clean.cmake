@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_grep_spikes.dir/fig05_grep_spikes.cpp.o"
+  "CMakeFiles/fig05_grep_spikes.dir/fig05_grep_spikes.cpp.o.d"
+  "fig05_grep_spikes"
+  "fig05_grep_spikes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_grep_spikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_grep_100gb.dir/fig06_grep_100gb.cpp.o"
+  "CMakeFiles/fig06_grep_100gb.dir/fig06_grep_100gb.cpp.o.d"
+  "fig06_grep_100gb"
+  "fig06_grep_100gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_grep_100gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

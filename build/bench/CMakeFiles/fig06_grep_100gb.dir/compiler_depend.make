@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_grep_100gb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pos_1000kb.dir/fig07_pos_1000kb.cpp.o"
+  "CMakeFiles/fig07_pos_1000kb.dir/fig07_pos_1000kb.cpp.o.d"
+  "fig07_pos_1000kb"
+  "fig07_pos_1000kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pos_1000kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

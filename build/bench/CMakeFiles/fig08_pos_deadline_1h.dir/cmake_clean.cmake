@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pos_deadline_1h.dir/fig08_pos_deadline_1h.cpp.o"
+  "CMakeFiles/fig08_pos_deadline_1h.dir/fig08_pos_deadline_1h.cpp.o.d"
+  "fig08_pos_deadline_1h"
+  "fig08_pos_deadline_1h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pos_deadline_1h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

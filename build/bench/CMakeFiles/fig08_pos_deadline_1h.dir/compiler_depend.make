@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_pos_deadline_1h.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_pos_deadline_1h.
+# This may be replaced when dependencies are built.

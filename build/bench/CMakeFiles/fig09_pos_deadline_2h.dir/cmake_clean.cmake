@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pos_deadline_2h.dir/fig09_pos_deadline_2h.cpp.o"
+  "CMakeFiles/fig09_pos_deadline_2h.dir/fig09_pos_deadline_2h.cpp.o.d"
+  "fig09_pos_deadline_2h"
+  "fig09_pos_deadline_2h.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pos_deadline_2h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_pos_deadline_2h.
+# This may be replaced when dependencies are built.

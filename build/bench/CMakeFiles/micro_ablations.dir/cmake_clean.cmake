@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablations.dir/micro_ablations.cpp.o"
+  "CMakeFiles/micro_ablations.dir/micro_ablations.cpp.o.d"
+  "micro_ablations"
+  "micro_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cost_function.dir/tab_cost_function.cpp.o"
+  "CMakeFiles/tab_cost_function.dir/tab_cost_function.cpp.o.d"
+  "tab_cost_function"
+  "tab_cost_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cost_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dynamic_rescheduling.dir/tab_dynamic_rescheduling.cpp.o"
+  "CMakeFiles/tab_dynamic_rescheduling.dir/tab_dynamic_rescheduling.cpp.o.d"
+  "tab_dynamic_rescheduling"
+  "tab_dynamic_rescheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dynamic_rescheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

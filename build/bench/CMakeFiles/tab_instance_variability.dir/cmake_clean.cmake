@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_instance_variability.dir/tab_instance_variability.cpp.o"
+  "CMakeFiles/tab_instance_variability.dir/tab_instance_variability.cpp.o.d"
+  "tab_instance_variability"
+  "tab_instance_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_instance_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mapreduce_smallfiles.dir/tab_mapreduce_smallfiles.cpp.o"
+  "CMakeFiles/tab_mapreduce_smallfiles.dir/tab_mapreduce_smallfiles.cpp.o.d"
+  "tab_mapreduce_smallfiles"
+  "tab_mapreduce_smallfiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mapreduce_smallfiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

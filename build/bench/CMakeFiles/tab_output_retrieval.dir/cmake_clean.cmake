@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_output_retrieval.dir/tab_output_retrieval.cpp.o"
+  "CMakeFiles/tab_output_retrieval.dir/tab_output_retrieval.cpp.o.d"
+  "tab_output_retrieval"
+  "tab_output_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_output_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

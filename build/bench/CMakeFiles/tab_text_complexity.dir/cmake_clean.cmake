@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_text_complexity.dir/tab_text_complexity.cpp.o"
+  "CMakeFiles/tab_text_complexity.dir/tab_text_complexity.cpp.o.d"
+  "tab_text_complexity"
+  "tab_text_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_text_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

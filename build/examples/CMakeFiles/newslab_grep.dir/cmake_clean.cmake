@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newslab_grep.dir/newslab_grep.cpp.o"
+  "CMakeFiles/newslab_grep.dir/newslab_grep.cpp.o.d"
+  "newslab_grep"
+  "newslab_grep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newslab_grep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

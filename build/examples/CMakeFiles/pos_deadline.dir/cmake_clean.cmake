@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pos_deadline.dir/pos_deadline.cpp.o"
+  "CMakeFiles/pos_deadline.dir/pos_deadline.cpp.o.d"
+  "pos_deadline"
+  "pos_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pos_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

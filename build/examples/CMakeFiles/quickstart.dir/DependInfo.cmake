@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/provision/CMakeFiles/reshape_provision.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/reshape_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/reshape/CMakeFiles/reshape_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/reshape_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/reshape_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/reshape_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/textproc/CMakeFiles/reshape_textproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reshape_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reshape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_cli.dir/reshape_cli.cpp.o"
+  "CMakeFiles/reshape_cli.dir/reshape_cli.cpp.o.d"
+  "reshape_cli"
+  "reshape_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_market.dir/spot_market.cpp.o"
+  "CMakeFiles/spot_market.dir/spot_market.cpp.o.d"
+  "spot_market"
+  "spot_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

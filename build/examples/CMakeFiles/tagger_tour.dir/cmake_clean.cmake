@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagger_tour.dir/tagger_tour.cpp.o"
+  "CMakeFiles/tagger_tour.dir/tagger_tour.cpp.o.d"
+  "tagger_tour"
+  "tagger_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagger_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/app_profile.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/app_profile.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/app_profile.cpp.o.d"
+  "/root/repo/src/cloud/billing.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/billing.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/billing.cpp.o.d"
+  "/root/repo/src/cloud/disk_bench.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/disk_bench.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/disk_bench.cpp.o.d"
+  "/root/repo/src/cloud/ebs.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/ebs.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/ebs.cpp.o.d"
+  "/root/repo/src/cloud/instance.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/instance.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/instance.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/provider.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/provider.cpp.o.d"
+  "/root/repo/src/cloud/quality.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/quality.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/quality.cpp.o.d"
+  "/root/repo/src/cloud/s3.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/s3.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/s3.cpp.o.d"
+  "/root/repo/src/cloud/spot.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/spot.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/spot.cpp.o.d"
+  "/root/repo/src/cloud/types.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/types.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/types.cpp.o.d"
+  "/root/repo/src/cloud/workload.cpp" "src/cloud/CMakeFiles/reshape_cloud.dir/workload.cpp.o" "gcc" "src/cloud/CMakeFiles/reshape_cloud.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reshape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reshape_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_cloud.dir/app_profile.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/app_profile.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/billing.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/billing.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/disk_bench.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/disk_bench.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/ebs.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/ebs.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/instance.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/instance.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/provider.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/provider.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/quality.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/quality.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/s3.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/s3.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/spot.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/spot.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/types.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/types.cpp.o.d"
+  "CMakeFiles/reshape_cloud.dir/workload.cpp.o"
+  "CMakeFiles/reshape_cloud.dir/workload.cpp.o.d"
+  "libreshape_cloud.a"
+  "libreshape_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

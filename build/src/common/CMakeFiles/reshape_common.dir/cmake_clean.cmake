@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_common.dir/error.cpp.o"
+  "CMakeFiles/reshape_common.dir/error.cpp.o.d"
+  "CMakeFiles/reshape_common.dir/log.cpp.o"
+  "CMakeFiles/reshape_common.dir/log.cpp.o.d"
+  "CMakeFiles/reshape_common.dir/rng.cpp.o"
+  "CMakeFiles/reshape_common.dir/rng.cpp.o.d"
+  "CMakeFiles/reshape_common.dir/stats.cpp.o"
+  "CMakeFiles/reshape_common.dir/stats.cpp.o.d"
+  "CMakeFiles/reshape_common.dir/table.cpp.o"
+  "CMakeFiles/reshape_common.dir/table.cpp.o.d"
+  "CMakeFiles/reshape_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/reshape_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/reshape_common.dir/units.cpp.o"
+  "CMakeFiles/reshape_common.dir/units.cpp.o.d"
+  "libreshape_common.a"
+  "libreshape_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

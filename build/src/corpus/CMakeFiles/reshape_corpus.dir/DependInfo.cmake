@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cpp" "src/corpus/CMakeFiles/reshape_corpus.dir/corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/reshape_corpus.dir/corpus.cpp.o.d"
+  "/root/repo/src/corpus/distribution.cpp" "src/corpus/CMakeFiles/reshape_corpus.dir/distribution.cpp.o" "gcc" "src/corpus/CMakeFiles/reshape_corpus.dir/distribution.cpp.o.d"
+  "/root/repo/src/corpus/gutenberg.cpp" "src/corpus/CMakeFiles/reshape_corpus.dir/gutenberg.cpp.o" "gcc" "src/corpus/CMakeFiles/reshape_corpus.dir/gutenberg.cpp.o.d"
+  "/root/repo/src/corpus/textgen.cpp" "src/corpus/CMakeFiles/reshape_corpus.dir/textgen.cpp.o" "gcc" "src/corpus/CMakeFiles/reshape_corpus.dir/textgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reshape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

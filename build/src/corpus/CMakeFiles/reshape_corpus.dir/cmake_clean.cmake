@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/reshape_corpus.dir/corpus.cpp.o.d"
+  "CMakeFiles/reshape_corpus.dir/distribution.cpp.o"
+  "CMakeFiles/reshape_corpus.dir/distribution.cpp.o.d"
+  "CMakeFiles/reshape_corpus.dir/gutenberg.cpp.o"
+  "CMakeFiles/reshape_corpus.dir/gutenberg.cpp.o.d"
+  "CMakeFiles/reshape_corpus.dir/textgen.cpp.o"
+  "CMakeFiles/reshape_corpus.dir/textgen.cpp.o.d"
+  "libreshape_corpus.a"
+  "libreshape_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_mapreduce.dir/job.cpp.o"
+  "CMakeFiles/reshape_mapreduce.dir/job.cpp.o.d"
+  "CMakeFiles/reshape_mapreduce.dir/jobs.cpp.o"
+  "CMakeFiles/reshape_mapreduce.dir/jobs.cpp.o.d"
+  "CMakeFiles/reshape_mapreduce.dir/sim_cluster.cpp.o"
+  "CMakeFiles/reshape_mapreduce.dir/sim_cluster.cpp.o.d"
+  "libreshape_mapreduce.a"
+  "libreshape_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

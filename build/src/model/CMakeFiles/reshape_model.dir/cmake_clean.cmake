@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_model.dir/predictor.cpp.o"
+  "CMakeFiles/reshape_model.dir/predictor.cpp.o.d"
+  "CMakeFiles/reshape_model.dir/regression.cpp.o"
+  "CMakeFiles/reshape_model.dir/regression.cpp.o.d"
+  "libreshape_model.a"
+  "libreshape_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

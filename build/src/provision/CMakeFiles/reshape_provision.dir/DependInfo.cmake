@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provision/cost.cpp" "src/provision/CMakeFiles/reshape_provision.dir/cost.cpp.o" "gcc" "src/provision/CMakeFiles/reshape_provision.dir/cost.cpp.o.d"
+  "/root/repo/src/provision/dynamic.cpp" "src/provision/CMakeFiles/reshape_provision.dir/dynamic.cpp.o" "gcc" "src/provision/CMakeFiles/reshape_provision.dir/dynamic.cpp.o.d"
+  "/root/repo/src/provision/executor.cpp" "src/provision/CMakeFiles/reshape_provision.dir/executor.cpp.o" "gcc" "src/provision/CMakeFiles/reshape_provision.dir/executor.cpp.o.d"
+  "/root/repo/src/provision/planner.cpp" "src/provision/CMakeFiles/reshape_provision.dir/planner.cpp.o" "gcc" "src/provision/CMakeFiles/reshape_provision.dir/planner.cpp.o.d"
+  "/root/repo/src/provision/retrieval.cpp" "src/provision/CMakeFiles/reshape_provision.dir/retrieval.cpp.o" "gcc" "src/provision/CMakeFiles/reshape_provision.dir/retrieval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reshape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/reshape_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/reshape/CMakeFiles/reshape_pack.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/reshape_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/reshape_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reshape_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_provision.dir/cost.cpp.o"
+  "CMakeFiles/reshape_provision.dir/cost.cpp.o.d"
+  "CMakeFiles/reshape_provision.dir/dynamic.cpp.o"
+  "CMakeFiles/reshape_provision.dir/dynamic.cpp.o.d"
+  "CMakeFiles/reshape_provision.dir/executor.cpp.o"
+  "CMakeFiles/reshape_provision.dir/executor.cpp.o.d"
+  "CMakeFiles/reshape_provision.dir/planner.cpp.o"
+  "CMakeFiles/reshape_provision.dir/planner.cpp.o.d"
+  "CMakeFiles/reshape_provision.dir/retrieval.cpp.o"
+  "CMakeFiles/reshape_provision.dir/retrieval.cpp.o.d"
+  "libreshape_provision.a"
+  "libreshape_provision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_provision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

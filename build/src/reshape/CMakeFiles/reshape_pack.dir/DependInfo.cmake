@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reshape/binpack.cpp" "src/reshape/CMakeFiles/reshape_pack.dir/binpack.cpp.o" "gcc" "src/reshape/CMakeFiles/reshape_pack.dir/binpack.cpp.o.d"
+  "/root/repo/src/reshape/merge.cpp" "src/reshape/CMakeFiles/reshape_pack.dir/merge.cpp.o" "gcc" "src/reshape/CMakeFiles/reshape_pack.dir/merge.cpp.o.d"
+  "/root/repo/src/reshape/probe.cpp" "src/reshape/CMakeFiles/reshape_pack.dir/probe.cpp.o" "gcc" "src/reshape/CMakeFiles/reshape_pack.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/reshape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/reshape_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

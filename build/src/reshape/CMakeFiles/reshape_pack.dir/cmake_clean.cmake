@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_pack.dir/binpack.cpp.o"
+  "CMakeFiles/reshape_pack.dir/binpack.cpp.o.d"
+  "CMakeFiles/reshape_pack.dir/merge.cpp.o"
+  "CMakeFiles/reshape_pack.dir/merge.cpp.o.d"
+  "CMakeFiles/reshape_pack.dir/probe.cpp.o"
+  "CMakeFiles/reshape_pack.dir/probe.cpp.o.d"
+  "libreshape_pack.a"
+  "libreshape_pack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_sim.dir/simulation.cpp.o"
+  "CMakeFiles/reshape_sim.dir/simulation.cpp.o.d"
+  "libreshape_sim.a"
+  "libreshape_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

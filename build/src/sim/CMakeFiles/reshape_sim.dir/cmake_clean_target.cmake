@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreshape_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reshape_textproc.dir/pos.cpp.o"
+  "CMakeFiles/reshape_textproc.dir/pos.cpp.o.d"
+  "CMakeFiles/reshape_textproc.dir/profiler.cpp.o"
+  "CMakeFiles/reshape_textproc.dir/profiler.cpp.o.d"
+  "CMakeFiles/reshape_textproc.dir/scanner.cpp.o"
+  "CMakeFiles/reshape_textproc.dir/scanner.cpp.o.d"
+  "CMakeFiles/reshape_textproc.dir/tokenizer.cpp.o"
+  "CMakeFiles/reshape_textproc.dir/tokenizer.cpp.o.d"
+  "libreshape_textproc.a"
+  "libreshape_textproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reshape_textproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

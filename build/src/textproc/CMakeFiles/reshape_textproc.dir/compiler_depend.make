@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for reshape_textproc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_disk_bench.dir/cloud/test_disk_bench.cpp.o"
+  "CMakeFiles/test_cloud_disk_bench.dir/cloud/test_disk_bench.cpp.o.d"
+  "test_cloud_disk_bench"
+  "test_cloud_disk_bench.pdb"
+  "test_cloud_disk_bench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_disk_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

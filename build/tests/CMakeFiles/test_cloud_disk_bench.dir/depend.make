@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cloud_disk_bench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_ebs.dir/cloud/test_ebs.cpp.o"
+  "CMakeFiles/test_cloud_ebs.dir/cloud/test_ebs.cpp.o.d"
+  "test_cloud_ebs"
+  "test_cloud_ebs.pdb"
+  "test_cloud_ebs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_ebs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

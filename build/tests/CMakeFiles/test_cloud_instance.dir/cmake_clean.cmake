@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_instance.dir/cloud/test_instance.cpp.o"
+  "CMakeFiles/test_cloud_instance.dir/cloud/test_instance.cpp.o.d"
+  "test_cloud_instance"
+  "test_cloud_instance.pdb"
+  "test_cloud_instance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_quality.dir/cloud/test_quality.cpp.o"
+  "CMakeFiles/test_cloud_quality.dir/cloud/test_quality.cpp.o.d"
+  "test_cloud_quality"
+  "test_cloud_quality.pdb"
+  "test_cloud_quality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_s3.dir/cloud/test_s3.cpp.o"
+  "CMakeFiles/test_cloud_s3.dir/cloud/test_s3.cpp.o.d"
+  "test_cloud_s3"
+  "test_cloud_s3.pdb"
+  "test_cloud_s3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_s3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_types.dir/cloud/test_types.cpp.o"
+  "CMakeFiles/test_cloud_types.dir/cloud/test_types.cpp.o.d"
+  "test_cloud_types"
+  "test_cloud_types.pdb"
+  "test_cloud_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloud_workload.dir/cloud/test_workload.cpp.o"
+  "CMakeFiles/test_cloud_workload.dir/cloud/test_workload.cpp.o.d"
+  "test_cloud_workload"
+  "test_cloud_workload.pdb"
+  "test_cloud_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloud_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_distribution.dir/corpus/test_distribution.cpp.o"
+  "CMakeFiles/test_corpus_distribution.dir/corpus/test_distribution.cpp.o.d"
+  "test_corpus_distribution"
+  "test_corpus_distribution.pdb"
+  "test_corpus_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_gutenberg.dir/corpus/test_gutenberg.cpp.o"
+  "CMakeFiles/test_corpus_gutenberg.dir/corpus/test_gutenberg.cpp.o.d"
+  "test_corpus_gutenberg"
+  "test_corpus_gutenberg.pdb"
+  "test_corpus_gutenberg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_gutenberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corpus/test_corpus_sampling.cpp" "tests/CMakeFiles/test_corpus_sampling.dir/corpus/test_corpus_sampling.cpp.o" "gcc" "tests/CMakeFiles/test_corpus_sampling.dir/corpus/test_corpus_sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/reshape_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/textproc/CMakeFiles/reshape_textproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/reshape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/reshape_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reshape_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

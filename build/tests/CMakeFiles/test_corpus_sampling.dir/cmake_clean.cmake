@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_sampling.dir/corpus/test_corpus_sampling.cpp.o"
+  "CMakeFiles/test_corpus_sampling.dir/corpus/test_corpus_sampling.cpp.o.d"
+  "test_corpus_sampling"
+  "test_corpus_sampling.pdb"
+  "test_corpus_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

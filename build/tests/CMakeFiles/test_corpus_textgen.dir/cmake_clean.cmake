@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_textgen.dir/corpus/test_textgen.cpp.o"
+  "CMakeFiles/test_corpus_textgen.dir/corpus/test_textgen.cpp.o.d"
+  "test_corpus_textgen"
+  "test_corpus_textgen.pdb"
+  "test_corpus_textgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_textgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce_sim_cluster.dir/mapreduce/test_sim_cluster.cpp.o"
+  "CMakeFiles/test_mapreduce_sim_cluster.dir/mapreduce/test_sim_cluster.cpp.o.d"
+  "test_mapreduce_sim_cluster"
+  "test_mapreduce_sim_cluster.pdb"
+  "test_mapreduce_sim_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce_sim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_weighted.dir/model/test_weighted.cpp.o"
+  "CMakeFiles/test_model_weighted.dir/model/test_weighted.cpp.o.d"
+  "test_model_weighted"
+  "test_model_weighted.pdb"
+  "test_model_weighted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

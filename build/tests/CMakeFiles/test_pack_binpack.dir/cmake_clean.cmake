@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pack_binpack.dir/reshape/test_binpack.cpp.o"
+  "CMakeFiles/test_pack_binpack.dir/reshape/test_binpack.cpp.o.d"
+  "test_pack_binpack"
+  "test_pack_binpack.pdb"
+  "test_pack_binpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pack_binpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pack_binpack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provision_cost.dir/provision/test_cost.cpp.o"
+  "CMakeFiles/test_provision_cost.dir/provision/test_cost.cpp.o.d"
+  "test_provision_cost"
+  "test_provision_cost.pdb"
+  "test_provision_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provision_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provision_dynamic.dir/provision/test_dynamic.cpp.o"
+  "CMakeFiles/test_provision_dynamic.dir/provision/test_dynamic.cpp.o.d"
+  "test_provision_dynamic"
+  "test_provision_dynamic.pdb"
+  "test_provision_dynamic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provision_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provision_executor.dir/provision/test_executor.cpp.o"
+  "CMakeFiles/test_provision_executor.dir/provision/test_executor.cpp.o.d"
+  "test_provision_executor"
+  "test_provision_executor.pdb"
+  "test_provision_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provision_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provision_planner.dir/provision/test_planner.cpp.o"
+  "CMakeFiles/test_provision_planner.dir/provision/test_planner.cpp.o.d"
+  "test_provision_planner"
+  "test_provision_planner.pdb"
+  "test_provision_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provision_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

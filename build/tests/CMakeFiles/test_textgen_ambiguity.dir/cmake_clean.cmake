@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textgen_ambiguity.dir/corpus/test_textgen_ambiguity.cpp.o"
+  "CMakeFiles/test_textgen_ambiguity.dir/corpus/test_textgen_ambiguity.cpp.o.d"
+  "test_textgen_ambiguity"
+  "test_textgen_ambiguity.pdb"
+  "test_textgen_ambiguity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textgen_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textproc_pos.dir/textproc/test_pos.cpp.o"
+  "CMakeFiles/test_textproc_pos.dir/textproc/test_pos.cpp.o.d"
+  "test_textproc_pos"
+  "test_textproc_pos.pdb"
+  "test_textproc_pos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textproc_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

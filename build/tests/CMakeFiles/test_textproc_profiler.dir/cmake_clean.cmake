@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textproc_profiler.dir/textproc/test_profiler.cpp.o"
+  "CMakeFiles/test_textproc_profiler.dir/textproc/test_profiler.cpp.o.d"
+  "test_textproc_profiler"
+  "test_textproc_profiler.pdb"
+  "test_textproc_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textproc_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

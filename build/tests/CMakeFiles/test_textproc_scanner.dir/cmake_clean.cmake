@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textproc_scanner.dir/textproc/test_scanner.cpp.o"
+  "CMakeFiles/test_textproc_scanner.dir/textproc/test_scanner.cpp.o.d"
+  "test_textproc_scanner"
+  "test_textproc_scanner.pdb"
+  "test_textproc_scanner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textproc_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
