@@ -1,0 +1,215 @@
+// Bin-packing core microbenchmark — the perf trajectory tracker for the
+// reshaping hot path.
+//
+// Times the naive O(n·b) reference packers against the tournament-tree
+// first-fit and multiset best-fit at n in {10k, 100k, 1M}, plus the
+// sharded parallel merge, and emits BENCH_binpack.json with items/sec for
+// each.  Every timed configuration is first checked for bit-identical bin
+// assignments against its reference oracle, so a speedup can never come
+// from a behaviour change.
+//
+// Modes:
+//   micro_binpack           full sweep (the 1M naive baseline takes a
+//                           minute or two by design — that is the point)
+//   micro_binpack --smoke   n=10k only; exits nonzero if the tree-based
+//                           first-fit is slower than the naive reference.
+//                           Wired up as the `bench-smoke` CTest target.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "corpus/corpus.hpp"
+#include "corpus/distribution.hpp"
+#include "reshape/binpack.hpp"
+#include "reshape/merge.hpp"
+
+namespace {
+
+using namespace reshape;
+
+constexpr Bytes kCapacity = 64_kB;
+constexpr std::size_t kShards = 4;
+
+std::vector<pack::Item> make_items(std::size_t n) {
+  Rng rng(42);
+  const corpus::FileSizeDistribution dist = corpus::text_400k_sizes();
+  std::vector<pack::Item> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(pack::Item{i, dist.sample(rng)});
+  }
+  return items;
+}
+
+corpus::Corpus corpus_of(const std::vector<pack::Item>& items) {
+  std::vector<corpus::VirtualFile> files;
+  files.reserve(items.size());
+  for (const pack::Item& item : items) {
+    files.push_back(corpus::VirtualFile{item.id, item.size, 1.0});
+  }
+  return corpus::Corpus(std::move(files));
+}
+
+bool identical(const std::vector<pack::Bin>& a,
+               const std::vector<pack::Bin>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].capacity != b[i].capacity || a[i].used != b[i].used ||
+        a[i].item_ids != b[i].item_ids) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Best wall time of `reps` runs of fn() (best-of damps scheduler noise).
+template <typename F>
+double time_best_of(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Row {
+  std::string algo;
+  std::size_t n = 0;
+  double seconds = 0.0;
+  double items_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::vector<std::size_t> ns =
+      smoke ? std::vector<std::size_t>{10'000}
+            : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
+
+  std::vector<Row> rows;
+  double naive_ff_seconds_at_smoke_n = 0.0;
+  double tree_ff_seconds_at_smoke_n = 0.0;
+  double speedup_at_100k = 0.0;
+  bool all_identical = true;
+
+  auto record = [&rows](const std::string& algo, std::size_t n,
+                        double seconds) {
+    rows.push_back(Row{algo, n, seconds,
+                       seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0});
+    std::printf("  %-24s n=%-9zu %10.4f s   %12.0f items/s\n", algo.c_str(), n,
+                seconds, seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0);
+  };
+
+  for (const std::size_t n : ns) {
+    std::printf("-- n = %zu (capacity %s)\n", n, kCapacity.str().c_str());
+    const std::vector<pack::Item> items = make_items(n);
+    const int reps = n <= 100'000 ? 3 : 1;
+
+    // Equivalence gate before timing anything.
+    const pack::PackResult ff_ref = pack::first_fit_reference(items, kCapacity);
+    const pack::PackResult ff_tree = pack::first_fit(items, kCapacity);
+    const pack::PackResult bf_ref = pack::best_fit_reference(items, kCapacity);
+    const pack::PackResult bf_set = pack::best_fit(items, kCapacity);
+    if (!identical(ff_ref.bins, ff_tree.bins) ||
+        !identical(bf_ref.bins, bf_set.bins)) {
+      std::fprintf(stderr, "FATAL: optimized packer diverged from reference "
+                           "at n=%zu\n", n);
+      all_identical = false;
+      continue;
+    }
+
+    const double t_ff_ref = time_best_of(reps, [&] {
+      (void)pack::first_fit_reference(items, kCapacity);
+    });
+    const double t_ff_tree = time_best_of(reps, [&] {
+      (void)pack::first_fit(items, kCapacity);
+    });
+    const double t_bf_ref = time_best_of(reps, [&] {
+      (void)pack::best_fit_reference(items, kCapacity);
+    });
+    const double t_bf_set = time_best_of(reps, [&] {
+      (void)pack::best_fit(items, kCapacity);
+    });
+
+    record("first_fit_reference", n, t_ff_ref);
+    record("first_fit_tree", n, t_ff_tree);
+    record("best_fit_reference", n, t_bf_ref);
+    record("best_fit_multiset", n, t_bf_set);
+
+    const corpus::Corpus corpus = corpus_of(items);
+    const double t_par = time_best_of(reps, [&] {
+      (void)pack::merge_to_unit_parallel(corpus, kCapacity,
+                                         pack::ItemOrder::kOriginal, kShards);
+    });
+    record("merge_parallel_4shard", n, t_par);
+
+    if (n == 10'000) {
+      naive_ff_seconds_at_smoke_n = t_ff_ref;
+      tree_ff_seconds_at_smoke_n = t_ff_tree;
+    }
+    if (n == 100'000) speedup_at_100k = t_ff_ref / t_ff_tree;
+  }
+
+  // Fill-factor delta of the sharded approximation, measured at the
+  // largest n of this run.
+  const std::vector<pack::Item> items = make_items(ns.back());
+  const corpus::Corpus corpus = corpus_of(items);
+  const pack::MergedCorpus seq = pack::merge_to_unit(corpus, kCapacity);
+  const pack::MergedCorpus par = pack::merge_to_unit_parallel(
+      corpus, kCapacity, pack::ItemOrder::kOriginal, kShards);
+  const double fill_delta = seq.fill_factor() - par.fill_factor();
+  std::printf("-- parallel merge fill factor: sequential %.4f, "
+              "%zu-shard %.4f (delta %.4f)\n",
+              seq.fill_factor(), kShards, par.fill_factor(), fill_delta);
+
+  FILE* out = std::fopen("BENCH_binpack.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"bench\": \"micro_binpack\",\n");
+    std::fprintf(out, "  \"capacity_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(kCapacity.count()));
+    std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(out, "  \"results\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"algo\": \"%s\", \"n\": %zu, \"seconds\": %.6f, "
+                   "\"items_per_sec\": %.1f}%s\n",
+                   rows[i].algo.c_str(), rows[i].n, rows[i].seconds,
+                   rows[i].items_per_sec, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    if (speedup_at_100k > 0.0) {
+      std::fprintf(out, "  \"first_fit_speedup_at_100k\": %.2f,\n",
+                   speedup_at_100k);
+    }
+    std::fprintf(out,
+                 "  \"parallel\": {\"shards\": %zu, "
+                 "\"fill_factor_sequential\": %.4f, "
+                 "\"fill_factor_parallel\": %.4f, "
+                 "\"fill_factor_delta\": %.4f}\n}\n",
+                 kShards, seq.fill_factor(), par.fill_factor(), fill_delta);
+    std::fclose(out);
+    std::printf("wrote BENCH_binpack.json\n");
+  }
+
+  if (!all_identical) return 2;
+  if (smoke) {
+    if (tree_ff_seconds_at_smoke_n > naive_ff_seconds_at_smoke_n) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: tree first-fit (%.4f s) slower than naive "
+                   "(%.4f s) at n=10k\n",
+                   tree_ff_seconds_at_smoke_n, naive_ff_seconds_at_smoke_n);
+      return 1;
+    }
+    std::printf("smoke ok: tree %.4f s <= naive %.4f s\n",
+                tree_ff_seconds_at_smoke_n, naive_ff_seconds_at_smoke_n);
+  }
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace reshape {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -43,6 +45,19 @@ void ThreadPool::parallel_for(std::size_t n,
   pending.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     pending.push_back(submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : pending) f.get();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  RESHAPE_REQUIRE(grain > 0, "grain must be positive");
+  std::vector<std::future<void>> pending;
+  pending.reserve((n + grain - 1) / grain);
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    const std::size_t end = std::min(begin + grain, n);
+    pending.push_back(submit([&fn, begin, end] { fn(begin, end); }));
   }
   for (auto& f : pending) f.get();
 }

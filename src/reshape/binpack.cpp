@@ -1,8 +1,10 @@
 #include "reshape/binpack.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
+#include "reshape/pack_index.hpp"
 
 namespace reshape::pack {
 
@@ -49,10 +51,65 @@ void place_new_bin(std::vector<Bin>& bins, const Item& item, Bytes capacity) {
   bins.push_back(std::move(bin));
 }
 
+// The tournament tree / multiset indices keep residuals as signed 64-bit;
+// sizes at or above 2^63 would alias the closed-bin sentinel range.
+std::int64_t signed_size(const Item& item) {
+  RESHAPE_REQUIRE(
+      item.size.count() <=
+          static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()),
+      "item size exceeds the packer's 2^63-1 byte limit");
+  return static_cast<std::int64_t>(item.size.count());
+}
+
 }  // namespace
 
 PackResult first_fit(std::span<const Item> items, Bytes capacity,
                      ItemOrder order) {
+  RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
+  PackResult result;
+  const std::vector<Item> seq = ordered(items, order);
+  detail::ResidualTree tree(seq.size());
+  for (const Item& item : seq) {
+    const std::int64_t need = signed_size(item);
+    const std::size_t at = tree.find_first(need);
+    if (at != detail::ResidualTree::npos) {
+      Bin& bin = result.bins[at];
+      bin.used += item.size;
+      bin.item_ids.push_back(item.id);
+      tree.deduct(at, need);
+    } else {
+      place_new_bin(result.bins, item, capacity);
+      tree.push_bin(static_cast<std::int64_t>(result.bins.back().free().count()));
+    }
+  }
+  return result;
+}
+
+PackResult best_fit(std::span<const Item> items, Bytes capacity,
+                    ItemOrder order) {
+  RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
+  PackResult result;
+  detail::BestFitIndex index;
+  for (const Item& item : ordered(items, order)) {
+    const std::int64_t need = signed_size(item);
+    const std::size_t at = index.tightest(need);
+    if (at != detail::BestFitIndex::npos) {
+      Bin& bin = result.bins[at];
+      const auto free_before = static_cast<std::int64_t>(bin.free().count());
+      bin.used += item.size;
+      bin.item_ids.push_back(item.id);
+      index.update(at, free_before, free_before - need);
+    } else {
+      place_new_bin(result.bins, item, capacity);
+      index.insert(result.bins.size() - 1,
+                   static_cast<std::int64_t>(result.bins.back().free().count()));
+    }
+  }
+  return result;
+}
+
+PackResult first_fit_reference(std::span<const Item> items, Bytes capacity,
+                               ItemOrder order) {
   RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
   PackResult result;
   for (const Item& item : ordered(items, order)) {
@@ -70,8 +127,8 @@ PackResult first_fit(std::span<const Item> items, Bytes capacity,
   return result;
 }
 
-PackResult best_fit(std::span<const Item> items, Bytes capacity,
-                    ItemOrder order) {
+PackResult best_fit_reference(std::span<const Item> items, Bytes capacity,
+                              ItemOrder order) {
   RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
   PackResult result;
   for (const Item& item : ordered(items, order)) {
@@ -110,23 +167,23 @@ std::vector<Bin> pack_into_k(std::span<const Item> items, std::size_t k,
   RESHAPE_REQUIRE(k > 0, "need at least one bin");
   RESHAPE_REQUIRE(capacity.count() > 0, "bin capacity must be nonzero");
   std::vector<Bin> bins(k);
-  for (Bin& b : bins) b.capacity = capacity;
+  detail::ResidualTree tree(k);
+  detail::LoadHeap loads(k);
+  for (Bin& b : bins) {
+    b.capacity = capacity;
+    tree.push_bin(static_cast<std::int64_t>(capacity.count()));
+  }
   for (const Item& item : ordered(items, order)) {
-    Bin* target = nullptr;
-    for (Bin& bin : bins) {
-      if (bin.fits(item.size)) {
-        target = &bin;
-        break;
-      }
-    }
-    if (target == nullptr) {
+    const std::int64_t need = signed_size(item);
+    std::size_t at = tree.find_first(need);
+    if (at == detail::ResidualTree::npos) {
       // Spill to the least-loaded bin; capacity becomes advisory.
-      target = &*std::min_element(
-          bins.begin(), bins.end(),
-          [](const Bin& a, const Bin& b) { return a.used < b.used; });
+      at = loads.min_index();
     }
-    target->used += item.size;
-    target->item_ids.push_back(item.id);
+    bins[at].used += item.size;
+    bins[at].item_ids.push_back(item.id);
+    tree.deduct(at, need);
+    loads.add(at, item.size.count());
   }
   return bins;
 }
@@ -137,12 +194,12 @@ std::vector<Bin> uniform_bins(std::span<const Item> items, std::size_t k) {
   Bytes total{0};
   for (const Item& item : items) total += item.size;
   for (Bin& b : bins) b.capacity = total;  // advisory
+  detail::LoadHeap loads(k);
   for (const Item& item : items) {
-    Bin& target = *std::min_element(
-        bins.begin(), bins.end(),
-        [](const Bin& a, const Bin& b) { return a.used < b.used; });
-    target.used += item.size;
-    target.item_ids.push_back(item.id);
+    const std::size_t at = loads.min_index();
+    bins[at].used += item.size;
+    bins[at].item_ids.push_back(item.id);
+    loads.add(at, item.size.count());
   }
   return bins;
 }

@@ -52,13 +52,30 @@ struct PackResult {
 
 /// Subset-sum first-fit: opens a new bin of `capacity` whenever no
 /// existing bin fits.  Items larger than `capacity` get a dedicated
-/// oversize bin (files are unsplittable, §5).
+/// oversize bin (files are unsplittable, §5).  Each placement is O(log b)
+/// via a tournament tree over bin residuals; bin assignments are
+/// bit-for-bit identical to first_fit_reference.
 [[nodiscard]] PackResult first_fit(std::span<const Item> items, Bytes capacity,
                                    ItemOrder order = ItemOrder::kOriginal);
 
 /// Best-fit: place each item in the fullest bin that still fits it.
+/// Each placement is O(log b) via a balanced multiset keyed on free
+/// space; bin assignments are bit-for-bit identical to
+/// best_fit_reference.
 [[nodiscard]] PackResult best_fit(std::span<const Item> items, Bytes capacity,
                                   ItemOrder order = ItemOrder::kOriginal);
+
+/// Textbook O(n·b) first-fit: scans every open bin per item.  Kept as the
+/// equivalence oracle for the tree-based first_fit and as the baseline in
+/// bench/micro_binpack.
+[[nodiscard]] PackResult first_fit_reference(
+    std::span<const Item> items, Bytes capacity,
+    ItemOrder order = ItemOrder::kOriginal);
+
+/// Textbook O(n·b) best-fit scan.  Oracle/baseline for best_fit.
+[[nodiscard]] PackResult best_fit_reference(
+    std::span<const Item> items, Bytes capacity,
+    ItemOrder order = ItemOrder::kOriginal);
 
 /// Next-fit: only the most recently opened bin is a candidate.
 [[nodiscard]] PackResult next_fit(std::span<const Item> items, Bytes capacity);
@@ -66,14 +83,15 @@ struct PackResult {
 /// Packs into exactly `k` bins of `capacity` by first-fit; items that fit
 /// in no bin spill into the currently least-loaded bin (capacity is a
 /// target, not a hard limit — the planner prefers a balanced overflow to
-/// an unschedulable input).  Returns k bins.
+/// an unschedulable input).  Returns k bins.  O(n log k): tournament-tree
+/// fit queries plus a lazy min-heap for the spill target.
 [[nodiscard]] std::vector<Bin> pack_into_k(std::span<const Item> items,
                                            std::size_t k, Bytes capacity,
                                            ItemOrder order = ItemOrder::kOriginal);
 
 /// Balanced assignment into `k` bins: each item goes to the least-loaded
 /// bin (greedy makespan balance; the paper's "distribute the data
-/// uniformly" improvement, Fig. 8(b)).
+/// uniformly" improvement, Fig. 8(b)).  O(n log k) via a lazy min-heap.
 [[nodiscard]] std::vector<Bin> uniform_bins(std::span<const Item> items,
                                             std::size_t k);
 

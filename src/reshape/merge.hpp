@@ -39,6 +39,22 @@ struct MergedCorpus {
                                          Bytes unit,
                                          ItemOrder order = ItemOrder::kOriginal);
 
+/// Sharded parallel reshape: partitions the corpus into `shards`
+/// contiguous file ranges, packs each shard independently on a ThreadPool,
+/// and concatenates the shard blocks in shard order.
+///
+/// This is an *approximation* of the sequential merge: items never cross a
+/// shard boundary, so each shard's tail bins go underfilled and the fill
+/// factor drops slightly (the delta is measured and reported by
+/// bench/micro_binpack in BENCH_binpack.json; typically under 2% for
+/// corpora much larger than shards * unit).  With kDecreasing, items are
+/// sorted within each shard, not globally.  The result depends only on
+/// `shards` — never on thread count or scheduling — and `shards <= 1`
+/// falls back to the exact sequential merge.
+[[nodiscard]] MergedCorpus merge_to_unit_parallel(
+    const corpus::Corpus& corpus, Bytes unit,
+    ItemOrder order = ItemOrder::kOriginal, std::size_t shards = 0);
+
 /// Derives the merge at m * unit by concatenating consecutive groups of m
 /// blocks (the §4 shortcut).
 [[nodiscard]] MergedCorpus derive_multiple(const MergedCorpus& base,

@@ -1,5 +1,7 @@
 #include "textproc/scanner.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
 
 namespace reshape::textproc {
@@ -17,6 +19,15 @@ std::size_t LiteralSearcher::find(std::string_view text,
                                   std::size_t from) const {
   const std::size_t m = pattern_.size();
   if (from + m > text.size()) return npos;
+  if (m == 1) {
+    // Single-character patterns skip the BMH machinery: memchr is a
+    // vectorized libc scan, an order of magnitude faster per byte.
+    const void* hit =
+        std::memchr(text.data() + from, pattern_.front(), text.size() - from);
+    if (hit == nullptr) return npos;
+    return static_cast<std::size_t>(static_cast<const char*>(hit) -
+                                    text.data());
+  }
   std::size_t i = from;
   while (i + m <= text.size()) {
     std::size_t j = m;

@@ -233,7 +233,8 @@ TEST_P(PackProperty, AllAlgorithmsPartitionInput) {
   for (const PackResult& r :
        {first_fit(items, cap), best_fit(items, cap), next_fit(items, cap),
         first_fit(items, cap, ItemOrder::kDecreasing),
-        best_fit(items, cap, ItemOrder::kDecreasing)}) {
+        best_fit(items, cap, ItemOrder::kDecreasing),
+        first_fit_reference(items, cap), best_fit_reference(items, cap)}) {
     expect_partition(items, r.bins);
     if (no_oversize) {
       // With oversize items the ceil(V/C) bound does not apply: a

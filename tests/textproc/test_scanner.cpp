@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "corpus/textgen.hpp"
@@ -27,6 +29,35 @@ TEST(LiteralSearcher, CountsOverlapping) {
   EXPECT_EQ(s.count("aaaa"), 3u);
   EXPECT_EQ(s.count(""), 0u);
   EXPECT_EQ(s.count("a"), 0u);
+}
+
+TEST(LiteralSearcher, SingleCharMemchrPathMatchesGeneralPath) {
+  // m == 1 takes the memchr fast path; results must agree with
+  // std::string_view::find at every offset, including misses and the
+  // last byte.
+  const LiteralSearcher s("e");
+  const std::string_view text = "the quick brown fox jumps over thee";
+  for (std::size_t from = 0; from <= text.size(); ++from) {
+    EXPECT_EQ(s.find(text, from), text.find('e', from)) << "from " << from;
+  }
+  EXPECT_EQ(s.count(text), 4u);
+  EXPECT_EQ(s.find("", 0), LiteralSearcher::npos);
+  EXPECT_EQ(LiteralSearcher("x").find("x"), 0u);
+  EXPECT_EQ(LiteralSearcher("x").find("abc"), LiteralSearcher::npos);
+}
+
+TEST(LiteralSearcher, SingleCharAgreesOnRandomText) {
+  Rng rng(11);
+  corpus::TextGenerator gen({}, rng);
+  const std::string text = gen.text_of_size(20_kB);
+  for (const char c : {'e', 'z', ' ', 'q'}) {
+    const LiteralSearcher s(std::string(1, c));
+    EXPECT_EQ(s.find(text), text.find(c)) << c;
+    EXPECT_EQ(s.count(text),
+              static_cast<std::size_t>(
+                  std::count(text.begin(), text.end(), c)))
+        << c;
+  }
 }
 
 TEST(LiteralSearcher, PatternLongerThanText) {
