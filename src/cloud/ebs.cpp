@@ -71,6 +71,22 @@ double EbsVolume::placement_factor(Bytes offset, Bytes length) const {
   return weighted / length.as_double();
 }
 
+void EbsVolume::add_degradation(Seconds start, Seconds end, double factor) {
+  RESHAPE_REQUIRE(factor >= 1.0, "degradation cannot speed the volume up");
+  RESHAPE_REQUIRE(end >= start, "degradation episode ends before it starts");
+  degradations_.push_back(DegradationEpisode{start, end, factor});
+}
+
+double EbsVolume::degradation_factor(Seconds when) const {
+  double factor = 1.0;
+  for (const DegradationEpisode& episode : degradations_) {
+    if (when >= episode.start && when < episode.end) {
+      factor *= episode.factor;
+    }
+  }
+  return factor;
+}
+
 Rate EbsVolume::effective_rate(Bytes offset, Bytes length,
                                Rate instance_io) const {
   const double factor = placement_factor(offset, length);

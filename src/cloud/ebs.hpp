@@ -70,7 +70,21 @@ class EbsVolume {
   [[nodiscard]] Rate effective_rate(Bytes offset, Bytes length,
                                     Rate instance_io) const;
 
+  /// Registers a transient throughput-degradation episode (fault
+  /// injection): reads during [start, end) are slowed by `factor`.
+  void add_degradation(Seconds start, Seconds end, double factor);
+
+  /// Throughput divisor active at `when` (1.0 outside any episode;
+  /// overlapping episodes compound).
+  [[nodiscard]] double degradation_factor(Seconds when) const;
+
  private:
+  struct DegradationEpisode {
+    Seconds start{0.0};
+    Seconds end{0.0};
+    double factor = 1.0;
+  };
+
   VolumeId id_;
   Bytes capacity_;
   AvailabilityZone az_;
@@ -78,6 +92,7 @@ class EbsVolume {
   Rng placement_stream_;
   InstanceId attached_to_{};
   Bytes used_{0};
+  std::vector<DegradationEpisode> degradations_;
 };
 
 }  // namespace reshape::cloud

@@ -1,0 +1,73 @@
+#include "cloud/faults.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+
+bool FaultModel::any() const {
+  return p_boot_failure > 0.0 || crash_rate_per_hour > 0.0 ||
+         spot_interruption_rate_per_hour > 0.0 || p_ebs_degradation > 0.0;
+}
+
+FaultInjector::FaultInjector(Rng root, FaultModel model)
+    : model_(model), boot_(root.split("boot-failure")),
+      crash_(root.split("crash")), spot_(root.split("spot-interruption")),
+      ebs_(root.split("ebs-degradation")) {
+  RESHAPE_REQUIRE(model.p_boot_failure >= 0.0 && model.p_boot_failure < 1.0,
+                  "boot failure probability must be in [0, 1)");
+  RESHAPE_REQUIRE(model.crash_rate_per_hour >= 0.0 &&
+                      model.spot_interruption_rate_per_hour >= 0.0,
+                  "failure rates must be non-negative");
+  RESHAPE_REQUIRE(
+      model.p_ebs_degradation >= 0.0 && model.p_ebs_degradation <= 1.0,
+      "EBS degradation probability must be in [0, 1]");
+  RESHAPE_REQUIRE(model.p_ebs_degradation == 0.0 ||
+                      model.ebs_degradation_lo >= 1.0,
+                  "degradation factor must not speed the volume up");
+}
+
+bool FaultInjector::draw_boot_failure(std::uint64_t index) const {
+  if (model_.p_boot_failure <= 0.0) return false;
+  Rng draw = boot_.split(index);
+  return draw.bernoulli(model_.p_boot_failure);
+}
+
+std::optional<RuntimeFault> FaultInjector::draw_runtime_fault(
+    std::uint64_t index) const {
+  std::optional<RuntimeFault> fault;
+  if (model_.crash_rate_per_hour > 0.0) {
+    Rng draw = crash_.split(index);
+    const Seconds after(draw.exponential(model_.crash_rate_per_hour) *
+                        3600.0);
+    fault = RuntimeFault{after, FailureKind::kCrash};
+  }
+  if (model_.spot_interruption_rate_per_hour > 0.0) {
+    Rng draw = spot_.split(index);
+    const Seconds after(
+        draw.exponential(model_.spot_interruption_rate_per_hour) * 3600.0);
+    if (!fault || after < fault->after) {
+      fault = RuntimeFault{after, FailureKind::kSpotInterruption};
+    }
+  }
+  return fault;
+}
+
+std::optional<EbsDegradationEpisode> FaultInjector::draw_ebs_episode(
+    std::uint64_t index) const {
+  if (model_.p_ebs_degradation <= 0.0) return std::nullopt;
+  Rng draw = ebs_.split(index);
+  if (!draw.bernoulli(model_.p_ebs_degradation)) return std::nullopt;
+  EbsDegradationEpisode episode;
+  episode.start_after =
+      Seconds(draw.uniform(0.0, model_.ebs_degradation_spread.value()));
+  episode.duration = Seconds(
+      draw.exponential(1.0 / std::max(1.0, model_.ebs_degradation_mean
+                                               .value())));
+  episode.factor =
+      draw.uniform(model_.ebs_degradation_lo, model_.ebs_degradation_hi);
+  return episode;
+}
+
+}  // namespace reshape::cloud

@@ -1,0 +1,97 @@
+// Deterministic fault injection for the cloud substrate.
+//
+// The paper's §4 screening loop ("terminate and retry") and its reliance on
+// EBS volumes that persist across instance loss both presuppose a cloud
+// where things fail.  This module supplies that failure behaviour as a
+// seeded, replayable model: every draw is a pure function of (injector
+// seed, entity index), the same determinism contract as CloudProvider's
+// quality and placement streams, so a run with a given seed and FaultModel
+// replays bit-identically no matter how events interleave.
+//
+// Four fault classes are modelled:
+//   * boot failures    — pending -> failed without ever reaching running;
+//   * mid-run crashes  — exponential inter-failure time per instance-hour;
+//   * spot-style interruptions — same shape, separate rate and stream, so
+//     spot and on-demand fleets can be mixed in one experiment;
+//   * transient EBS degradation — a throughput-divisor episode on a volume
+//     (contention on the shared network path, distinct from the repeatable
+//     placement penalty of Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cloud/types.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+/// Fault-rate parameters.  The default model is the zero model: nothing
+/// ever fails and every draw short-circuits, so a provider configured with
+/// it behaves bit-identically to one with no injector at all.
+struct FaultModel {
+  /// Probability that a launch dies during boot (pending -> failed).
+  double p_boot_failure = 0.0;
+  /// Crash rate while running, in failures per instance-hour (exponential
+  /// inter-failure time).
+  double crash_rate_per_hour = 0.0;
+  /// Spot-style interruption rate per instance-hour (separate stream).
+  double spot_interruption_rate_per_hour = 0.0;
+  /// Probability that a volume suffers one transient degradation episode.
+  double p_ebs_degradation = 0.0;
+  /// Throughput divisor during a degradation episode, drawn uniformly.
+  double ebs_degradation_lo = 1.5;
+  double ebs_degradation_hi = 3.0;
+  /// Episode length is exponential with this mean.
+  Seconds ebs_degradation_mean{900.0};
+  /// Episode onset is uniform in [0, spread) after volume creation.
+  Seconds ebs_degradation_spread{1800.0};
+
+  /// True when any fault class is enabled.
+  [[nodiscard]] bool any() const;
+};
+
+/// A fault scheduled to strike a running instance.
+struct RuntimeFault {
+  Seconds after{0.0};  // delay from the moment the instance starts running
+  FailureKind kind = FailureKind::kCrash;
+};
+
+/// One transient EBS throughput-degradation episode.
+struct EbsDegradationEpisode {
+  Seconds start_after{0.0};  // delay from volume creation
+  Seconds duration{0.0};
+  double factor = 1.0;  // throughput divisor while active (>= 1.0)
+};
+
+/// Draws faults deterministically from named child streams of one root.
+/// Every draw is keyed by the entity's index, so the outcome for instance
+/// or volume N does not depend on how many other draws happened first.
+class FaultInjector {
+ public:
+  FaultInjector(Rng root, FaultModel model);
+
+  [[nodiscard]] const FaultModel& model() const { return model_; }
+
+  /// True when the `index`-th launch dies during boot.
+  [[nodiscard]] bool draw_boot_failure(std::uint64_t index) const;
+
+  /// The fault (if any) that strikes the `index`-th instance after it
+  /// starts running: the earlier of its crash and interruption draws.
+  [[nodiscard]] std::optional<RuntimeFault> draw_runtime_fault(
+      std::uint64_t index) const;
+
+  /// The degradation episode (if any) for the `index`-th volume.
+  [[nodiscard]] std::optional<EbsDegradationEpisode> draw_ebs_episode(
+      std::uint64_t index) const;
+
+ private:
+  FaultModel model_;
+  Rng boot_;
+  Rng crash_;
+  Rng spot_;
+  Rng ebs_;
+};
+
+}  // namespace reshape::cloud

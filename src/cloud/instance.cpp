@@ -36,6 +36,15 @@ void Instance::mark_terminated(Seconds now) {
   wipe_local();  // ephemeral storage does not survive termination
 }
 
+void Instance::mark_failed(Seconds now, FailureKind kind) {
+  RESHAPE_REQUIRE(state_ == InstanceState::kPending ||
+                      state_ == InstanceState::kRunning,
+                  "only a pending or running instance can fail");
+  state_ = InstanceState::kFailed;
+  failure_ = FailureRecord{kind, now};
+  wipe_local();  // ephemeral storage does not survive a crash either
+}
+
 void Instance::note_attached(VolumeId volume) {
   volumes_.push_back(volume);
 }

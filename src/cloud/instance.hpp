@@ -13,6 +13,12 @@
 
 namespace reshape::cloud {
 
+/// What happened to a failed instance, and when.
+struct FailureRecord {
+  FailureKind kind = FailureKind::kCrash;
+  Seconds at{0.0};
+};
+
 class Instance {
  public:
   Instance(InstanceId id, InstanceType type, AvailabilityZone az,
@@ -36,6 +42,17 @@ class Instance {
   void begin_shutdown(Seconds now);
   /// shutting-down -> terminated.
   void mark_terminated(Seconds now);
+  /// pending/running -> failed: an abrupt involuntary exit (no
+  /// shutting-down grace).  Ephemeral storage is lost, as at termination.
+  void mark_failed(Seconds now, FailureKind kind);
+
+  [[nodiscard]] bool has_failed() const {
+    return state_ == InstanceState::kFailed;
+  }
+  /// Set once the instance fails; empty otherwise.
+  [[nodiscard]] const std::optional<FailureRecord>& failure() const {
+    return failure_;
+  }
 
   [[nodiscard]] std::optional<Seconds> running_since() const {
     return running_since_;
@@ -62,6 +79,7 @@ class Instance {
   InstanceState state_ = InstanceState::kPending;
   Seconds launched_at_;
   std::optional<Seconds> running_since_;
+  std::optional<FailureRecord> failure_;
   std::vector<VolumeId> volumes_;
   Bytes local_used_{0};
 };

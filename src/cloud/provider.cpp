@@ -10,7 +10,8 @@ CloudProvider::CloudProvider(sim::Simulation& sim, Rng root,
                              ProviderConfig config)
     : sim_(sim), root_(root), lifecycle_noise_(root.split("lifecycle")),
       bench_noise_(root.split("disk-bench")), config_(config),
-      quality_(root.split("quality"), config.mixture), s3_(config.s3) {}
+      quality_(root.split("quality"), config.mixture),
+      injector_(root.split("faults"), config.faults), s3_(config.s3) {}
 
 Seconds CloudProvider::draw_boot_delay() {
   const double drawn = lifecycle_noise_.normal(config_.boot_mean.value(),
@@ -32,6 +33,18 @@ InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
   instances_.emplace(id, std::move(inst));
 
   const Seconds boot = draw_boot_delay();
+  if (injector_.draw_boot_failure(id.value)) {
+    // The launch dies during boot: pending -> failed at what would have
+    // been the boot instant; it never runs, so it is never billed.
+    sim_.schedule_in(boot, [this, id](sim::Simulation&) {
+      const auto it = instances_.find(id);
+      if (it == instances_.end()) return;
+      // A terminate() issued while still pending wins: skip the failure.
+      if (it->second->state() != InstanceState::kPending) return;
+      fail(id, FailureKind::kBootFailure);
+    });
+    return id;
+  }
   sim_.schedule_in(boot, [this, id, type,
                           cb = std::move(on_running)](sim::Simulation& s) {
     const auto it = instances_.find(id);
@@ -41,9 +54,59 @@ InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
     if (inst_ref.state() != InstanceState::kPending) return;
     inst_ref.mark_running(s.now());
     billing_.on_running(id, type, s.now());
+    arm_runtime_fault(id);
     if (cb) cb(inst_ref);
   });
   return id;
+}
+
+void CloudProvider::arm_runtime_fault(InstanceId id) {
+  const auto fault = injector_.draw_runtime_fault(id.value);
+  if (!fault) return;
+  const sim::EventHandle handle = sim_.schedule_in(
+      fault->after, [this, id, kind = fault->kind](sim::Simulation&) {
+        const auto it = instances_.find(id);
+        if (it == instances_.end() || !it->second->is_running()) return;
+        fail(id, kind);
+      });
+  armed_faults_[id] = handle;
+}
+
+void CloudProvider::disarm_runtime_fault(InstanceId id) {
+  const auto it = armed_faults_.find(id);
+  if (it == armed_faults_.end()) return;
+  sim_.cancel(it->second);
+  armed_faults_.erase(it);
+}
+
+void CloudProvider::fail(InstanceId id, FailureKind kind) {
+  Instance& inst = instance(id);
+  RESHAPE_REQUIRE(inst.state() == InstanceState::kRunning ||
+                      inst.state() == InstanceState::kPending,
+                  "only a pending or running instance can fail");
+  const bool was_running = inst.is_running();
+  // Volumes persist beyond the instance (§1.1); force-detach them.
+  while (!inst.attached_volumes().empty()) {
+    detach(inst.attached_volumes().back());
+  }
+  // The partial hour up to the crash stays billed (flat-rate model).
+  if (was_running) billing_.on_stopped(id, sim_.now());
+  inst.mark_failed(sim_.now(), kind);
+  disarm_runtime_fault(id);
+  ++failures_;
+  for (const FailureHook& hook : failure_hooks_) {
+    if (hook) hook(inst);
+  }
+}
+
+std::size_t CloudProvider::add_failure_hook(FailureHook hook) {
+  failure_hooks_.push_back(std::move(hook));
+  return failure_hooks_.size() - 1;
+}
+
+void CloudProvider::remove_failure_hook(std::size_t token) {
+  RESHAPE_REQUIRE(token < failure_hooks_.size(), "unknown failure hook");
+  failure_hooks_[token] = nullptr;
 }
 
 void CloudProvider::terminate(InstanceId id) {
@@ -58,6 +121,7 @@ void CloudProvider::terminate(InstanceId id) {
   }
   inst.begin_shutdown(sim_.now());
   if (was_running) billing_.on_stopped(id, sim_.now());
+  disarm_runtime_fault(id);
   sim_.schedule_in(config_.shutdown_delay, [this, id](sim::Simulation& s) {
     const auto it = instances_.find(id);
     if (it == instances_.end()) return;
@@ -83,9 +147,13 @@ bool CloudProvider::exists(InstanceId id) const {
 
 VolumeId CloudProvider::create_volume(Bytes capacity, AvailabilityZone az) {
   const VolumeId id{next_volume_++};
-  volumes_.emplace(id, std::make_unique<EbsVolume>(
-                           id, capacity, az, config_.ebs,
-                           root_.split("ebs-placement")));
+  auto vol = std::make_unique<EbsVolume>(id, capacity, az, config_.ebs,
+                                         root_.split("ebs-placement"));
+  if (const auto episode = injector_.draw_ebs_episode(id.value)) {
+    const Seconds start = sim_.now() + episode->start_after;
+    vol->add_degradation(start, start + episode->duration, episode->factor);
+  }
+  volumes_.emplace(id, std::move(vol));
   return id;
 }
 
@@ -131,13 +199,17 @@ CloudProvider::ScreenedAcquisition CloudProvider::acquire_screened(
     InstanceType type, AvailabilityZone az, Rate threshold, int max_attempts) {
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     const InstanceId id = launch(type, az);
-    // Run the simulation forward until this instance has booted.
-    while (!instance(id).is_running()) {
+    // Run the simulation forward until this instance has booted (or died
+    // during boot — an injected boot failure burns the attempt).
+    while (instance(id).state() == InstanceState::kPending) {
       RESHAPE_REQUIRE(sim_.step(), "boot event missing from the simulation");
     }
+    if (!instance(id).is_running()) continue;
     const DiskBenchResult first = disk_bench(id);
     const DiskBenchResult second = disk_bench(id);
     sim_.run_until(sim_.now() + first.elapsed + second.elapsed);
+    // A crash during the benchmark window also burns the attempt.
+    if (!instance(id).is_running()) continue;
     if (first.passes(threshold) && second.passes(threshold) &&
         stable_pair(first, second)) {
       return ScreenedAcquisition{id, attempt};

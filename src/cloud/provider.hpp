@@ -11,10 +11,12 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "cloud/billing.hpp"
 #include "cloud/disk_bench.hpp"
 #include "cloud/ebs.hpp"
+#include "cloud/faults.hpp"
 #include "cloud/instance.hpp"
 #include "cloud/quality.hpp"
 #include "cloud/s3.hpp"
@@ -37,6 +39,9 @@ struct ProviderConfig {
   Seconds attach_stddev{4.0};
   /// Shutdown (shutting-down state) duration.
   Seconds shutdown_delay{15.0};
+  /// Fault injection; the default zero model keeps the cloud failure-free
+  /// and the provider's behaviour bit-identical to a fault-free build.
+  FaultModel faults{};
 };
 
 class CloudProvider {
@@ -63,6 +68,26 @@ class CloudProvider {
   /// delay.  Attached volumes are detached (they persist).
   void terminate(InstanceId id);
 
+  /// Fails an instance right now (the injector's entry point, also usable
+  /// by chaos tests): the billing interval closes at the crash instant
+  /// (the partial hour stays billed), attached volumes are force-detached
+  /// (they persist), the state becomes `failed`, and every registered
+  /// failure hook fires.
+  void fail(InstanceId id, FailureKind kind);
+
+  /// Registers an observer called whenever an instance fails.  Returns a
+  /// token for remove_failure_hook.
+  using FailureHook = std::function<void(Instance&)>;
+  std::size_t add_failure_hook(FailureHook hook);
+  void remove_failure_hook(std::size_t token);
+
+  /// Total instance failures injected or forced so far.
+  [[nodiscard]] std::size_t failure_count() const { return failures_; }
+
+  [[nodiscard]] const FaultInjector& fault_injector() const {
+    return injector_;
+  }
+
   [[nodiscard]] Instance& instance(InstanceId id);
   [[nodiscard]] const Instance& instance(InstanceId id) const;
   [[nodiscard]] bool exists(InstanceId id) const;
@@ -73,6 +98,7 @@ class CloudProvider {
   VolumeId create_volume(Bytes capacity, AvailabilityZone az);
   [[nodiscard]] EbsVolume& volume(VolumeId id);
   [[nodiscard]] const EbsVolume& volume(VolumeId id) const;
+  [[nodiscard]] std::size_t volume_count() const { return volumes_.size(); }
 
   /// Attaches a volume to a running (or pending) instance in the same zone.
   /// The attachment itself costs `attach_mean`-ish simulated time, which
@@ -100,6 +126,10 @@ class CloudProvider {
 
  private:
   [[nodiscard]] Seconds draw_boot_delay();
+  /// Arms the instance's scheduled runtime fault (if the model draws one).
+  void arm_runtime_fault(InstanceId id);
+  /// Cancels an armed-but-unfired fault event for the instance.
+  void disarm_runtime_fault(InstanceId id);
 
   sim::Simulation& sim_;
   Rng root_;
@@ -107,10 +137,14 @@ class CloudProvider {
   Rng bench_noise_;
   ProviderConfig config_;
   QualityModel quality_;
+  FaultInjector injector_;
   BillingMeter billing_;
   ObjectStore s3_;
   std::unordered_map<InstanceId, std::unique_ptr<Instance>> instances_;
   std::unordered_map<VolumeId, std::unique_ptr<EbsVolume>> volumes_;
+  std::unordered_map<InstanceId, sim::EventHandle> armed_faults_;
+  std::vector<FailureHook> failure_hooks_;
+  std::size_t failures_ = 0;
   std::uint64_t next_instance_ = 1;
   std::uint64_t next_volume_ = 1;
 };

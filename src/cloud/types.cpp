@@ -58,6 +58,16 @@ std::string_view to_string(InstanceState state) {
     case InstanceState::kRunning: return "running";
     case InstanceState::kShuttingDown: return "shutting-down";
     case InstanceState::kTerminated: return "terminated";
+    case InstanceState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string_view to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kBootFailure: return "boot-failure";
+    case FailureKind::kCrash: return "crash";
+    case FailureKind::kSpotInterruption: return "spot-interruption";
   }
   return "?";
 }

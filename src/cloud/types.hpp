@@ -50,10 +50,19 @@ struct AvailabilityZone {
                          const AvailabilityZone&) = default;
 };
 
-/// Instance lifecycle from §3.1; payment is due only in kRunning.
-enum class InstanceState { kPending, kRunning, kShuttingDown, kTerminated };
+/// Instance lifecycle from §3.1; payment is due only in kRunning.  kFailed
+/// is an abrupt, involuntary exit (boot failure, crash, spot interruption):
+/// unlike kTerminated it is reached without passing through shutting-down,
+/// and the partial running hour remains billed.
+enum class InstanceState { kPending, kRunning, kShuttingDown, kTerminated,
+                           kFailed };
 
 [[nodiscard]] std::string_view to_string(InstanceState state);
+
+/// Why an instance failed (recorded on the instance at failure time).
+enum class FailureKind { kBootFailure, kCrash, kSpotInterruption };
+
+[[nodiscard]] std::string_view to_string(FailureKind kind);
 
 /// Opaque ids handed out by the provider.
 struct InstanceId {

@@ -32,8 +32,11 @@ Rate effective_read_rate(const Instance& instance,
   const Rate instance_io = instance.quality().io_rate;
   if (const auto* ebs = std::get_if<EbsStorage>(&storage)) {
     RESHAPE_REQUIRE(ebs->volume != nullptr, "EBS binding without a volume");
-    return ebs->volume->effective_rate(ebs->offset, layout.total_volume,
-                                       instance_io);
+    Rate rate = ebs->volume->effective_rate(ebs->offset, layout.total_volume,
+                                            instance_io);
+    // A degradation episode throttles the whole storage path.
+    if (ebs->throughput_penalty > 1.0) rate = rate / ebs->throughput_penalty;
+    return rate;
   }
   return instance_io;
 }

@@ -38,9 +38,12 @@ struct DataLayout {
 struct LocalStorage {};
 
 /// Data on an attached EBS volume at a known placement extent.
+/// `throughput_penalty` (>= 1.0) carries any transient degradation episode
+/// active when the run starts (fault injection); 1.0 means healthy.
 struct EbsStorage {
   const EbsVolume* volume = nullptr;
   Bytes offset{0};
+  double throughput_penalty = 1.0;
 };
 
 using StorageBinding = std::variant<LocalStorage, EbsStorage>;

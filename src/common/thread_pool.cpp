@@ -1,10 +1,33 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/error.hpp"
 
 namespace reshape {
+
+namespace {
+
+/// Waits on every future, then rethrows the first captured exception.
+///
+/// Draining all of them before throwing is load-bearing: the queued tasks
+/// reference the caller's `fn` (captured by reference), so returning while
+/// any are still queued or running would leave workers touching a
+/// destroyed callable.
+void drain(std::vector<std::future<void>>& pending) {
+  std::exception_ptr first;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -46,7 +69,7 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     pending.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : pending) f.get();
+  drain(pending);
 }
 
 void ThreadPool::parallel_for(
@@ -59,7 +82,7 @@ void ThreadPool::parallel_for(
     const std::size_t end = std::min(begin + grain, n);
     pending.push_back(submit([&fn, begin, end] { fn(begin, end); }));
   }
-  for (auto& f : pending) f.get();
+  drain(pending);
 }
 
 }  // namespace reshape

@@ -6,8 +6,15 @@
 
 namespace reshape::mr {
 
-SimCluster::SimCluster(SimClusterConfig config, Rng rng) : config_(config) {
+SimCluster::SimCluster(SimClusterConfig config, Rng rng)
+    : config_(config), task_faults_(rng.split("task-faults")) {
   RESHAPE_REQUIRE(config.workers > 0, "cluster needs at least one worker");
+  RESHAPE_REQUIRE(config.p_task_failure >= 0.0 && config.p_task_failure < 1.0,
+                  "task failure probability must lie in [0, 1)");
+  RESHAPE_REQUIRE(config.max_task_attempts > 0,
+                  "tasks need at least one attempt");
+  RESHAPE_REQUIRE(config.speculative_slowdown > 1.0,
+                  "speculation threshold must exceed the reference run");
   const cloud::QualityModel quality(rng.split("workers"), config.mixture);
   worker_speed_.reserve(config.workers);
   for (std::size_t w = 0; w < config.workers; ++w) {
@@ -23,29 +30,95 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
 
   // Greedy list scheduling: longest-processing-time first onto the least
   // loaded worker — the classic makespan heuristic Hadoop's scheduler
-  // approximates with straggler-aware task placement.
-  std::vector<const Split*> order;
-  order.reserve(splits.size());
-  for (const Split& s : splits) order.push_back(&s);
-  std::sort(order.begin(), order.end(), [](const Split* a, const Split* b) {
-    return a->total > b->total;
-  });
+  // approximates with straggler-aware task placement.  Tasks keep their
+  // original index so per-task fault streams are stable under reordering.
+  std::vector<std::size_t> order(splits.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&splits](std::size_t a, std::size_t b) {
+              return splits[a].total > splits[b].total;
+            });
 
-  double overhead_total = 0.0;
-  double work_total = 0.0;
-  for (const Split* split : order) {
-    const std::size_t w = static_cast<std::size_t>(
+  const auto least_loaded = [&report]() {
+    return static_cast<std::size_t>(
         std::min_element(report.worker_busy.begin(),
                          report.worker_busy.end()) -
         report.worker_busy.begin());
+  };
+
+  double overhead_total = 0.0;
+  double work_total = 0.0;
+  for (const std::size_t task : order) {
+    const Split& split = splits[task];
+    const double base_overhead = config_.task_overhead.value();
+    const double base_scan =
+        split.total.as_double() / config_.scan_rate.bytes_per_second();
+
+    // Failed attempts (bounded, Hadoop's map.max.attempts): each runs
+    // partway on the then-least-loaded worker before dying — that time is
+    // spent on the cluster and wasted.  Draws are keyed per (task,
+    // attempt), so the fault pattern replays under the same seed no
+    // matter how the schedule shifts.
+    if (config_.p_task_failure > 0.0) {
+      const Rng task_rng = task_faults_.split(task);
+      for (std::size_t attempt = 0;
+           attempt + 1 < config_.max_task_attempts; ++attempt) {
+        Rng draw = task_rng.split(attempt);
+        if (!draw.bernoulli(config_.p_task_failure)) break;
+        const std::size_t w = least_loaded();
+        const double speed = worker_speed_[w];
+        const double spent =
+            (base_overhead + base_scan) * speed * draw.uniform(0.0, 1.0);
+        report.worker_busy[w] += Seconds(spent);
+        report.wasted_time += Seconds(spent);
+        work_total += spent;
+        ++report.task_failures;
+      }
+    }
+
+    // The successful attempt.
+    const std::size_t w = least_loaded();
     const double speed = worker_speed_[w];
     const double overhead = config_.task_overhead.value() * speed;
     const double scan =
-        split->total.as_double() / config_.scan_rate.bytes_per_second() *
+        split.total.as_double() / config_.scan_rate.bytes_per_second() *
         speed;
-    report.worker_busy[w] += Seconds(overhead + scan);
-    overhead_total += overhead;
-    work_total += overhead + scan;
+
+    // Speculative execution: a task stuck on a straggler gets a backup
+    // copy on the least-loaded other worker; the loser is killed when
+    // the winner finishes, so both workers are held for the winner's
+    // duration and one copy's time is pure waste.
+    bool speculated = false;
+    if (config_.speculative_execution && config_.workers > 1 &&
+        overhead + scan >
+            config_.speculative_slowdown * (base_overhead + base_scan)) {
+      std::size_t backup = config_.workers;  // least loaded, excluding w
+      for (std::size_t c = 0; c < config_.workers; ++c) {
+        if (c == w) continue;
+        if (backup == config_.workers ||
+            report.worker_busy[c] < report.worker_busy[backup]) {
+          backup = c;
+        }
+      }
+      const double backup_speed = worker_speed_[backup];
+      const double backup_run =
+          base_overhead * backup_speed + base_scan * backup_speed;
+      const double winner = std::min(overhead + scan, backup_run);
+      report.worker_busy[w] += Seconds(winner);
+      report.worker_busy[backup] += Seconds(winner);
+      report.wasted_time += Seconds(winner);
+      ++report.speculative_tasks;
+      overhead_total += (overhead + scan <= backup_run)
+                            ? overhead
+                            : base_overhead * backup_speed;
+      work_total += 2.0 * winner;
+      speculated = true;
+    }
+    if (!speculated) {
+      report.worker_busy[w] += Seconds(overhead + scan);
+      overhead_total += overhead;
+      work_total += overhead + scan;
+    }
   }
   for (const Seconds busy : report.worker_busy) {
     report.map_makespan = std::max(report.map_makespan, busy);

@@ -32,6 +32,21 @@ struct SimClusterConfig {
   Rate reduce_rate = Rate::megabytes_per_second(60.0);
   /// Per-worker quality heterogeneity (reuses the EC2 mixture).
   cloud::QualityMixture mixture = cloud::uniform_fast_mixture();
+
+  /// Probability that any one map-task attempt fails (JVM crash, lost
+  /// tracker heartbeat).  Zero keeps the schedule failure-free and
+  /// bit-identical to the historic scheduler.
+  double p_task_failure = 0.0;
+  /// Attempts per task, Hadoop's mapred.map.max.attempts; the final
+  /// attempt always succeeds (the model bounds retries, it does not model
+  /// job abort).
+  std::size_t max_task_attempts = 4;
+  /// Hadoop-style speculative execution: when a task lands on a worker so
+  /// slow that its run would exceed `speculative_slowdown` times the
+  /// reference-speed run, a backup copy is scheduled on the least-loaded
+  /// other worker and the loser is killed when the winner finishes.
+  bool speculative_execution = false;
+  double speculative_slowdown = 2.0;
 };
 
 struct SimJobReport {
@@ -45,6 +60,11 @@ struct SimJobReport {
   double overhead_fraction = 0.0;
   /// Per-worker busy time (map phase).
   std::vector<Seconds> worker_busy;
+
+  /// Fault/speculation bookkeeping (all zero under the default config).
+  std::size_t task_failures = 0;     // failed attempts, re-run elsewhere
+  std::size_t speculative_tasks = 0; // tasks that got a backup copy
+  Seconds wasted_time{0.0};          // failed-attempt + killed-copy time
 };
 
 class SimCluster {
@@ -62,6 +82,7 @@ class SimCluster {
  private:
   SimClusterConfig config_;
   std::vector<double> worker_speed_;  // cpu_factor per worker
+  Rng task_faults_;  // parent of per-(task, attempt) failure streams
 };
 
 }  // namespace reshape::mr

@@ -1,6 +1,11 @@
 #include "provision/executor.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "cloud/workload.hpp"
 #include "common/error.hpp"
@@ -17,88 +22,401 @@ double ExecutionReport::worst_overrun() const {
   return worst;
 }
 
+namespace {
+
+/// Mutable recovery state of one assignment.  Its data lives on one
+/// persistent EBS volume (EBS mode), so an instance failure loses at most
+/// the in-flight pass over the remaining extent, never the data.
+struct Slot {
+  std::size_t index = 0;
+  Assignment assignment;
+  cloud::AppCostProfile app;  // complexity-scaled profile
+  Rng run_noise{0};
+
+  cloud::VolumeId volume{};
+  Bytes data_offset{0};
+  Bytes remaining{0};
+
+  // The in-flight attempt.
+  cloud::InstanceId current{};
+  Seconds work_begun{0.0};
+  Seconds cur_staging{0.0};
+  Seconds cur_exec{0.0};
+  Bytes attempt_bytes{0};
+  sim::EventHandle completion{};
+
+  // Accumulated outcome.
+  Seconds staging_total{0.0};
+  Seconds exec_total{0.0};
+  Seconds work_total{0.0};
+  Seconds recovery_total{0.0};
+  Seconds failed_at{0.0};
+  std::uint64_t file_count = 0;
+  bool file_count_set = false;
+  cloud::QualityClass quality = cloud::QualityClass::kFast;
+  std::size_t failures = 0;
+  std::size_t relaunches = 0;
+  bool done = false;
+  bool abandoned = false;
+  std::string error;
+};
+
+/// One live instance: the slot it is processing plus redistributed slots
+/// queued behind it (each chained run re-attaches that slot's volume).
+struct Station {
+  cloud::InstanceId id{};
+  Slot* awaiting = nullptr;  // assigned but still booting
+  Slot* active = nullptr;    // mid staging/exec
+  std::deque<Slot*> backlog;
+  Seconds avail_at{0.0};  // predicted drain time of active + backlog
+};
+
+cloud::DataLayout layout_for(const Assignment& assignment,
+                             const ExecutionOptions& options,
+                             Bytes remaining) {
+  if (options.reshaped_unit.count() > 0) {
+    return cloud::DataLayout::reshaped(remaining, options.reshaped_unit);
+  }
+  if (remaining == assignment.volume) {
+    // First attempt: the plan's own segmentation.
+    return cloud::DataLayout::original(
+        assignment.volume, assignment.file_count,
+        assignment.file_count > 0 ? assignment.volume / assignment.file_count
+                                  : Bytes(0));
+  }
+  // A recovered remainder: scale the file count with the remaining volume.
+  const double frac = assignment.volume.count() == 0
+                          ? 0.0
+                          : remaining.as_double() /
+                                assignment.volume.as_double();
+  const auto files = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             frac * static_cast<double>(assignment.file_count)));
+  return cloud::DataLayout::original(remaining, files, remaining / files);
+}
+
+/// Drives one plan to completion over the (possibly faulty) provider.
+class ExecutionDriver {
+ public:
+  ExecutionDriver(cloud::CloudProvider& provider, const ExecutionPlan& plan,
+                  const cloud::AppCostProfile& app,
+                  const ExecutionOptions& options, Rng& noise)
+      : provider_(provider), plan_(plan), options_(options) {
+    slots_.reserve(plan.assignments.size());
+    for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+      auto slot = std::make_unique<Slot>();
+      slot->index = i;
+      slot->assignment = plan.assignments[i];
+      slot->app = app;
+      // Complexity scales the CPU demand of this instance's share (§5.2's
+      // language-complexity effect).
+      slot->app.cpu_seconds_per_byte *= plan.assignments[i].mean_complexity;
+      slot->run_noise = noise.split(i);
+      slot->remaining = plan.assignments[i].volume;
+      slots_.push_back(std::move(slot));
+    }
+  }
+
+  ExecutionReport run() {
+    const std::size_t hook = provider_.add_failure_hook(
+        [this](cloud::Instance& inst) { on_failure(inst); });
+    try {
+      for (const auto& slot : slots_) launch_for(slot.get());
+      provider_.sim().run();
+    } catch (...) {
+      provider_.remove_failure_hook(hook);
+      throw;
+    }
+    provider_.remove_failure_hook(hook);
+    return assemble();
+  }
+
+ private:
+  void launch_for(Slot* slot) {
+    const cloud::InstanceId id = provider_.launch(
+        options_.instance_type, options_.zone,
+        [this, slot](cloud::Instance& instance) {
+          const auto it = stations_.find(instance.id());
+          if (it == stations_.end()) return;
+          begin_work(*it->second, *slot);
+        });
+    auto station = std::make_unique<Station>();
+    station->id = id;
+    station->awaiting = slot;
+    station->avail_at = provider_.sim().now() +
+                        provider_.config().boot_mean + estimate_work(*slot);
+    stations_.emplace(id, std::move(station));
+  }
+
+  /// Staging + exec estimate for a slot's remaining bytes, used only for
+  /// slack comparisons and queue predictions (never for billing).
+  [[nodiscard]] Seconds estimate_work(const Slot& slot) const {
+    const Seconds staging = options_.data_on_ebs
+                                ? provider_.config().attach_mean
+                                : options_.local_staging_time;
+    if (slot.cur_exec.value() > 0.0 && slot.attempt_bytes.count() > 0) {
+      return staging + slot.cur_exec * (slot.remaining.as_double() /
+                                        slot.attempt_bytes.as_double());
+    }
+    // No history yet: assume a nominal 20 MB/s effective processing rate.
+    return staging +
+           Rate::megabytes_per_second(20.0).time_for(slot.remaining);
+  }
+
+  void begin_work(Station& station, Slot& slot) {
+    cloud::Instance& instance = provider_.instance(station.id);
+    station.awaiting = nullptr;
+    station.active = &slot;
+    slot.current = station.id;
+    slot.quality = instance.quality().cls;
+
+    const cloud::DataLayout layout =
+        layout_for(slot.assignment, options_, slot.remaining);
+    if (!slot.file_count_set) {
+      slot.file_count = layout.file_count;
+      slot.file_count_set = true;
+    }
+
+    cloud::StorageBinding storage = cloud::LocalStorage{};
+    Seconds staging{0.0};
+    if (options_.data_on_ebs) {
+      if (!slot.volume.valid()) {
+        // Pre-staged volume, created once; replacements re-attach it.
+        slot.volume = provider_.create_volume(
+            std::max(slot.assignment.volume * 2, Bytes(1'000'000)),
+            options_.zone);
+        slot.data_offset =
+            provider_.volume(slot.volume).stage(slot.assignment.volume);
+      }
+      cloud::EbsVolume& vol = provider_.volume(slot.volume);
+      provider_.attach(slot.volume, station.id);
+      staging = provider_.draw_attach_latency();
+      storage = cloud::EbsStorage{
+          &vol, slot.data_offset,
+          vol.degradation_factor(provider_.sim().now())};
+    } else {
+      staging = options_.local_staging_time;
+      instance.stage_local(slot.remaining);
+    }
+
+    const Seconds exec =
+        cloud::run_time(slot.app, layout, instance, storage, slot.run_noise);
+    const Seconds now = provider_.sim().now();
+    slot.work_begun = now;
+    slot.cur_staging = staging;
+    slot.cur_exec = exec;
+    slot.attempt_bytes = slot.remaining;
+
+    slot.completion = provider_.sim().schedule_in(
+        staging + exec, [this, sid = station.id](sim::Simulation&) {
+          const auto it = stations_.find(sid);
+          if (it == stations_.end()) return;
+          on_complete(*it->second);
+        });
+    Seconds queued{0.0};
+    for (const Slot* waiting : station.backlog) {
+      queued += estimate_work(*waiting);
+    }
+    station.avail_at = now + staging + exec + queued;
+  }
+
+  void on_complete(Station& station) {
+    Slot& slot = *station.active;
+    slot.done = true;
+    slot.staging_total += slot.cur_staging;
+    slot.exec_total += slot.cur_exec;
+    slot.work_total += slot.cur_staging + slot.cur_exec;
+    station.active = nullptr;
+    if (!station.backlog.empty()) {
+      Slot* next = station.backlog.front();
+      station.backlog.pop_front();
+      next->recovery_total += provider_.sim().now() - next->failed_at;
+      begin_work(station, *next);
+      return;
+    }
+    const cloud::InstanceId id = station.id;
+    stations_.erase(id);
+    provider_.terminate(id);
+  }
+
+  void on_failure(cloud::Instance& instance) {
+    ++failures_observed_;
+    const auto it = stations_.find(instance.id());
+    if (it == stations_.end()) return;  // a discarded screening candidate
+    const std::unique_ptr<Station> station = std::move(it->second);
+    stations_.erase(it);
+    const Seconds now = provider_.sim().now();
+
+    if (Slot* waiting = station->awaiting) {
+      // Boot failure: no work started, the full remainder survives.
+      ++waiting->failures;
+      waiting->failed_at = now;
+      recover(waiting);
+    } else if (Slot* slot = station->active) {
+      // Mid-run crash: the linear-progress prefix of this attempt is kept
+      // (its extent on the persistent volume is never re-read).
+      ++slot->failures;
+      provider_.sim().cancel(slot->completion);
+      const Seconds elapsed = now - slot->work_begun;
+      slot->work_total += elapsed;
+      slot->staging_total += std::min(elapsed, slot->cur_staging);
+      slot->exec_total +=
+          std::max(Seconds(0.0), elapsed - slot->cur_staging);
+      double progress = 1.0;
+      if (slot->cur_exec.value() > 0.0) {
+        progress = std::clamp(
+            (elapsed - slot->cur_staging).value() / slot->cur_exec.value(),
+            0.0, 1.0);
+      }
+      Bytes processed(static_cast<std::uint64_t>(
+          progress * slot->attempt_bytes.as_double()));
+      processed = std::min(processed, slot->remaining);
+      slot->remaining -= processed;
+      slot->data_offset += processed;
+      slot->failed_at = now;
+      recover(slot);
+    }
+    // Redistributed slots that were queued behind the dead instance go
+    // back through recovery untouched (their failed_at keeps accruing
+    // recovery time from their original failure).
+    for (Slot* queued : station->backlog) recover(queued);
+  }
+
+  void recover(Slot* slot) {
+    if (slot->done || slot->abandoned) return;
+    if (slot->remaining.count() == 0) {
+      // The crash struck after the last byte was processed.
+      slot->done = true;
+      return;
+    }
+    const Seconds now = provider_.sim().now();
+    const Station* host = best_host();
+    const bool can_replace =
+        slot->relaunches <
+        static_cast<std::size_t>(std::max(0, options_.max_relaunches));
+
+    // Slack-aware choice: staging + exec cost roughly the same on either
+    // path, so compare dead time — a fresh boot (plus screening) against
+    // the wait for the best survivor to drain its queue.
+    const double replace_wait =
+        (provider_.config().boot_mean + provider_.config().attach_mean)
+            .value();
+    const double host_wait =
+        host ? std::max(0.0, (host->avail_at - now).value())
+             : std::numeric_limits<double>::infinity();
+
+    if (can_replace && replace_wait <= host_wait) {
+      if (try_replace(slot)) return;
+    }
+    // Screening runs the simulation forward, so the fleet may have changed
+    // under us (survivors can fail mid-acquisition): pick the host afresh.
+    if (Station* survivor = best_host()) {
+      redistribute(slot, *survivor);
+      return;
+    }
+    if (can_replace && try_replace(slot)) return;
+    slot->abandoned = true;
+    slot->error = "recovery exhausted: no replacement within the relaunch "
+                  "budget and no surviving instance to redistribute to";
+  }
+
+  [[nodiscard]] Station* best_host() {
+    Station* best = nullptr;
+    for (auto& [id, station] : stations_) {
+      if (best == nullptr ||
+          station->avail_at < best->avail_at ||
+          (station->avail_at == best->avail_at &&
+           station->id.value < best->id.value)) {
+        best = station.get();
+      }
+    }
+    return best;
+  }
+
+  bool try_replace(Slot* slot) {
+    try {
+      // §4 acquisition: launch, boot, benchmark twice, keep only a stable
+      // fast instance.  Runs the simulation forward internally, so other
+      // fleet events (including further failures) interleave naturally.
+      const auto acq = provider_.acquire_screened(
+          options_.instance_type, options_.zone, options_.relaunch_threshold,
+          options_.relaunch_screen_attempts);
+      ++slot->relaunches;
+      auto station = std::make_unique<Station>();
+      station->id = acq.id;
+      Station* raw = station.get();
+      stations_.emplace(acq.id, std::move(station));
+      slot->recovery_total += provider_.sim().now() - slot->failed_at;
+      begin_work(*raw, *slot);
+      return true;
+    } catch (const Error&) {
+      return false;  // screening exhausted its attempt budget
+    }
+  }
+
+  void redistribute(Slot* slot, Station& host) {
+    host.backlog.push_back(slot);
+    host.avail_at += estimate_work(*slot);
+    ++redistributions_;
+  }
+
+  [[nodiscard]] ExecutionReport assemble() {
+    ExecutionReport report;
+    report.deadline = plan_.deadline;
+    report.outcomes.resize(slots_.size());
+    report.failures = failures_observed_;
+    report.redistributions = redistributions_;
+    for (const auto& slot : slots_) {
+      InstanceOutcome& outcome = report.outcomes[slot->index];
+      outcome.index = slot->index;
+      outcome.id = slot->current;
+      outcome.volume = slot->assignment.volume;
+      outcome.volume_id = slot->volume;
+      outcome.file_count = slot->file_count;
+      outcome.staging = slot->staging_total;
+      outcome.exec_time = slot->exec_total;
+      outcome.work_time = slot->work_total + slot->recovery_total;
+      outcome.quality = slot->quality;
+      outcome.completed = slot->done;
+      outcome.error = slot->error;
+      outcome.failures = slot->failures;
+      outcome.relaunches = slot->relaunches;
+      outcome.recovery_time = slot->recovery_total;
+      if (!slot->done && slot->error.empty()) {
+        outcome.error = "assignment never completed";
+      }
+      outcome.met_deadline =
+          slot->done && outcome.work_time <= plan_.deadline;
+      if (!outcome.met_deadline) ++report.missed;
+      if (!slot->done) ++report.abandoned;
+      report.relaunches += slot->relaunches;
+      report.recovery_time += slot->recovery_total;
+      report.makespan = std::max(report.makespan, outcome.work_time);
+    }
+    report.instance_hours =
+        provider_.billing().instance_hours(provider_.sim().now());
+    report.cost = provider_.billing().total_cost(provider_.sim().now());
+    return report;
+  }
+
+  cloud::CloudProvider& provider_;
+  const ExecutionPlan& plan_;
+  const ExecutionOptions& options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::unordered_map<cloud::InstanceId, std::unique_ptr<Station>> stations_;
+  std::size_t failures_observed_ = 0;
+  std::size_t redistributions_ = 0;
+};
+
+}  // namespace
+
 ExecutionReport execute_plan(cloud::CloudProvider& provider,
                              const ExecutionPlan& plan,
                              const cloud::AppCostProfile& app,
                              const ExecutionOptions& options, Rng& noise) {
   RESHAPE_REQUIRE(!plan.assignments.empty(), "plan has no assignments");
-
-  ExecutionReport report;
-  report.deadline = plan.deadline;
-  report.outcomes.resize(plan.assignments.size());
-
-  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
-    const Assignment& assignment = plan.assignments[i];
-    // Complexity scales the CPU demand of this instance's share (§5.2's
-    // language-complexity effect).
-    cloud::AppCostProfile scaled = app;
-    scaled.cpu_seconds_per_byte *= assignment.mean_complexity;
-
-    Rng run_noise = noise.split(i);
-    const cloud::InstanceId id = provider.launch(
-        options.instance_type, options.zone,
-        [&provider, &report, &options, assignment, scaled, i,
-         run_noise](cloud::Instance& instance) mutable {
-          InstanceOutcome& outcome = report.outcomes[i];
-          outcome.index = i;
-          outcome.id = instance.id();
-          outcome.volume = assignment.volume;
-          outcome.quality = instance.quality().cls;
-
-          cloud::DataLayout layout =
-              options.reshaped_unit.count() > 0
-                  ? cloud::DataLayout::reshaped(assignment.volume,
-                                                options.reshaped_unit)
-                  : cloud::DataLayout::original(
-                        assignment.volume, assignment.file_count,
-                        assignment.file_count > 0
-                            ? assignment.volume / assignment.file_count
-                            : Bytes(0));
-          outcome.file_count = layout.file_count;
-
-          cloud::StorageBinding storage = cloud::LocalStorage{};
-          Seconds staging{0.0};
-          if (options.data_on_ebs) {
-            // Pre-staged volume: only the attach latency is paid now.
-            const cloud::VolumeId vol_id = provider.create_volume(
-                std::max(assignment.volume * 2, Bytes(1'000'000)),
-                options.zone);
-            cloud::EbsVolume& vol = provider.volume(vol_id);
-            const Bytes offset = vol.stage(assignment.volume);
-            provider.attach(vol_id, instance.id());
-            staging = provider.draw_attach_latency();
-            storage = cloud::EbsStorage{&vol, offset};
-          } else {
-            staging = options.local_staging_time;
-            instance.stage_local(assignment.volume);
-          }
-
-          const Seconds exec =
-              cloud::run_time(scaled, layout, instance, storage, run_noise);
-          outcome.staging = staging;
-          outcome.exec_time = exec;
-          outcome.work_time = staging + exec;
-
-          provider.sim().schedule_in(
-              staging + exec, [&provider, id = instance.id()](
-                                  sim::Simulation&) { provider.terminate(id); });
-        });
-    (void)id;
-  }
-
-  provider.sim().run();
-
-  for (InstanceOutcome& outcome : report.outcomes) {
-    RESHAPE_REQUIRE(outcome.id.valid(),
-                    "an instance never reached the running state");
-    outcome.met_deadline = outcome.work_time <= plan.deadline;
-    if (!outcome.met_deadline) ++report.missed;
-    report.makespan = std::max(report.makespan, outcome.work_time);
-  }
-  report.instance_hours = provider.billing().instance_hours(
-      provider.sim().now());
-  report.cost = provider.billing().total_cost(provider.sim().now());
-  return report;
+  ExecutionDriver driver(provider, plan, app, options, noise);
+  return driver.run();
 }
 
 }  // namespace reshape::provision

@@ -6,8 +6,19 @@
 // on completion, and account cost through the billing meter.  The report
 // carries the per-instance bars of Figs. 8-9 (execution time vs. the
 // deadline line) plus makespan, misses and instance-hours.
+//
+// Execution is fault-tolerant: when the provider's FaultModel injects a
+// boot failure or a mid-run crash, the assignment's persistent EBS volume
+// survives and the remaining bytes are recovered — either on a replacement
+// instance acquired through the §4 screening procedure, or by chaining the
+// work onto a surviving instance with slack (§7's detach/re-attach
+// recovery), whichever is projected to finish sooner.  Retries are
+// bounded; an unrecoverable assignment degrades to a structured error
+// outcome instead of aborting the run.  With the default zero FaultModel
+// reports are bit-identical to the historic failure-free executor.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "cloud/app_profile.hpp"
@@ -27,18 +38,33 @@ struct ExecutionOptions {
   /// Unit file size of the staged layout; 0 keeps the assignment's
   /// original segmentation (file_count from the plan).
   Bytes reshaped_unit{0};
+
+  /// Fault recovery: replacement launches allowed per assignment.  Set to
+  /// 0 to force redistribution onto survivors (or structured failure).
+  int max_relaunches = 3;
+  /// Screening applied to replacement instances (§4 acquisition).
+  Rate relaunch_threshold = Rate::megabytes_per_second(60.0);
+  int relaunch_screen_attempts = 5;
 };
 
 struct InstanceOutcome {
   std::size_t index = 0;
-  cloud::InstanceId id{};
+  cloud::InstanceId id{};  // last instance that processed this assignment
   Bytes volume{0};
+  cloud::VolumeId volume_id{};  // persistent EBS home (EBS mode only)
   std::uint64_t file_count = 0;
   Seconds staging{0.0};
   Seconds exec_time{0.0};   // application run time
-  Seconds work_time{0.0};   // staging + exec, the bar in Figs. 8-9
+  Seconds work_time{0.0};   // staging + exec (+ recovery), the Figs. 8-9 bar
   bool met_deadline = false;
   cloud::QualityClass quality = cloud::QualityClass::kFast;
+
+  /// Fault bookkeeping (all zero under the zero FaultModel).
+  bool completed = true;       // false only when recovery was exhausted
+  std::string error;           // why the assignment was abandoned
+  std::size_t failures = 0;    // instance failures suffered
+  std::size_t relaunches = 0;  // replacement instances acquired
+  Seconds recovery_time{0.0};  // wall time between failures and resumed work
 };
 
 struct ExecutionReport {
@@ -48,6 +74,13 @@ struct ExecutionReport {
   std::size_t missed = 0;
   double instance_hours = 0.0;
   Dollars cost{0.0};
+
+  /// Fault/recovery aggregates (all zero under the zero FaultModel).
+  std::size_t failures = 0;         // injected instance failures observed
+  std::size_t relaunches = 0;       // replacements acquired via screening
+  std::size_t redistributions = 0;  // remainders chained onto survivors
+  std::size_t abandoned = 0;        // assignments recovery could not save
+  Seconds recovery_time{0.0};       // summed over outcomes
 
   [[nodiscard]] std::size_t instance_count() const { return outcomes.size(); }
   /// Worst observed-over-deadline ratio (1.0 when all met).

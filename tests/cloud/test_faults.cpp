@@ -1,0 +1,316 @@
+#include "cloud/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/provider.hpp"
+#include "common/error.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+const AvailabilityZone kZoneA{Region::kUsEast, 0};
+
+FaultModel crash_model(double rate_per_hour) {
+  FaultModel model;
+  model.crash_rate_per_hour = rate_per_hour;
+  return model;
+}
+
+TEST(FaultInjector, RejectsInvalidModels) {
+  FaultModel bad_p;
+  bad_p.p_boot_failure = 1.5;
+  EXPECT_THROW(FaultInjector(Rng(1), bad_p), Error);
+
+  FaultModel bad_rate;
+  bad_rate.crash_rate_per_hour = -1.0;
+  EXPECT_THROW(FaultInjector(Rng(1), bad_rate), Error);
+
+  FaultModel bad_factor;
+  bad_factor.p_ebs_degradation = 0.5;
+  bad_factor.ebs_degradation_lo = 0.5;  // would speed the volume up
+  EXPECT_THROW(FaultInjector(Rng(1), bad_factor), Error);
+}
+
+TEST(FaultInjector, ZeroModelNeverDrawsAnything) {
+  const FaultInjector injector(Rng(42), FaultModel{});
+  EXPECT_FALSE(injector.model().any());
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.draw_boot_failure(i));
+    EXPECT_FALSE(injector.draw_runtime_fault(i).has_value());
+    EXPECT_FALSE(injector.draw_ebs_episode(i).has_value());
+  }
+}
+
+TEST(FaultInjector, DrawsArePureFunctionsOfSeedAndIndex) {
+  FaultModel model;
+  model.p_boot_failure = 0.3;
+  model.crash_rate_per_hour = 0.5;
+  model.p_ebs_degradation = 0.4;
+  const FaultInjector a(Rng(7), model);
+  const FaultInjector b(Rng(7), model);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.draw_boot_failure(i), b.draw_boot_failure(i));
+    // Repeated draws of the same index are stable (no hidden state).
+    EXPECT_EQ(a.draw_boot_failure(i), a.draw_boot_failure(i));
+    const auto fa = a.draw_runtime_fault(i);
+    const auto fb = b.draw_runtime_fault(i);
+    ASSERT_EQ(fa.has_value(), fb.has_value());
+    if (fa) {
+      EXPECT_DOUBLE_EQ(fa->after.value(), fb->after.value());
+      EXPECT_EQ(fa->kind, fb->kind);
+    }
+    const auto ea = a.draw_ebs_episode(i);
+    const auto eb = b.draw_ebs_episode(i);
+    ASSERT_EQ(ea.has_value(), eb.has_value());
+    if (ea) {
+      EXPECT_DOUBLE_EQ(ea->start_after.value(), eb->start_after.value());
+      EXPECT_DOUBLE_EQ(ea->duration.value(), eb->duration.value());
+      EXPECT_DOUBLE_EQ(ea->factor, eb->factor);
+    }
+  }
+}
+
+TEST(FaultInjector, RuntimeFaultTakesTheEarlierOfCrashAndInterruption) {
+  FaultModel model;
+  model.crash_rate_per_hour = 0.2;
+  model.spot_interruption_rate_per_hour = 0.2;
+  const FaultInjector both(Rng(9), model);
+  const FaultInjector crash_only(Rng(9), crash_model(0.2));
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto fault = both.draw_runtime_fault(i);
+    ASSERT_TRUE(fault.has_value());
+    const auto crash = crash_only.draw_runtime_fault(i);
+    ASSERT_TRUE(crash.has_value());
+    // The combined draw can only move the failure earlier.
+    EXPECT_LE(fault->after.value(), crash->after.value());
+    if (fault->kind == FailureKind::kCrash) {
+      EXPECT_DOUBLE_EQ(fault->after.value(), crash->after.value());
+    }
+  }
+}
+
+TEST(Faults, BootFailureNeverRunsAndNeverBills) {
+  FaultModel model;
+  model.p_boot_failure = 0.999;  // validation forbids exactly 1.0
+  ProviderConfig config;
+  config.faults = model;
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(3), config);
+
+  bool ran = false;
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA,
+                                        [&](Instance&) { ran = true; });
+  sim.run();
+  ASSERT_EQ(provider.instance(id).state(), InstanceState::kFailed);
+  EXPECT_FALSE(ran);
+  ASSERT_TRUE(provider.instance(id).failure().has_value());
+  EXPECT_EQ(provider.instance(id).failure()->kind, FailureKind::kBootFailure);
+  EXPECT_DOUBLE_EQ(provider.billing().cost(id, sim.now()).amount(), 0.0);
+  EXPECT_EQ(provider.failure_count(), 1u);
+}
+
+TEST(Faults, CrashClosesBillingAtTheCrashInstant) {
+  ProviderConfig config;
+  config.faults = crash_model(2.0);  // mean 30 simulated minutes to failure
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(11), config);
+
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  const Instance& inst = provider.instance(id);
+  ASSERT_EQ(inst.state(), InstanceState::kFailed);
+  ASSERT_TRUE(inst.failure().has_value());
+  EXPECT_EQ(inst.failure()->kind, FailureKind::kCrash);
+
+  // The partial hour up to the crash stays billed: running time equals
+  // crash instant minus boot instant, and the cost is at least one hour's
+  // flat rate (partial hours round up).
+  const Seconds ran = inst.failure()->at - *inst.running_since();
+  EXPECT_GT(ran.value(), 0.0);
+  EXPECT_DOUBLE_EQ(provider.billing().running_time(id, sim.now()).value(),
+                   ran.value());
+  EXPECT_GT(provider.billing().cost(id, sim.now()).amount(), 0.0);
+}
+
+TEST(Faults, SpotInterruptionReportsItsOwnKind) {
+  FaultModel model;
+  model.spot_interruption_rate_per_hour = 5.0;
+  ProviderConfig config;
+  config.faults = model;
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(13), config);
+
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  ASSERT_EQ(provider.instance(id).state(), InstanceState::kFailed);
+  EXPECT_EQ(provider.instance(id).failure()->kind,
+            FailureKind::kSpotInterruption);
+}
+
+TEST(Faults, CrashForceDetachesVolumesWhichPersist) {
+  ProviderConfig config;
+  config.faults = crash_model(2.0);
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(11), config);
+
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  while (provider.instance(id).state() == InstanceState::kPending) {
+    ASSERT_TRUE(sim.step());
+  }
+  ASSERT_TRUE(provider.instance(id).is_running());
+  const VolumeId vol = provider.create_volume(10_GB, kZoneA);
+  provider.attach(vol, id);
+  (void)provider.volume(vol).stage(4_GB);
+  sim.run();  // the armed crash fires
+
+  ASSERT_EQ(provider.instance(id).state(), InstanceState::kFailed);
+  EXPECT_FALSE(provider.volume(vol).attached());
+  EXPECT_EQ(provider.volume(vol).used(), 4_GB);  // data survived the crash
+
+  // §7 recovery: the volume re-attaches to a replacement unchanged.
+  const InstanceId replacement = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  ASSERT_TRUE(provider.instance(replacement).is_running() ||
+              provider.instance(replacement).has_failed());
+  if (provider.instance(replacement).is_running()) {
+    provider.attach(vol, replacement);
+    EXPECT_EQ(provider.volume(vol).attached_to(), replacement);
+  }
+}
+
+TEST(Faults, TerminateDisarmsTheScheduledCrash) {
+  ProviderConfig config;
+  config.faults = crash_model(1.0);
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(21), config);
+
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  while (provider.instance(id).state() == InstanceState::kPending) {
+    ASSERT_TRUE(sim.step());
+  }
+  ASSERT_TRUE(provider.instance(id).is_running());
+  provider.terminate(id);
+  sim.run();  // must not fire the cancelled fault
+  EXPECT_EQ(provider.instance(id).state(), InstanceState::kTerminated);
+  EXPECT_EQ(provider.failure_count(), 0u);
+}
+
+TEST(Faults, FailureHooksFireAndRemovedHooksStaySilent) {
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(31), ProviderConfig{});
+
+  int calls = 0;
+  FailureKind seen = FailureKind::kCrash;
+  const std::size_t token = provider.add_failure_hook([&](Instance& inst) {
+    ++calls;
+    seen = inst.failure()->kind;
+  });
+
+  const InstanceId a = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  provider.fail(a, FailureKind::kSpotInterruption);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, FailureKind::kSpotInterruption);
+
+  provider.remove_failure_hook(token);
+  const InstanceId b = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  provider.fail(b, FailureKind::kCrash);
+  EXPECT_EQ(calls, 1);  // removed hook no longer fires
+  EXPECT_EQ(provider.failure_count(), 2u);
+}
+
+TEST(Faults, ManualFailRequiresALiveInstance) {
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(33), ProviderConfig{});
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  provider.terminate(id);
+  EXPECT_THROW(provider.fail(id, FailureKind::kCrash), Error);
+}
+
+TEST(Faults, EbsDegradationEpisodesCompoundAndExpire) {
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(37), ProviderConfig{});
+  const VolumeId id = provider.create_volume(10_GB, kZoneA);
+  EbsVolume& vol = provider.volume(id);
+  EXPECT_DOUBLE_EQ(vol.degradation_factor(Seconds(50.0)), 1.0);
+
+  vol.add_degradation(Seconds(100.0), Seconds(200.0), 2.0);
+  vol.add_degradation(Seconds(150.0), Seconds(300.0), 1.5);
+  EXPECT_DOUBLE_EQ(vol.degradation_factor(Seconds(120.0)), 2.0);
+  EXPECT_DOUBLE_EQ(vol.degradation_factor(Seconds(160.0)), 3.0);  // overlap
+  EXPECT_DOUBLE_EQ(vol.degradation_factor(Seconds(250.0)), 1.5);
+  EXPECT_DOUBLE_EQ(vol.degradation_factor(Seconds(400.0)), 1.0);
+}
+
+TEST(Faults, InjectedEpisodeLandsOnTheCreatedVolume) {
+  FaultModel model;
+  model.p_ebs_degradation = 1.0;
+  model.ebs_degradation_spread = Seconds(10.0);
+  model.ebs_degradation_mean = Seconds(1e6);  // effectively always active
+  ProviderConfig config;
+  config.faults = model;
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(41), config);
+
+  const VolumeId id = provider.create_volume(10_GB, kZoneA);
+  // The episode starts within `spread` of creation and lasts ~forever.
+  const double factor =
+      provider.volume(id).degradation_factor(Seconds(60.0));
+  EXPECT_GE(factor, config.faults.ebs_degradation_lo);
+  EXPECT_LE(factor, config.faults.ebs_degradation_hi);
+}
+
+TEST(Faults, ScreenedAcquisitionSurvivesBootFailures) {
+  FaultModel model;
+  model.p_boot_failure = 0.5;
+  ProviderConfig config;
+  config.faults = model;
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(43), config);
+
+  const auto acq = provider.acquire_screened(
+      InstanceType::kSmall, kZoneA, Rate::megabytes_per_second(60.0), 20);
+  ASSERT_TRUE(acq.id.valid());
+  EXPECT_TRUE(provider.instance(acq.id).is_running());
+  // Burned attempts show up as failures, not as hung screening.
+  EXPECT_GE(acq.attempts, 1);
+}
+
+TEST(Faults, SameSeedAndModelReplayBitIdentically) {
+  FaultModel model;
+  model.p_boot_failure = 0.2;
+  model.crash_rate_per_hour = 1.5;
+  model.spot_interruption_rate_per_hour = 0.5;
+  ProviderConfig config;
+  config.faults = model;
+
+  sim::Simulation sim1, sim2;
+  CloudProvider p1(sim1, Rng(55), config);
+  CloudProvider p2(sim2, Rng(55), config);
+  std::vector<InstanceId> ids1, ids2;
+  for (int i = 0; i < 12; ++i) {
+    ids1.push_back(p1.launch(InstanceType::kSmall, kZoneA));
+    ids2.push_back(p2.launch(InstanceType::kSmall, kZoneA));
+  }
+  sim1.run();
+  sim2.run();
+
+  EXPECT_EQ(p1.failure_count(), p2.failure_count());
+  for (std::size_t i = 0; i < ids1.size(); ++i) {
+    const Instance& a = p1.instance(ids1[i]);
+    const Instance& b = p2.instance(ids2[i]);
+    ASSERT_EQ(a.state(), b.state());
+    ASSERT_EQ(a.failure().has_value(), b.failure().has_value());
+    if (a.failure()) {
+      EXPECT_EQ(a.failure()->kind, b.failure()->kind);
+      EXPECT_DOUBLE_EQ(a.failure()->at.value(), b.failure()->at.value());
+    }
+  }
+  EXPECT_DOUBLE_EQ(p1.billing().total_cost(sim1.now()).amount(),
+                   p2.billing().total_cost(sim2.now()).amount());
+}
+
+}  // namespace
+}  // namespace reshape::cloud

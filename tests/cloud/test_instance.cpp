@@ -73,6 +73,38 @@ TEST(Instance, EphemeralStorageLostAtTermination) {
   EXPECT_EQ(i.local_used(), 0_B);
 }
 
+TEST(Instance, FailedFromRunningRecordsTheCrash) {
+  Instance i = make_instance();
+  i.mark_running(Seconds(60.0));
+  i.stage_local(Bytes(1000));
+  i.mark_failed(Seconds(500.0), FailureKind::kCrash);
+  EXPECT_EQ(i.state(), InstanceState::kFailed);
+  EXPECT_TRUE(i.has_failed());
+  ASSERT_TRUE(i.failure().has_value());
+  EXPECT_EQ(i.failure()->kind, FailureKind::kCrash);
+  EXPECT_DOUBLE_EQ(i.failure()->at.value(), 500.0);
+  // Ephemeral storage is gone, exactly like termination.
+  EXPECT_EQ(i.local_used(), Bytes(0));
+}
+
+TEST(Instance, FailedFromPendingIsABootFailure) {
+  Instance i = make_instance();
+  i.mark_failed(Seconds(30.0), FailureKind::kBootFailure);
+  EXPECT_EQ(i.state(), InstanceState::kFailed);
+  EXPECT_EQ(i.failure()->kind, FailureKind::kBootFailure);
+  EXPECT_FALSE(i.running_since().has_value());
+}
+
+TEST(Instance, FailedIsTerminalAndDeadEndsRejected) {
+  Instance i = make_instance();
+  i.mark_running(Seconds(1.0));
+  i.mark_failed(Seconds(2.0), FailureKind::kSpotInterruption);
+  EXPECT_THROW(i.mark_running(Seconds(3.0)), Error);
+  EXPECT_THROW(i.begin_shutdown(Seconds(3.0)), Error);
+  EXPECT_THROW(i.mark_terminated(Seconds(3.0)), Error);
+  EXPECT_THROW(i.mark_failed(Seconds(3.0), FailureKind::kCrash), Error);
+}
+
 TEST(Instance, InvalidIdRejected) {
   EXPECT_THROW(Instance(InstanceId{}, InstanceType::kSmall,
                         AvailabilityZone{}, InstanceQuality{}, Seconds(0.0)),

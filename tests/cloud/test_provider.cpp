@@ -150,6 +150,44 @@ TEST_F(ProviderFixture, UnknownIdsThrow) {
   EXPECT_FALSE(provider.exists(InstanceId{999}));
 }
 
+TEST_F(ProviderFixture, AttachToTerminatedInstanceThrows) {
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  const VolumeId vol = provider.create_volume(10_GB, kZoneA);
+  provider.terminate(id);
+  EXPECT_THROW(provider.attach(vol, id), Error);  // shutting down
+  sim.run();
+  EXPECT_THROW(provider.attach(vol, id), Error);  // terminated
+}
+
+TEST_F(ProviderFixture, DetachUnattachedVolumeThrows) {
+  const VolumeId vol = provider.create_volume(10_GB, kZoneA);
+  EXPECT_THROW(provider.detach(vol), Error);
+  const InstanceId id = provider.launch(InstanceType::kSmall, kZoneA);
+  sim.run();
+  provider.attach(vol, id);
+  provider.detach(vol);
+  EXPECT_THROW(provider.detach(vol), Error);  // second detach
+}
+
+TEST_F(ProviderFixture, ExhaustedScreeningStillBillsDiscardedAttempts) {
+  ProviderConfig config;
+  config.mixture.p_fast = 0.0;
+  config.mixture.p_slow = 1.0;
+  sim::Simulation sim2;
+  CloudProvider slow_cloud(sim2, Rng(5), config);
+  EXPECT_THROW(slow_cloud.acquire_screened(InstanceType::kSmall, kZoneA,
+                                           Rate::megabytes_per_second(60.0),
+                                           3),
+               Error);
+  // Every discarded attempt ran through boot + two benchmarks before being
+  // terminated, so each one owes at least its partial-hour charge.
+  EXPECT_EQ(slow_cloud.launches(), 3u);
+  const Dollars billed = slow_cloud.billing().total_cost(sim2.now());
+  const Dollars one_hour = spec_for(InstanceType::kSmall).hourly_rate;
+  EXPECT_GE(billed.amount(), 3.0 * one_hour.amount());
+}
+
 TEST_F(ProviderFixture, AttachLatencyIsPositive) {
   for (int i = 0; i < 20; ++i) {
     EXPECT_GT(provider.draw_attach_latency().value(), 0.0);

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -91,6 +92,51 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     }
   }  // destructor must wait for all 50
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForThrowingTaskDrainsBeforeRethrow) {
+  // Regression: an early throw used to abandon queued tasks that still
+  // referenced the caller's callable — a use-after-scope once parallel_for
+  // returned.  The whole batch must finish before the exception surfaces.
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&completed](std::size_t i) {
+                          if (i == 0) throw std::runtime_error("task 0");
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, ChunkedParallelForThrowingTaskDrainsBeforeRethrow) {
+  ThreadPool pool(2);
+  std::atomic<int> covered{0};
+  EXPECT_THROW(pool.parallel_for(100, 7,
+                                 [&covered](std::size_t begin,
+                                            std::size_t end) {
+                                   if (begin == 0) {
+                                     throw std::runtime_error("chunk 0");
+                                   }
+                                   covered.fetch_add(
+                                       static_cast<int>(end - begin));
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(covered.load(), 93);  // everything except the throwing chunk
+}
+
+TEST(ThreadPool, ParallelForRethrowsTheFirstExceptionWhenSeveralThrow) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(8, [](std::size_t i) {
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    // The first *submitted* task's exception wins (deterministic choice).
+    EXPECT_STREQ(e.what(), "task 0");
+  }
 }
 
 }  // namespace

@@ -121,5 +121,85 @@ TEST(SimCluster, EmptySplitPlanIsInstant) {
   EXPECT_EQ(r.map_tasks, 0u);
 }
 
+TEST(SimCluster, DefaultConfigReportsNoFaultActivity) {
+  const SimCluster cluster(reference_config(8), Rng(7));
+  const SimJobReport r = cluster.run(uniform_splits(32, 20_MB), 1_MB);
+  EXPECT_EQ(r.task_failures, 0u);
+  EXPECT_EQ(r.speculative_tasks, 0u);
+  EXPECT_DOUBLE_EQ(r.wasted_time.value(), 0.0);
+}
+
+TEST(SimCluster, TaskFailuresWasteTimeButTheJobStillFinishes) {
+  SimClusterConfig config = reference_config(8);
+  config.p_task_failure = 0.3;
+  const SimCluster faulty(config, Rng(7));
+  const SimCluster clean(reference_config(8), Rng(7));
+  const auto splits = uniform_splits(64, 20_MB);
+
+  const SimJobReport r = faulty.run(splits, 1_MB);
+  ASSERT_GT(r.task_failures, 0u);
+  EXPECT_GT(r.wasted_time.value(), 0.0);
+  EXPECT_EQ(r.map_tasks, splits.size());
+  // Re-executed attempts only ever add load.
+  EXPECT_GE(r.map_makespan.value(),
+            clean.run(splits, 1_MB).map_makespan.value());
+}
+
+TEST(SimCluster, TaskFailuresReplayUnderTheSameSeed) {
+  SimClusterConfig config = reference_config(8);
+  config.p_task_failure = 0.25;
+  const SimCluster a(config, Rng(11));
+  const SimCluster b(config, Rng(11));
+  const auto splits = uniform_splits(48, 15_MB);
+  const SimJobReport ra = a.run(splits, 1_MB);
+  const SimJobReport rb = b.run(splits, 1_MB);
+  EXPECT_EQ(ra.task_failures, rb.task_failures);
+  EXPECT_DOUBLE_EQ(ra.wasted_time.value(), rb.wasted_time.value());
+  EXPECT_DOUBLE_EQ(ra.total.value(), rb.total.value());
+}
+
+TEST(SimCluster, SpeculationRescuesStragglersOnAMixedCluster) {
+  // A heterogeneous mixture puts some tasks on badly slow workers; with
+  // speculation a backup copy on a fast worker caps the damage.
+  SimClusterConfig config;
+  config.workers = 8;
+  config.mixture = cloud::QualityMixture{};  // heterogeneous: slow up to 4x
+  const SimCluster plain(config, Rng(23));
+  config.speculative_execution = true;
+  config.speculative_slowdown = 1.5;
+  const SimCluster speculating(config, Rng(23));
+  const auto splits = uniform_splits(64, 40_MB);
+
+  const SimJobReport without = plain.run(splits, 1_MB);
+  const SimJobReport with = speculating.run(splits, 1_MB);
+  ASSERT_GT(with.speculative_tasks, 0u)
+      << "seed draws no slow workers; pick another seed";
+  EXPECT_GT(with.wasted_time.value(), 0.0);
+  EXPECT_LE(with.map_makespan.value(), without.map_makespan.value());
+}
+
+TEST(SimCluster, SpeculationNeverTriggersOnAUniformCluster) {
+  SimClusterConfig config = reference_config(8);
+  config.speculative_execution = true;
+  const SimCluster cluster(config, Rng(7));
+  const SimJobReport r = cluster.run(uniform_splits(32, 20_MB), 1_MB);
+  // Every worker runs at the reference speed: nothing ever looks like a
+  // straggler, so speculation stays idle.
+  EXPECT_EQ(r.speculative_tasks, 0u);
+  EXPECT_DOUBLE_EQ(r.wasted_time.value(), 0.0);
+}
+
+TEST(SimCluster, InvalidFaultConfigsThrow) {
+  SimClusterConfig config = reference_config(4);
+  config.p_task_failure = 1.0;
+  EXPECT_THROW(SimCluster(config, Rng(1)), Error);
+  config = reference_config(4);
+  config.max_task_attempts = 0;
+  EXPECT_THROW(SimCluster(config, Rng(1)), Error);
+  config = reference_config(4);
+  config.speculative_slowdown = 1.0;
+  EXPECT_THROW(SimCluster(config, Rng(1)), Error);
+}
+
 }  // namespace
 }  // namespace reshape::mr

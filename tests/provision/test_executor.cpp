@@ -147,6 +147,151 @@ TEST_F(ExecutorFixture, DeterministicAcrossReplays) {
   EXPECT_EQ(a.cost, b.cost);
 }
 
+// --- Fault tolerance ------------------------------------------------------
+
+cloud::ProviderConfig faulty_config(double crash_rate,
+                                    double p_boot = 0.0) {
+  cloud::ProviderConfig config;
+  config.mixture = cloud::uniform_fast_mixture();
+  config.faults.crash_rate_per_hour = crash_rate;
+  config.faults.p_boot_failure = p_boot;
+  return config;
+}
+
+ExecutionOptions recovery_options() {
+  ExecutionOptions options;
+  // The uniform-fast fleet benches writes at 65 * 0.92 = 59.8 MB/s, so the
+  // paper's 60 MB/s bar would reject every replacement; screen just below.
+  options.relaunch_threshold = Rate::megabytes_per_second(55.0);
+  // A generous budget: these tests assert completion, not abandonment.
+  options.max_relaunches = 10;
+  return options;
+}
+
+TEST_F(ExecutorFixture, ZeroFaultModelKeepsAllFaultCountersZero) {
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  const ExecutionReport report = execute_plan(
+      provider, plan, cloud::pos_profile(), ExecutionOptions{}, noise);
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_EQ(report.relaunches, 0u);
+  EXPECT_EQ(report.redistributions, 0u);
+  EXPECT_EQ(report.abandoned, 0u);
+  EXPECT_DOUBLE_EQ(report.recovery_time.value(), 0.0);
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_TRUE(o.error.empty());
+    EXPECT_EQ(o.failures, 0u);
+    EXPECT_EQ(o.relaunches, 0u);
+  }
+}
+
+TEST_F(ExecutorFixture, SurvivesCrashesAndCompletesEveryAssignment) {
+  // A crash rate of ~1.5/instance-hour over half-hour-ish runs gives a
+  // high chance of at least one mid-run failure across the fleet.
+  cloud::CloudProvider provider(sim, Rng(101), faulty_config(1.5));
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  const ExecutionReport report = execute_plan(
+      provider, plan, cloud::pos_profile(), recovery_options(), noise);
+  ASSERT_GE(report.failures, 1u) << "seed no longer injects a failure; "
+                                    "pick another seed for this test";
+  EXPECT_EQ(report.abandoned, 0u);
+  EXPECT_GE(report.relaunches + report.redistributions, 1u);
+  EXPECT_GT(report.recovery_time.value(), 0.0);
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_GT(o.work_time.value(), 0.0);
+  }
+}
+
+TEST_F(ExecutorFixture, CrashedAssignmentReusesItsEbsVolume) {
+  cloud::CloudProvider provider(sim, Rng(101), faulty_config(1.5));
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  ExecutionOptions options = recovery_options();
+  options.data_on_ebs = true;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  ASSERT_GE(report.failures, 1u);
+  // Recovery re-attaches the assignment's persistent volume instead of
+  // creating a new one: exactly one volume per assignment, ever.
+  EXPECT_EQ(provider.volume_count(), plan.instance_count());
+  for (const InstanceOutcome& o : report.outcomes) {
+    ASSERT_TRUE(o.volume_id.valid());
+    // The data staged onto the volume survived every crash.
+    EXPECT_GE(provider.volume(o.volume_id).used(), o.volume);
+  }
+}
+
+TEST_F(ExecutorFixture, BootFailuresAreRecoveredToo) {
+  cloud::CloudProvider provider(sim, Rng(55), faulty_config(0.0, 0.3));
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  const ExecutionReport report = execute_plan(
+      provider, plan, cloud::pos_profile(), recovery_options(), noise);
+  ASSERT_GE(report.failures, 1u) << "seed no longer injects a boot failure";
+  EXPECT_EQ(report.abandoned, 0u);
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.completed);
+  }
+}
+
+TEST_F(ExecutorFixture, ExhaustedRecoveryYieldsStructuredErrorNotACrash) {
+  // Every boot fails (bar a sliver) and no relaunches are allowed: with no
+  // survivor to redistribute to, assignments degrade to error outcomes.
+  cloud::ProviderConfig config = faulty_config(0.0, 0.999);
+  cloud::CloudProvider provider(sim, Rng(77), config);
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  ExecutionOptions options;
+  options.max_relaunches = 0;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  ASSERT_GT(report.abandoned, 0u);
+  // An abandoned assignment never meets the deadline.
+  EXPECT_GE(report.missed, report.abandoned);
+  for (const InstanceOutcome& o : report.outcomes) {
+    if (!o.completed) {
+      EXPECT_FALSE(o.error.empty());
+      EXPECT_FALSE(o.met_deadline);
+    }
+  }
+}
+
+TEST_F(ExecutorFixture, FaultyRunsReplayBitIdentically) {
+  const corpus::Corpus data = small_gig();
+  const ExecutionPlan plan = uniform_plan(data, 1_h);
+  auto run_once = [&]() {
+    sim::Simulation local_sim;
+    cloud::CloudProvider provider(local_sim, Rng(101), faulty_config(1.5, 0.1));
+    Rng noise(9);
+    return execute_plan(provider, plan, cloud::pos_profile(),
+                        recovery_options(), noise);
+  };
+  const ExecutionReport a = run_once();
+  const ExecutionReport b = run_once();
+  ASSERT_EQ(a.instance_count(), b.instance_count());
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.relaunches, b.relaunches);
+  EXPECT_EQ(a.redistributions, b.redistributions);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_DOUBLE_EQ(a.recovery_time.value(), b.recovery_time.value());
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].id.value, b.outcomes[i].id.value);
+    EXPECT_EQ(a.outcomes[i].failures, b.outcomes[i].failures);
+    EXPECT_EQ(a.outcomes[i].relaunches, b.outcomes[i].relaunches);
+    EXPECT_EQ(a.outcomes[i].completed, b.outcomes[i].completed);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].work_time.value(),
+                     b.outcomes[i].work_time.value());
+    EXPECT_DOUBLE_EQ(a.outcomes[i].recovery_time.value(),
+                     b.outcomes[i].recovery_time.value());
+  }
+  EXPECT_EQ(a.cost, b.cost);
+}
+
 TEST_F(ExecutorFixture, EmptyPlanThrows) {
   cloud::CloudProvider provider(sim, Rng(7), uniform_config());
   ExecutionPlan plan;
