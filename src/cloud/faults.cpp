@@ -8,13 +8,19 @@ namespace reshape::cloud {
 
 bool FaultModel::any() const {
   return p_boot_failure > 0.0 || crash_rate_per_hour > 0.0 ||
-         spot_interruption_rate_per_hour > 0.0 || p_ebs_degradation > 0.0;
+         spot_interruption_rate_per_hour > 0.0 || p_ebs_degradation > 0.0 ||
+         transfer_any();
+}
+
+bool FaultModel::transfer_any() const {
+  return p_transfer_error > 0.0 || p_transfer_stall > 0.0 ||
+         p_transfer_corruption > 0.0;
 }
 
 FaultInjector::FaultInjector(Rng root, FaultModel model)
     : model_(model), boot_(root.split("boot-failure")),
       crash_(root.split("crash")), spot_(root.split("spot-interruption")),
-      ebs_(root.split("ebs-degradation")) {
+      ebs_(root.split("ebs-degradation")), transfer_(root.split("transfer")) {
   RESHAPE_REQUIRE(model.p_boot_failure >= 0.0 && model.p_boot_failure < 1.0,
                   "boot failure probability must be in [0, 1)");
   RESHAPE_REQUIRE(model.crash_rate_per_hour >= 0.0 &&
@@ -26,6 +32,18 @@ FaultInjector::FaultInjector(Rng root, FaultModel model)
   RESHAPE_REQUIRE(model.p_ebs_degradation == 0.0 ||
                       model.ebs_degradation_lo >= 1.0,
                   "degradation factor must not speed the volume up");
+  RESHAPE_REQUIRE(model.p_transfer_error >= 0.0 &&
+                      model.p_transfer_stall >= 0.0 &&
+                      model.p_transfer_corruption >= 0.0,
+                  "transfer fault probabilities must be non-negative");
+  RESHAPE_REQUIRE(model.p_transfer_error + model.p_transfer_stall +
+                          model.p_transfer_corruption <=
+                      1.0,
+                  "transfer fault probabilities must sum to at most 1");
+  RESHAPE_REQUIRE(model.p_transfer_stall == 0.0 ||
+                      (model.transfer_stall_lo >= 1.0 &&
+                       model.transfer_stall_hi >= model.transfer_stall_lo),
+                  "stall factor must slow the transfer down");
 }
 
 bool FaultInjector::draw_boot_failure(std::uint64_t index) const {
@@ -68,6 +86,23 @@ std::optional<EbsDegradationEpisode> FaultInjector::draw_ebs_episode(
   episode.factor =
       draw.uniform(model_.ebs_degradation_lo, model_.ebs_degradation_hi);
   return episode;
+}
+
+TransferFault FaultInjector::draw_transfer_fault(std::string_view key,
+                                                 std::uint64_t attempt) const {
+  if (!model_.transfer_any()) return {};
+  Rng draw = transfer_.split(key).split(attempt);
+  const double u = draw.uniform();
+  double threshold = model_.p_transfer_error;
+  if (u < threshold) return {TransferFaultKind::kTransientError, 1.0};
+  threshold += model_.p_transfer_stall;
+  if (u < threshold) {
+    return {TransferFaultKind::kStall,
+            draw.uniform(model_.transfer_stall_lo, model_.transfer_stall_hi)};
+  }
+  threshold += model_.p_transfer_corruption;
+  if (u < threshold) return {TransferFaultKind::kCorruption, 1.0};
+  return {};
 }
 
 }  // namespace reshape::cloud

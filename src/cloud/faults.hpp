@@ -8,7 +8,7 @@
 // quality and placement streams, so a run with a given seed and FaultModel
 // replays bit-identically no matter how events interleave.
 //
-// Four fault classes are modelled:
+// Control-plane fault classes:
 //   * boot failures    — pending -> failed without ever reaching running;
 //   * mid-run crashes  — exponential inter-failure time per instance-hour;
 //   * spot-style interruptions — same shape, separate rate and stream, so
@@ -16,10 +16,19 @@
 //   * transient EBS degradation — a throughput-divisor episode on a volume
 //     (contention on the shared network path, distinct from the repeatable
 //     placement penalty of Fig. 5).
+//
+// Data-plane fault classes (per transfer attempt, drawn as a pure function
+// of (seed, key, attempt) so a retried scenario replays bit-identically):
+//   * transient request errors — the request fails fast (throttle, reset);
+//   * stalls — the read crawls at a fraction of the modelled rate, the
+//     trigger for per-attempt timeouts;
+//   * silent payload corruption — the bytes arrive wrong; only a block
+//     digest check (common/digest) can notice.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "cloud/types.hpp"
 #include "common/rng.hpp"
@@ -48,8 +57,22 @@ struct FaultModel {
   /// Episode onset is uniform in [0, spread) after volume creation.
   Seconds ebs_degradation_spread{1800.0};
 
+  /// Data plane: probability that one transfer attempt fails with a
+  /// transient request error (the request dies fast, before any payload).
+  double p_transfer_error = 0.0;
+  /// Probability that one transfer attempt stalls: it still completes,
+  /// but `stall_factor`-times slower — the trigger for attempt timeouts.
+  double p_transfer_stall = 0.0;
+  /// Stall slow-down divisor, drawn uniformly per stalled attempt.
+  double transfer_stall_lo = 4.0;
+  double transfer_stall_hi = 10.0;
+  /// Probability that one transfer attempt silently corrupts the payload.
+  double p_transfer_corruption = 0.0;
+
   /// True when any fault class is enabled.
   [[nodiscard]] bool any() const;
+  /// True when any per-transfer (data-plane) fault class is enabled.
+  [[nodiscard]] bool transfer_any() const;
 };
 
 /// A fault scheduled to strike a running instance.
@@ -63,6 +86,19 @@ struct EbsDegradationEpisode {
   Seconds start_after{0.0};  // delay from volume creation
   Seconds duration{0.0};
   double factor = 1.0;  // throughput divisor while active (>= 1.0)
+};
+
+/// What strikes one transfer attempt.
+enum class TransferFaultKind {
+  kNone,
+  kTransientError,  // the request fails fast
+  kStall,           // the read completes `stall_factor` times slower
+  kCorruption,      // the payload arrives silently wrong
+};
+
+struct TransferFault {
+  TransferFaultKind kind = TransferFaultKind::kNone;
+  double stall_factor = 1.0;  // > 1 only for kStall
 };
 
 /// Draws faults deterministically from named child streams of one root.
@@ -86,12 +122,20 @@ class FaultInjector {
   [[nodiscard]] std::optional<EbsDegradationEpisode> draw_ebs_episode(
       std::uint64_t index) const;
 
+  /// The fault (if any) striking attempt `attempt` of the transfer named
+  /// `key`.  A pure function of (injector seed, key, attempt): the same
+  /// scenario replays bit-identically, and the zero model short-circuits
+  /// without touching any stream.
+  [[nodiscard]] TransferFault draw_transfer_fault(std::string_view key,
+                                                  std::uint64_t attempt) const;
+
  private:
   FaultModel model_;
   Rng boot_;
   Rng crash_;
   Rng spot_;
   Rng ebs_;
+  Rng transfer_;
 };
 
 }  // namespace reshape::cloud

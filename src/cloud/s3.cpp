@@ -6,13 +6,15 @@
 
 namespace reshape::cloud {
 
-void ObjectStore::put(const std::string& key, Bytes size) {
+void ObjectStore::put(const std::string& key, Bytes size,
+                      std::uint64_t digest) {
   RESHAPE_REQUIRE(size <= model_.max_object_size,
                   "object exceeds the S3 single-object size cap");
-  auto [it, inserted] = objects_.try_emplace(key, S3Object{key, size});
+  auto [it, inserted] = objects_.try_emplace(key, S3Object{key, size, digest});
   if (!inserted) {
     total_ -= it->second.size;
     it->second.size = size;
+    it->second.digest = digest;
   }
   total_ += size;
 }
@@ -36,14 +38,25 @@ bool ObjectStore::remove(const std::string& key) {
 }
 
 namespace {
+Seconds request_latency(const S3Model& model, Rng& rng) {
+  return Seconds(std::max(0.001, rng.normal(model.request_latency_mean.value(),
+                                            model.request_latency_stddev
+                                                .value())));
+}
+
 Seconds transfer_time(const S3Model& model, Bytes size, Rng& rng) {
-  const double latency =
-      std::max(0.001, rng.normal(model.request_latency_mean.value(),
-                                 model.request_latency_stddev.value()));
+  const Seconds latency = request_latency(model, rng);
   const double rate_factor =
       std::max(0.2, rng.normal(1.0, model.rate_jitter));
   const Rate rate = model.transfer_rate * rate_factor;
-  return Seconds(latency) + rate.time_for(size);
+  return latency + rate.time_for(size);
+}
+
+TransferChannel s3_channel(const S3Model& model, Bytes size) {
+  return TransferChannel{
+      [&model, size](Rng& rng) { return transfer_time(model, size, rng); },
+      // A transient error dies at request time: one latency, no payload.
+      [&model](Rng& rng) { return request_latency(model, rng); }};
 }
 }  // namespace
 
@@ -57,6 +70,34 @@ Seconds ObjectStore::upload_time(Bytes size, Rng& rng) const {
   RESHAPE_REQUIRE(size <= model_.max_object_size,
                   "upload exceeds the S3 single-object size cap");
   return transfer_time(model_, size, rng);
+}
+
+TransferOutcome ObjectStore::fetch_result(const std::string& key, Rng& rng,
+                                          const FaultInjector& faults,
+                                          const RetryPolicy& policy,
+                                          bool verify_integrity,
+                                          bool hedge) const {
+  const auto it = objects_.find(key);
+  RESHAPE_REQUIRE(it != objects_.end(), "fetch of missing S3 object: " + key);
+  const TransferChannel channel = s3_channel(model_, it->second.size);
+  if (hedge) {
+    return hedged_transfer(faults, key, policy, verify_integrity, channel,
+                           rng);
+  }
+  return transfer_with_retries(faults, key, policy, verify_integrity, channel,
+                               rng);
+}
+
+TransferOutcome ObjectStore::upload_result(const std::string& key, Bytes size,
+                                           Rng& rng,
+                                           const FaultInjector& faults,
+                                           const RetryPolicy& policy) const {
+  RESHAPE_REQUIRE(size <= model_.max_object_size,
+                  "upload exceeds the S3 single-object size cap");
+  const TransferChannel channel = s3_channel(model_, size);
+  // "put:" separates the upload's fault history from a same-key fetch.
+  return transfer_with_retries(faults, "put:" + key, policy,
+                               /*verify_integrity=*/true, channel, rng);
 }
 
 }  // namespace reshape::cloud

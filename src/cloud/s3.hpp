@@ -11,6 +11,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "cloud/transfer.hpp"
+#include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 
@@ -19,6 +21,9 @@ namespace reshape::cloud {
 struct S3Object {
   std::string key;
   Bytes size{0};
+  /// 64-bit content digest of the stored payload (0 when the producer did
+  /// not stamp one); carried so fetches can verify end-to-end integrity.
+  std::uint64_t digest = 0;
 };
 
 /// Latency/throughput character of the S3 path.
@@ -37,7 +42,9 @@ class ObjectStore {
   explicit ObjectStore(S3Model model = {}) : model_(model) {}
 
   /// Stores (or replaces) an object.  Throws if it exceeds the 5 GB cap.
-  void put(const std::string& key, Bytes size);
+  /// `digest` optionally stamps the payload's content digest so fetches
+  /// can be integrity-checked.
+  void put(const std::string& key, Bytes size, std::uint64_t digest = 0);
 
   [[nodiscard]] std::optional<S3Object> head(const std::string& key) const;
   [[nodiscard]] bool contains(const std::string& key) const;
@@ -54,6 +61,27 @@ class ObjectStore {
 
   /// Simulated wall time to upload `size` bytes as one object.
   [[nodiscard]] Seconds upload_time(Bytes size, Rng& rng) const;
+
+  /// Attempt-aware fetch through the data-plane fault layer: the transfer
+  /// is retried under `policy` against the faults drawn for this key, and
+  /// the outcome carries total time, attempts and the failure (if the
+  /// budget was exhausted).  `verify_integrity` models the digest check
+  /// that turns silent corruption into a detected, retried error.  With
+  /// the zero fault model this is one attempt costing exactly
+  /// `fetch_time`.
+  [[nodiscard]] TransferOutcome fetch_result(const std::string& key, Rng& rng,
+                                             const FaultInjector& faults,
+                                             const RetryPolicy& policy,
+                                             bool verify_integrity = true,
+                                             bool hedge = false) const;
+
+  /// Attempt-aware upload of `size` bytes as one object.  Uploads are
+  /// always integrity-checked (the store rejects a bad checksum), so
+  /// injected corruption surfaces as a detected, retried error.
+  [[nodiscard]] TransferOutcome upload_result(const std::string& key,
+                                              Bytes size, Rng& rng,
+                                              const FaultInjector& faults,
+                                              const RetryPolicy& policy) const;
 
   [[nodiscard]] const S3Model& model() const { return model_; }
 

@@ -1,0 +1,118 @@
+#include "cloud/transfer.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace reshape::cloud {
+
+TransferOutcome transfer_with_retries(const FaultInjector& faults,
+                                      std::string_view key,
+                                      const RetryPolicy& policy,
+                                      bool verify_integrity,
+                                      const TransferChannel& channel,
+                                      Rng& rng) {
+  policy.validate();
+  RESHAPE_REQUIRE(channel.success_time && channel.error_time,
+                  "transfer channel needs both cost callbacks");
+  TransferOutcome out;
+  out.attempts = 0;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const Seconds wait = policy.jittered_backoff(attempt - 1, rng);
+      out.backoff += wait;
+      out.time += wait;
+    }
+    ++out.attempts;
+    const TransferFault fault =
+        faults.draw_transfer_fault(key, static_cast<std::uint64_t>(attempt));
+    switch (fault.kind) {
+      case TransferFaultKind::kNone: {
+        const Seconds t = channel.success_time(rng);
+        out.time += t;
+        out.final_attempt = t;
+        out.ok = true;
+        out.error = TransferErrorKind::kNone;
+        return out;
+      }
+      case TransferFaultKind::kTransientError: {
+        out.time += channel.error_time(rng);
+        ++out.transient_errors;
+        out.error = TransferErrorKind::kTransientError;
+        break;
+      }
+      case TransferFaultKind::kStall: {
+        const Seconds stalled = channel.success_time(rng) * fault.stall_factor;
+        if (policy.attempt_timeout.value() > 0.0 &&
+            stalled > policy.attempt_timeout) {
+          // The watchdog cuts the stalled read at the timeout and retries.
+          out.time += policy.attempt_timeout;
+          ++out.timeouts;
+          out.error = TransferErrorKind::kTimeout;
+          break;
+        }
+        // No timeout configured: the stall is endured to completion.
+        out.time += stalled;
+        out.final_attempt = stalled;
+        ++out.stalls;
+        out.ok = true;
+        out.error = TransferErrorKind::kNone;
+        return out;
+      }
+      case TransferFaultKind::kCorruption: {
+        const Seconds t = channel.success_time(rng);
+        out.time += t;
+        if (!verify_integrity) {
+          // Nothing checks the digest: the corrupt payload is delivered.
+          out.final_attempt = t;
+          out.delivered_corrupt = true;
+          out.ok = true;
+          out.error = TransferErrorKind::kNone;
+          return out;
+        }
+        ++out.corruptions_detected;
+        out.error = TransferErrorKind::kCorruption;
+        break;
+      }
+    }
+  }
+  out.ok = false;
+  return out;
+}
+
+TransferOutcome hedged_transfer(const FaultInjector& faults,
+                                std::string_view key,
+                                const RetryPolicy& policy,
+                                bool verify_integrity,
+                                const TransferChannel& channel, Rng& rng) {
+  TransferOutcome primary = transfer_with_retries(faults, key, policy,
+                                                  verify_integrity, channel,
+                                                  rng);
+  // The duplicate runs on its own streams: a fresh rng seeded from the
+  // caller's (one draw, so repeated hedges stay uncorrelated) and the
+  // injector's `key#hedge` fault history.
+  Rng duplicate_rng(rng.next_u64());
+  const std::string duplicate_key = std::string(key) + "#hedge";
+  TransferOutcome duplicate =
+      transfer_with_retries(faults, duplicate_key, policy, verify_integrity,
+                            channel, duplicate_rng);
+
+  const bool duplicate_wins =
+      duplicate.ok && (!primary.ok || duplicate.time < primary.time);
+  TransferOutcome winner = duplicate_wins ? duplicate : primary;
+  const TransferOutcome& loser = duplicate_wins ? primary : duplicate;
+  winner.hedge_won = duplicate_wins;
+  if (!winner.ok) {
+    // Both copies exhausted their budgets; the race fails when the later
+    // one gives up.
+    winner.time = std::max(primary.time, duplicate.time);
+  }
+  winner.attempts += loser.attempts;
+  winner.backoff += loser.backoff;
+  winner.transient_errors += loser.transient_errors;
+  winner.timeouts += loser.timeouts;
+  winner.stalls += loser.stalls;
+  winner.corruptions_detected += loser.corruptions_detected;
+  return winner;
+}
+
+}  // namespace reshape::cloud

@@ -1,0 +1,82 @@
+// The data-plane retry engine.
+//
+// One logical transfer (an S3 GET/PUT, an EBS extent read) is executed as
+// a sequence of attempts under a RetryPolicy.  Each attempt's fate is an
+// injected TransferFault drawn purely from (injector seed, key, attempt),
+// so any faulty scenario replays bit-identically; the time of each attempt
+// comes from the caller's channel model, drawn from the caller's rng
+// stream.  With the zero fault model the engine performs exactly one
+// attempt and exactly the draws the un-retried code path would have made,
+// keeping every existing report byte-identical.
+//
+// Hedging implements the paper's §1.1 parallel-access property: S3 serves
+// concurrent requests independently, so duplicating a straggling download
+// and taking the first winner costs no extra queueing in the model.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "cloud/faults.hpp"
+#include "common/error.hpp"
+#include "common/retry.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace reshape::cloud {
+
+/// Per-attempt cost model of the underlying channel.
+struct TransferChannel {
+  /// Wall time of one fault-free attempt (latency + volume over rate).
+  std::function<Seconds(Rng&)> success_time;
+  /// Wall time burned by an attempt that dies with a transient error
+  /// (typically one request latency, no payload movement).
+  std::function<Seconds(Rng&)> error_time;
+};
+
+/// Outcome of one logical transfer across all of its attempts.
+struct TransferOutcome {
+  bool ok = true;
+  /// Last error observed when !ok (the budget was exhausted on it).
+  TransferErrorKind error = TransferErrorKind::kNone;
+  int attempts = 1;
+  Seconds time{0.0};           // total wall time: attempts + backoff
+  Seconds backoff{0.0};        // waiting time included in `time`
+  Seconds final_attempt{0.0};  // cost of the attempt that succeeded
+  int transient_errors = 0;
+  int timeouts = 0;
+  int stalls = 0;  // stalls endured to completion (no timeout configured)
+  int corruptions_detected = 0;
+  /// A corrupt payload was delivered because nothing verified it.
+  bool delivered_corrupt = false;
+  /// The hedged duplicate finished first.
+  bool hedge_won = false;
+
+  /// Time spent beyond the winning attempt: failed attempts + backoff.
+  [[nodiscard]] Seconds retry_overhead() const {
+    return time - final_attempt;
+  }
+};
+
+/// Runs one transfer under the policy.  `key` names the transfer for the
+/// injector's pure fault draws — distinct logical transfers must use
+/// distinct keys or they will share a fault history.  `verify_integrity`
+/// models a block-digest check after each attempt: with it, corruption is
+/// detected and retried; without it, corrupt payloads are delivered.
+[[nodiscard]] TransferOutcome transfer_with_retries(
+    const FaultInjector& faults, std::string_view key,
+    const RetryPolicy& policy, bool verify_integrity,
+    const TransferChannel& channel, Rng& rng);
+
+/// Races two independent copies of the transfer (fault streams `key` and
+/// `key#hedge`) and returns the first winner; both must exhaust their
+/// budgets for the hedged transfer to fail.  Attempt and error counters
+/// aggregate over both copies; `time` is the winner's wall clock.
+[[nodiscard]] TransferOutcome hedged_transfer(const FaultInjector& faults,
+                                              std::string_view key,
+                                              const RetryPolicy& policy,
+                                              bool verify_integrity,
+                                              const TransferChannel& channel,
+                                              Rng& rng);
+
+}  // namespace reshape::cloud

@@ -1,0 +1,32 @@
+// 64-bit content digests for end-to-end block integrity.
+//
+// The reshape layer stamps every merged block with a digest at
+// merge/materialize time; the data plane re-checks it after every
+// simulated transfer, so silent payload corruption (cloud/faults) is
+// caught and re-fetched instead of propagating into results.  FNV-1a is
+// used: it is not cryptographic, but it is deterministic across
+// platforms, cheap enough to run per block, and 64 bits is plenty to make
+// an injected corruption visible.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace reshape {
+
+/// Streaming FNV-1a 64-bit digest.
+class Digest64 {
+ public:
+  Digest64& update(std::string_view data);
+  Digest64& update_u64(std::uint64_t v);
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// One-shot digest of a byte string.
+[[nodiscard]] std::uint64_t digest_bytes(std::string_view data);
+
+}  // namespace reshape

@@ -2,6 +2,20 @@
 
 #include <sstream>
 
+namespace reshape {
+
+const char* to_string(TransferErrorKind kind) {
+  switch (kind) {
+    case TransferErrorKind::kNone: return "none";
+    case TransferErrorKind::kTransientError: return "transient-error";
+    case TransferErrorKind::kTimeout: return "timeout";
+    case TransferErrorKind::kCorruption: return "corruption";
+  }
+  return "unknown";
+}
+
+}  // namespace reshape
+
 namespace reshape::detail {
 
 void fail_requirement(const char* expr, const char* file, int line,

@@ -16,6 +16,33 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// How a data-plane transfer attempt can go wrong (cloud/transfer).
+///
+/// kTransientError — the request failed outright (throttle, 5xx, reset);
+/// kTimeout        — a stalled read exceeded the policy's attempt timeout;
+/// kCorruption     — the payload arrived but its block digest mismatched.
+enum class TransferErrorKind {
+  kNone,
+  kTransientError,
+  kTimeout,
+  kCorruption,
+};
+
+[[nodiscard]] const char* to_string(TransferErrorKind kind);
+
+/// Thrown when a transfer exhausts its retry budget on a path that has no
+/// structured-outcome channel to report through.
+class TransferError : public Error {
+ public:
+  TransferError(TransferErrorKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+
+  [[nodiscard]] TransferErrorKind kind() const { return kind_; }
+
+ private:
+  TransferErrorKind kind_;
+};
+
 namespace detail {
 [[noreturn]] void fail_requirement(const char* expr, const char* file, int line,
                                    const std::string& message);

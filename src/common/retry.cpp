@@ -1,0 +1,57 @@
+#include "common/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace reshape {
+
+void RetryPolicy::validate() const {
+  RESHAPE_REQUIRE(max_attempts >= 1, "retry budget needs at least one attempt");
+  RESHAPE_REQUIRE(initial_backoff.value() >= 0.0,
+                  "initial backoff must be non-negative");
+  RESHAPE_REQUIRE(backoff_multiplier >= 1.0,
+                  "backoff multiplier below 1 would shrink delays");
+  RESHAPE_REQUIRE(max_backoff.value() >= 0.0,
+                  "backoff cap must be non-negative");
+  RESHAPE_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0, 1)");
+  RESHAPE_REQUIRE(attempt_timeout.value() >= 0.0,
+                  "attempt timeout must be non-negative");
+}
+
+Seconds RetryPolicy::backoff(int retry) const {
+  RESHAPE_REQUIRE(retry >= 0, "retry index must be non-negative");
+  const double grown =
+      initial_backoff.value() * std::pow(backoff_multiplier, retry);
+  return Seconds(std::min(max_backoff.value(), grown));
+}
+
+Seconds RetryPolicy::jittered_backoff(int retry, Rng& rng) const {
+  const double base = backoff(retry).value();
+  return Seconds(base * rng.uniform(1.0 - jitter, 1.0 + jitter));
+}
+
+double RetryPolicy::expected_attempts(double p_failure) const {
+  if (p_failure <= 0.0) return 1.0;
+  if (p_failure >= 1.0) return static_cast<double>(max_attempts);
+  return (1.0 - std::pow(p_failure, max_attempts)) / (1.0 - p_failure);
+}
+
+Seconds RetryPolicy::expected_backoff(double p_failure) const {
+  if (p_failure <= 0.0) return Seconds(0.0);
+  const double p = std::min(p_failure, 1.0);
+  double total = 0.0;
+  // Retry r (delay backoff(r)) happens iff attempts 0..r all failed.
+  for (int retry = 0; retry + 1 < max_attempts; ++retry) {
+    total += std::pow(p, retry + 1) * backoff(retry).value();
+  }
+  return Seconds(total);
+}
+
+double RetryPolicy::exhaustion_probability(double p_failure) const {
+  if (p_failure <= 0.0) return 0.0;
+  return std::pow(std::min(p_failure, 1.0), max_attempts);
+}
+
+}  // namespace reshape

@@ -1,0 +1,58 @@
+// Retry policy for unreliable operations.
+//
+// The data-plane fault layer (cloud/faults, cloud/transfer) models S3 and
+// EBS requests that fail transiently, stall, or deliver corrupt payloads.
+// Real clients survive those with capped jittered exponential backoff and
+// a bounded attempt budget; this policy captures exactly that, as pure
+// arithmetic so a retry schedule is a deterministic function of (policy,
+// rng stream) and a faulty run replays bit-identically.
+#pragma once
+
+#include "common/units.hpp"
+#include "common/rng.hpp"
+
+namespace reshape {
+
+/// Capped jittered exponential backoff with a hard attempt budget.
+struct RetryPolicy {
+  /// Total tries allowed, including the first (>= 1).  The budget is
+  /// exact: attempt `max_attempts` failing means the operation fails.
+  int max_attempts = 4;
+  /// Backoff before the first retry.
+  Seconds initial_backoff{0.5};
+  /// Growth factor per retry (>= 1, so the schedule is monotone).
+  double backoff_multiplier = 2.0;
+  /// Ceiling of the exponential growth.
+  Seconds max_backoff{30.0};
+  /// Symmetric jitter fraction in [0, 1): a jittered delay lands in
+  /// [(1 - jitter) * backoff, (1 + jitter) * backoff).
+  double jitter = 0.2;
+  /// Per-attempt timeout; a stalled transfer is abandoned (and retried)
+  /// once it exceeds this.  Zero means stalls are endured to completion.
+  Seconds attempt_timeout{0.0};
+
+  /// Throws when the parameters are out of range.
+  void validate() const;
+
+  /// Un-jittered delay before retry `retry` (0-based): the monotone
+  /// non-decreasing sequence min(max_backoff, initial * multiplier^retry).
+  [[nodiscard]] Seconds backoff(int retry) const;
+
+  /// One jittered draw of backoff(retry) from `rng`.
+  [[nodiscard]] Seconds jittered_backoff(int retry, Rng& rng) const;
+
+  /// Expected attempts per operation when each attempt independently
+  /// fails with probability `p_failure`: (1 - p^n) / (1 - p), capped by
+  /// the budget.
+  [[nodiscard]] double expected_attempts(double p_failure) const;
+
+  /// Expected total (un-jittered) backoff per operation at the same
+  /// per-attempt failure probability: sum over retries weighted by the
+  /// probability that the retry happens.
+  [[nodiscard]] Seconds expected_backoff(double p_failure) const;
+
+  /// Probability that all `max_attempts` attempts fail.
+  [[nodiscard]] double exhaustion_probability(double p_failure) const;
+};
+
+}  // namespace reshape

@@ -9,23 +9,52 @@ namespace reshape {
 
 namespace {
 
-/// Waits on every future, then rethrows the first captured exception.
+/// Synchronises one parallel_for batch: a countdown of unfinished tasks
+/// plus the first captured exception, all guarded by one mutex.
 ///
-/// Draining all of them before throwing is load-bearing: the queued tasks
-/// reference the caller's `fn` (captured by reference), so returning while
-/// any are still queued or running would leave workers touching a
-/// destroyed callable.
-void drain(std::vector<std::future<void>>& pending) {
+/// Waiting for the *whole* batch before rethrowing is load-bearing: the
+/// queued tasks reference the caller's `fn` (captured by reference), so
+/// returning while any are still queued or running would leave workers
+/// touching a destroyed callable.
+///
+/// A deliberate non-use of futures: carrying exceptions through
+/// std::packaged_task shared state lets a worker drop the last reference
+/// to the stored exception after the caller has already read it, and that
+/// final release happens inside libstdc++'s (uninstrumented) refcount —
+/// which TSan reports as a racing free.  Here the first exception is
+/// handed over under `m`, every worker-side reference is released before
+/// the caller can observe completion, and the final release runs on the
+/// calling thread.
+struct Batch {
+  std::mutex m;
+  std::condition_variable all_done;
+  std::size_t remaining;
+  std::size_t first_index = 0;
   std::exception_ptr first;
-  for (auto& f : pending) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first) first = std::current_exception();
+
+  explicit Batch(std::size_t tasks) : remaining(tasks) {}
+
+  /// Worker side: called exactly once per task, after the task body ran.
+  /// The exception of the earliest-submitted failing task wins, matching
+  /// the submission-order semantics a future-drain loop would give.
+  void finish(std::size_t index, std::exception_ptr err) {
+    const std::lock_guard lock(m);
+    if (err && (!first || index < first_index)) {
+      first = std::move(err);  // displaced exception freed under the lock
+      first_index = index;
     }
+    if (--remaining == 0) all_done.notify_one();
   }
-  if (first) std::rethrow_exception(first);
-}
+
+  /// Caller side: blocks until every task finished, then rethrows.
+  void wait_and_rethrow() {
+    {
+      std::unique_lock lock(m);
+      all_done.wait(lock, [this] { return remaining == 0; });
+    }
+    if (first) std::rethrow_exception(first);
+  }
+};
 
 }  // namespace
 
@@ -64,25 +93,47 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> pending;
-  pending.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    pending.push_back(submit([&fn, i] { fn(i); }));
+  Batch batch(n);
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      queue_.emplace_back([&batch, &fn, i] {
+        std::exception_ptr err;
+        try {
+          fn(i);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        batch.finish(i, std::move(err));
+      });
+    }
   }
-  drain(pending);
+  wake_.notify_all();
+  batch.wait_and_rethrow();
 }
 
 void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   RESHAPE_REQUIRE(grain > 0, "grain must be positive");
-  std::vector<std::future<void>> pending;
-  pending.reserve((n + grain - 1) / grain);
-  for (std::size_t begin = 0; begin < n; begin += grain) {
-    const std::size_t end = std::min(begin + grain, n);
-    pending.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  Batch batch((n + grain - 1) / grain);
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      const std::size_t end = std::min(begin + grain, n);
+      queue_.emplace_back([&batch, &fn, begin, end] {
+        std::exception_ptr err;
+        try {
+          fn(begin, end);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        batch.finish(begin, std::move(err));
+      });
+    }
   }
-  drain(pending);
+  wake_.notify_all();
+  batch.wait_and_rethrow();
 }
 
 }  // namespace reshape

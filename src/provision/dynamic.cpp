@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_map>
 
 #include "cloud/workload.hpp"
 #include "common/error.hpp"
@@ -38,6 +39,15 @@ struct Slot {
   int attempt = 0;
   cloud::QualityClass final_quality = cloud::QualityClass::kFast;
   std::uint64_t file_count = 0;
+
+  // Injected-failure recovery (all zero under the zero FaultModel).
+  std::size_t failures = 0;
+  std::size_t relaunches = 0;
+  bool abandoned = false;
+  std::string error;
+  Seconds failed_at{0.0};
+  Seconds recovery_total{0.0};
+  bool pending_recovery = false;
 };
 
 cloud::DataLayout layout_for(const Assignment& assignment,
@@ -105,6 +115,10 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
       slot.first_work_begun = slot.work_begun;
       slot.started = true;
     }
+    if (slot.pending_recovery) {
+      slot.recovery_total += slot.work_begun - slot.failed_at;
+      slot.pending_recovery = false;
+    }
     slot.cur_staging = staging;
     slot.cur_exec = exec;
     slot.final_quality = instance.quality().cls;
@@ -120,12 +134,75 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
         });
   };
 
+  // Maps each live instance to the slot it hosts, registered at launch
+  // time so boot failures are caught too.  Screening candidates stay out
+  // until their switch commits.
+  std::unordered_map<cloud::InstanceId, Slot*> hosting;
+
+  // Launches a replacement for a failed slot.  Replacements skip the
+  // checkpoint monitor: they already are the recovery path.
+  auto relaunch = [&provider, &options, &begin_work, &hosting](Slot& slot) {
+    const cloud::InstanceId id = provider.launch(
+        options.base.instance_type, options.base.zone,
+        [&begin_work, raw = &slot](cloud::Instance& instance) {
+          begin_work(*raw, instance);
+        });
+    hosting[id] = &slot;
+  };
+
+  // Injected-failure recovery (composes PR 2's control-plane faults with
+  // the checkpoint policy): the volume survives the crash, the processed
+  // prefix is kept, and the remainder restarts on a relaunched instance
+  // within the relaunch budget.
+  const std::size_t hook = provider.add_failure_hook(
+      [&provider, &options, &relaunch, &hosting,
+       &report](cloud::Instance& inst) {
+        ++report.execution.failures;
+        const auto it = hosting.find(inst.id());
+        if (it == hosting.end()) return;  // a discarded candidate
+        Slot& slot = *it->second;
+        hosting.erase(it);
+        if (slot.done || slot.abandoned) return;
+        const Seconds now = provider.sim().now();
+        ++slot.failures;
+        slot.failed_at = now;
+        if (slot.started && slot.current == inst.id()) {
+          // Mid-run crash: keep the processed prefix (it lives on the
+          // persistent volume), lose only the in-flight attempt.
+          provider.sim().cancel(slot.completion);
+          const double progress = attempt_progress(slot, now);
+          const Seconds elapsed = now - slot.work_begun;
+          slot.staging_total += std::min(elapsed, slot.cur_staging);
+          slot.exec_total += Seconds(progress * slot.cur_exec.value());
+          const Bytes processed(static_cast<std::uint64_t>(
+              progress * slot.remaining.as_double()));
+          slot.remaining = slot.remaining - processed;
+          slot.data_offset += processed;
+          if (slot.remaining.count() == 0) {
+            slot.done = true;
+            slot.finished_at = now;
+            return;
+          }
+        }
+        if (slot.relaunches < static_cast<std::size_t>(std::max(
+                                  0, options.base.max_relaunches))) {
+          ++slot.relaunches;
+          slot.pending_recovery = true;
+          relaunch(slot);
+          return;
+        }
+        slot.abandoned = true;
+        slot.error =
+            "recovery exhausted: relaunch budget spent after an injected "
+            "failure";
+      });
+
   // Launches one replacement candidate for a lagging slot; verifies it is
   // projected to finish meaningfully sooner before committing; retries
   // with another candidate otherwise (§7's "lightweight tests to establish
   // the quality of the instances").
   std::function<void(Slot&, Seconds)> try_candidate =
-      [&provider, &options, &begin_work, &report,
+      [&provider, &options, &begin_work, &report, &hosting,
        &try_candidate](Slot& slot, Seconds old_bar) {
         if (slot.done || slot.switched ||
             slot.candidates_tried >= kMaxCandidates) {
@@ -134,8 +211,8 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
         ++slot.candidates_tried;
         provider.launch(
             options.base.instance_type, options.base.zone,
-            [&provider, &options, &begin_work, &report, &try_candidate, &slot,
-             old_bar](cloud::Instance& candidate) {
+            [&provider, &options, &begin_work, &report, &hosting,
+             &try_candidate, &slot, old_bar](cloud::Instance& candidate) {
               if (slot.done || slot.switched) {
                 provider.terminate(candidate.id());
                 return;
@@ -182,9 +259,11 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
               event.assignment_index = slot.index;
               event.replaced = slot.current;
               event.old_projection = old_bar;
+              hosting.erase(slot.current);
               provider.terminate(slot.current);  // frees the volume
 
               begin_work(slot, candidate);
+              hosting[candidate.id()] = &slot;
               event.replacement = candidate.id();
               event.new_completion = slot.work_begun + slot.cur_staging +
                                      slot.cur_exec - slot.first_work_begun;
@@ -209,7 +288,7 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
         provider.volume(slot->volume).stage(plan.assignments[i].volume);
 
     Slot* raw = slot.get();
-    provider.launch(
+    const cloud::InstanceId launched = provider.launch(
         options.base.instance_type, options.base.zone,
         [&provider, &options, &begin_work, &try_candidate, raw,
          deadline = plan.deadline](cloud::Instance& instance) {
@@ -231,10 +310,17 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
                 try_candidate(*raw, projected);
               });
         });
+    hosting[launched] = raw;
     slots.push_back(std::move(slot));
   }
 
-  provider.sim().run();
+  try {
+    provider.sim().run();
+  } catch (...) {
+    provider.remove_failure_hook(hook);
+    throw;
+  }
+  provider.remove_failure_hook(hook);
 
   for (const auto& slot : slots) {
     InstanceOutcome& outcome = report.execution.outcomes[slot->index];
@@ -245,12 +331,28 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
     outcome.staging = slot->staging_total;
     outcome.exec_time = slot->exec_total;
     outcome.quality = slot->final_quality;
-    RESHAPE_REQUIRE(slot->done, "an assignment never completed");
-    // The bar: wall time from first work start to completion (includes a
-    // replacement's boot gap — the honest cost of switching).
-    outcome.work_time = slot->finished_at - slot->first_work_begun;
-    outcome.met_deadline = outcome.work_time <= plan.deadline;
+    outcome.completed = slot->done;
+    outcome.error = slot->error;
+    outcome.failures = slot->failures;
+    outcome.relaunches = slot->relaunches;
+    outcome.recovery_time = slot->recovery_total;
+    RESHAPE_REQUIRE(slot->done || slot->abandoned,
+                    "an assignment neither completed nor failed terminally");
+    if (slot->done) {
+      // The bar: wall time from first work start to completion (includes
+      // a replacement's boot gap — the honest cost of switching).
+      outcome.work_time = slot->finished_at - slot->first_work_begun;
+      outcome.met_deadline = outcome.work_time <= plan.deadline;
+    } else {
+      outcome.work_time = slot->started
+                              ? slot->failed_at - slot->first_work_begun
+                              : Seconds(0.0);
+      outcome.met_deadline = false;
+      ++report.execution.abandoned;
+    }
     if (!outcome.met_deadline) ++report.execution.missed;
+    report.execution.relaunches += slot->relaunches;
+    report.execution.recovery_time += slot->recovery_total;
     report.execution.makespan =
         std::max(report.execution.makespan, outcome.work_time);
   }

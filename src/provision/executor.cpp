@@ -4,11 +4,14 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "cloud/transfer.hpp"
 #include "cloud/workload.hpp"
 #include "common/error.hpp"
+#include "provision/retrieval.hpp"
 
 namespace reshape::provision {
 
@@ -42,12 +45,14 @@ struct Slot {
   Seconds work_begun{0.0};
   Seconds cur_staging{0.0};
   Seconds cur_exec{0.0};
+  Seconds cur_retrieval{0.0};
   Bytes attempt_bytes{0};
   sim::EventHandle completion{};
 
   // Accumulated outcome.
   Seconds staging_total{0.0};
   Seconds exec_total{0.0};
+  Seconds retrieval_total{0.0};
   Seconds work_total{0.0};
   Seconds recovery_total{0.0};
   Seconds failed_at{0.0};
@@ -59,6 +64,13 @@ struct Slot {
   bool done = false;
   bool abandoned = false;
   std::string error;
+
+  // Data-plane bookkeeping.
+  int transfer_attempts = 0;
+  int transfer_retries = 0;
+  Seconds transfer_retry_time{0.0};
+  int corruptions_detected = 0;
+  int hedge_wins = 0;
 };
 
 /// One live instance: the slot it is processing plus redistributed slots
@@ -199,16 +211,88 @@ class ExecutionDriver {
       instance.stage_local(slot.remaining);
     }
 
+    // Data-plane faults: the staging transfer runs through the retry
+    // engine.  Gated on the model so the zero fault model makes no extra
+    // draws and keeps historic reports bit-identical.
+    const bool data_faults =
+        provider_.fault_injector().model().transfer_any();
+    if (data_faults) {
+      const Seconds base = staging;
+      const cloud::TransferChannel channel{
+          [base](Rng&) { return base; },
+          // A failed staging attempt dies early, before the bulk move.
+          [base](Rng&) { return std::max(Seconds(0.005), base * 0.05); }};
+      const std::string key =
+          "stage/" + std::to_string(slot.index) + "/" +
+          std::to_string(slot.failures + slot.relaunches);
+      const cloud::TransferOutcome out = cloud::transfer_with_retries(
+          provider_.fault_injector(), key, options_.transfer_retry,
+          options_.verify_transfers, channel, slot.run_noise);
+      slot.transfer_attempts += out.attempts;
+      slot.transfer_retries += out.attempts - 1;
+      slot.transfer_retry_time += out.retry_overhead();
+      slot.corruptions_detected += out.corruptions_detected;
+      if (!out.ok) {
+        slot.work_total += out.time;
+        abandon_on_transfer(station, slot,
+                            "staging transfer failed after " +
+                                std::to_string(out.attempts) +
+                                " attempts (last error: " +
+                                to_string(out.error) + ")");
+        return;
+      }
+      staging = out.time;
+    }
+
     const Seconds exec =
         cloud::run_time(slot.app, layout, instance, storage, slot.run_noise);
+
+    // Result-retrieval phase (paper §1: less-segmented output retrieves
+    // faster).  Sampled up front and charged against the deadline like
+    // staging and exec.
+    Seconds retrieval{0.0};
+    if (options_.output_ratio > 0.0) {
+      OutputSegmentation seg;
+      seg.object_count = std::max<std::uint64_t>(1, layout.file_count);
+      seg.total_volume = Bytes(static_cast<std::uint64_t>(
+          slot.remaining.as_double() * options_.output_ratio));
+      if (data_faults) {
+        const std::string prefix =
+            "retr/" + std::to_string(slot.index) + "/" +
+            std::to_string(slot.failures + slot.relaunches);
+        try {
+          const SampledRetrieval sampled = retrieval_time_sampled_with_faults(
+              seg, provider_.config().s3, provider_.fault_injector(),
+              options_.transfer_retry, prefix, slot.run_noise,
+              options_.hedge_retrieval);
+          retrieval = sampled.total;
+          slot.transfer_attempts += sampled.attempts;
+          slot.transfer_retries += sampled.retries;
+          slot.transfer_retry_time += sampled.retry_time;
+          slot.corruptions_detected += sampled.corruptions_detected;
+          slot.hedge_wins += sampled.hedge_wins;
+        } catch (const TransferError& failure) {
+          slot.work_total += staging + exec;
+          abandon_on_transfer(station, slot,
+                              std::string("retrieval transfer failed: ") +
+                                  failure.what());
+          return;
+        }
+      } else {
+        retrieval =
+            retrieval_time_sampled(seg, provider_.config().s3, slot.run_noise);
+      }
+    }
+
     const Seconds now = provider_.sim().now();
     slot.work_begun = now;
     slot.cur_staging = staging;
     slot.cur_exec = exec;
+    slot.cur_retrieval = retrieval;
     slot.attempt_bytes = slot.remaining;
 
     slot.completion = provider_.sim().schedule_in(
-        staging + exec, [this, sid = station.id](sim::Simulation&) {
+        staging + exec + retrieval, [this, sid = station.id](sim::Simulation&) {
           const auto it = stations_.find(sid);
           if (it == stations_.end()) return;
           on_complete(*it->second);
@@ -217,7 +301,26 @@ class ExecutionDriver {
     for (const Slot* waiting : station.backlog) {
       queued += estimate_work(*waiting);
     }
-    station.avail_at = now + staging + exec + queued;
+    station.avail_at = now + staging + exec + retrieval + queued;
+  }
+
+  /// A staging/retrieval transfer exhausted its retry budget: the
+  /// assignment degrades to a structured error and the station moves on
+  /// (its backlog drains, or the instance terminates).
+  void abandon_on_transfer(Station& station, Slot& slot, std::string why) {
+    slot.abandoned = true;
+    slot.error = std::move(why);
+    station.active = nullptr;
+    if (!station.backlog.empty()) {
+      Slot* next = station.backlog.front();
+      station.backlog.pop_front();
+      next->recovery_total += provider_.sim().now() - next->failed_at;
+      begin_work(station, *next);
+      return;
+    }
+    const cloud::InstanceId id = station.id;
+    stations_.erase(id);
+    provider_.terminate(id);
   }
 
   void on_complete(Station& station) {
@@ -225,7 +328,8 @@ class ExecutionDriver {
     slot.done = true;
     slot.staging_total += slot.cur_staging;
     slot.exec_total += slot.cur_exec;
-    slot.work_total += slot.cur_staging + slot.cur_exec;
+    slot.retrieval_total += slot.cur_retrieval;
+    slot.work_total += slot.cur_staging + slot.cur_exec + slot.cur_retrieval;
     station.active = nullptr;
     if (!station.backlog.empty()) {
       Slot* next = station.backlog.front();
@@ -260,8 +364,12 @@ class ExecutionDriver {
       const Seconds elapsed = now - slot->work_begun;
       slot->work_total += elapsed;
       slot->staging_total += std::min(elapsed, slot->cur_staging);
-      slot->exec_total +=
-          std::max(Seconds(0.0), elapsed - slot->cur_staging);
+      // Attribute only the exec window to exec time; time spent in the
+      // retrieval phase is lost outright (results are re-downloaded on
+      // recovery, so no retrieval progress survives a crash).
+      slot->exec_total += std::min(
+          std::max(Seconds(0.0), elapsed - slot->cur_staging),
+          slot->cur_exec);
       double progress = 1.0;
       if (slot->cur_exec.value() > 0.0) {
         progress = std::clamp(
@@ -375,6 +483,7 @@ class ExecutionDriver {
       outcome.file_count = slot->file_count;
       outcome.staging = slot->staging_total;
       outcome.exec_time = slot->exec_total;
+      outcome.retrieval = slot->retrieval_total;
       outcome.work_time = slot->work_total + slot->recovery_total;
       outcome.quality = slot->quality;
       outcome.completed = slot->done;
@@ -382,6 +491,18 @@ class ExecutionDriver {
       outcome.failures = slot->failures;
       outcome.relaunches = slot->relaunches;
       outcome.recovery_time = slot->recovery_total;
+      outcome.transfer_attempts = slot->transfer_attempts;
+      outcome.transfer_retries = slot->transfer_retries;
+      outcome.transfer_retry_time = slot->transfer_retry_time;
+      outcome.corruptions_detected = slot->corruptions_detected;
+      outcome.hedge_wins = slot->hedge_wins;
+      report.transfer_retries +=
+          static_cast<std::size_t>(std::max(0, slot->transfer_retries));
+      report.transfer_retry_time += slot->transfer_retry_time;
+      report.corruptions_detected +=
+          static_cast<std::size_t>(std::max(0, slot->corruptions_detected));
+      report.hedge_wins +=
+          static_cast<std::size_t>(std::max(0, slot->hedge_wins));
       if (!slot->done && slot->error.empty()) {
         outcome.error = "assignment never completed";
       }

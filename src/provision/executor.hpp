@@ -23,6 +23,7 @@
 
 #include "cloud/app_profile.hpp"
 #include "cloud/provider.hpp"
+#include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "provision/planner.hpp"
 
@@ -45,6 +46,19 @@ struct ExecutionOptions {
   /// Screening applied to replacement instances (§4 acquisition).
   Rate relaunch_threshold = Rate::megabytes_per_second(60.0);
   int relaunch_screen_attempts = 5;
+
+  /// Data-plane fault tolerance.  The retry policy governs staging and
+  /// retrieval transfers when the provider's fault model injects transfer
+  /// faults; with the zero model no engine runs and no extra draws occur.
+  RetryPolicy transfer_retry{};
+  /// Result volume as a fraction of the input; > 0 appends a per-instance
+  /// retrieval phase (download of the result objects) after execution.
+  double output_ratio = 0.0;
+  /// Hedge (duplicate) the retrieval transfers and keep the first winner.
+  bool hedge_retrieval = false;
+  /// Verify block digests after each transfer, turning silent corruption
+  /// into a detected, retried error.
+  bool verify_transfers = true;
 };
 
 struct InstanceOutcome {
@@ -55,7 +69,8 @@ struct InstanceOutcome {
   std::uint64_t file_count = 0;
   Seconds staging{0.0};
   Seconds exec_time{0.0};   // application run time
-  Seconds work_time{0.0};   // staging + exec (+ recovery), the Figs. 8-9 bar
+  Seconds retrieval{0.0};   // result-download phase (output_ratio > 0)
+  Seconds work_time{0.0};   // staging + exec + retrieval (+ recovery)
   bool met_deadline = false;
   cloud::QualityClass quality = cloud::QualityClass::kFast;
 
@@ -65,6 +80,13 @@ struct InstanceOutcome {
   std::size_t failures = 0;    // instance failures suffered
   std::size_t relaunches = 0;  // replacement instances acquired
   Seconds recovery_time{0.0};  // wall time between failures and resumed work
+
+  /// Data-plane bookkeeping (all zero under the zero FaultModel).
+  int transfer_attempts = 0;       // staging/retrieval attempts made
+  int transfer_retries = 0;        // attempts beyond the first per transfer
+  Seconds transfer_retry_time{0.0};  // wall time lost to retries + backoff
+  int corruptions_detected = 0;    // digest mismatches caught and retried
+  int hedge_wins = 0;              // retrieval races won by the duplicate
 };
 
 struct ExecutionReport {
@@ -81,6 +103,12 @@ struct ExecutionReport {
   std::size_t redistributions = 0;  // remainders chained onto survivors
   std::size_t abandoned = 0;        // assignments recovery could not save
   Seconds recovery_time{0.0};       // summed over outcomes
+
+  /// Data-plane aggregates (all zero under the zero FaultModel).
+  std::size_t transfer_retries = 0;
+  Seconds transfer_retry_time{0.0};
+  std::size_t corruptions_detected = 0;
+  std::size_t hedge_wins = 0;
 
   [[nodiscard]] std::size_t instance_count() const { return outcomes.size(); }
   /// Worst observed-over-deadline ratio (1.0 when all met).

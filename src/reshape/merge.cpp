@@ -3,10 +3,50 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
 namespace reshape::pack {
+
+namespace {
+void stamp_digests(MergedCorpus& merged) {
+  merged.digests.clear();
+  merged.digests.reserve(merged.blocks.size());
+  for (const Bin& bin : merged.blocks) {
+    merged.digests.push_back(block_digest(bin));
+  }
+}
+}  // namespace
+
+std::uint64_t block_digest(const Bin& bin) {
+  Digest64 d;
+  for (const std::uint64_t id : bin.item_ids) d.update_u64(id);
+  d.update_u64(bin.used.count());
+  return d.value();
+}
+
+std::vector<std::uint64_t> content_digests(
+    const std::vector<std::string>& blocks) {
+  std::vector<std::uint64_t> digests;
+  digests.reserve(blocks.size());
+  for (const std::string& block : blocks) {
+    digests.push_back(digest_bytes(block));
+  }
+  return digests;
+}
+
+std::vector<std::size_t> verify_blocks(
+    const std::vector<std::string>& blocks,
+    const std::vector<std::uint64_t>& expected) {
+  RESHAPE_REQUIRE(blocks.size() == expected.size(),
+                  "digest count does not match block count");
+  std::vector<std::size_t> mismatched;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (digest_bytes(blocks[i]) != expected[i]) mismatched.push_back(i);
+  }
+  return mismatched;
+}
 
 Bytes MergedCorpus::total_volume() const {
   Bytes total{0};
@@ -36,6 +76,7 @@ MergedCorpus merge_to_unit(const corpus::Corpus& corpus, Bytes unit,
   MergedCorpus merged;
   merged.unit = unit;
   merged.blocks = first_fit(items, unit, order).bins;
+  stamp_digests(merged);
   return merged;
 }
 
@@ -75,6 +116,7 @@ MergedCorpus merge_to_unit_parallel(const corpus::Corpus& corpus, Bytes unit,
   for (PackResult& part : parts) {
     for (Bin& bin : part.bins) merged.blocks.push_back(std::move(bin));
   }
+  stamp_digests(merged);
   return merged;
 }
 
@@ -95,6 +137,7 @@ MergedCorpus derive_multiple(const MergedCorpus& base, std::uint64_t m) {
     }
     merged.blocks.push_back(std::move(combined));
   }
+  stamp_digests(merged);
   return merged;
 }
 

@@ -25,6 +25,13 @@ namespace reshape::pack {
 struct MergedCorpus {
   Bytes unit{0};
   std::vector<Bin> blocks;
+  /// Per-block 64-bit structural digests (`digests[i]` covers
+  /// `blocks[i]`): FNV-1a over the block's member file ids and its used
+  /// size.  Stamped at merge time, carried through staging, and verified
+  /// after every simulated transfer so silent corruption is caught
+  /// end-to-end.  Same logical block => same digest, independent of how
+  /// the merge was computed (sequential, sharded, or derived).
+  std::vector<std::uint64_t> digests;
 
   [[nodiscard]] std::size_t block_count() const { return blocks.size(); }
   [[nodiscard]] Bytes total_volume() const;
@@ -32,6 +39,21 @@ struct MergedCorpus {
   /// Mean fill of blocks relative to the unit size.
   [[nodiscard]] double fill_factor() const;
 };
+
+/// Structural digest of one packed block: FNV-1a over the member file ids
+/// (in block order) and the used byte count.
+[[nodiscard]] std::uint64_t block_digest(const Bin& bin);
+
+/// Content digests of materialized blocks (FNV-1a over the raw bytes).
+[[nodiscard]] std::vector<std::uint64_t> content_digests(
+    const std::vector<std::string>& blocks);
+
+/// Verifies materialized blocks against expected content digests; returns
+/// the indices that mismatch (empty means intact).  Throws if the counts
+/// differ.
+[[nodiscard]] std::vector<std::size_t> verify_blocks(
+    const std::vector<std::string>& blocks,
+    const std::vector<std::uint64_t>& expected);
 
 /// Reshapes `corpus` into blocks of at most `unit` bytes via subset-sum
 /// first-fit.  Every file appears in exactly one block.

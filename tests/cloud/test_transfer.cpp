@@ -1,0 +1,376 @@
+// Fault-matrix tests for the data-plane retry engine: every injected
+// transfer fault kind crossed with the policy knobs that react to it.
+#include "cloud/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/ebs.hpp"
+#include "cloud/s3.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+/// Fixed-cost channel: a clean attempt takes 10 s, a failed request 1 s.
+TransferChannel fixed_channel() {
+  return TransferChannel{[](Rng&) { return Seconds(10.0); },
+                         [](Rng&) { return Seconds(1.0); }};
+}
+
+FaultInjector injector(FaultModel model, std::uint64_t seed = 11) {
+  return FaultInjector(Rng(seed), model);
+}
+
+std::string keyed(const char* prefix, int k) {
+  std::string key(prefix);
+  key += std::to_string(k);
+  return key;
+}
+
+TEST(TransferEngine, ZeroModelIsOneCleanAttempt) {
+  const FaultInjector faults = injector(FaultModel{});
+  Rng rng(1);
+  const TransferOutcome out = transfer_with_retries(
+      faults, "a", RetryPolicy{}, true, fixed_channel(), rng);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_DOUBLE_EQ(out.time.value(), 10.0);
+  EXPECT_DOUBLE_EQ(out.backoff.value(), 0.0);
+  EXPECT_DOUBLE_EQ(out.retry_overhead().value(), 0.0);
+  EXPECT_EQ(out.error, TransferErrorKind::kNone);
+}
+
+TEST(TransferEngine, ZeroModelMakesNoRngDraws) {
+  // The bit-identity contract: with no transfer faults configured the
+  // engine must not consume the caller's rng stream beyond what the
+  // channel itself draws (here: nothing).
+  const FaultInjector faults = injector(FaultModel{});
+  Rng rng(5);
+  const std::uint64_t before = Rng(5).next_u64();
+  (void)transfer_with_retries(faults, "x", RetryPolicy{}, true,
+                              fixed_channel(), rng);
+  EXPECT_EQ(rng.next_u64(), before);
+}
+
+TEST(TransferEngine, CertainTransientErrorBurnsTheExactBudget) {
+  FaultModel model;
+  model.p_transfer_error = 1.0;
+  const FaultInjector faults = injector(model);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.jitter = 0.0;
+  Rng rng(2);
+  const TransferOutcome out =
+      transfer_with_retries(faults, "k", policy, true, fixed_channel(), rng);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 3);
+  EXPECT_EQ(out.transient_errors, 3);
+  EXPECT_EQ(out.error, TransferErrorKind::kTransientError);
+  // 3 failed requests (1 s each) + backoff(0) + backoff(1).
+  EXPECT_DOUBLE_EQ(out.time.value(),
+                   3.0 + policy.backoff(0).value() + policy.backoff(1).value());
+}
+
+TEST(TransferEngine, TransientErrorsRecoverWithinBudget) {
+  FaultModel model;
+  model.p_transfer_error = 0.4;
+  const FaultInjector faults = injector(model);
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  Rng rng(3);
+  int recovered_with_retries = 0;
+  for (int k = 0; k < 50; ++k) {
+    const TransferOutcome out = transfer_with_retries(
+        faults, keyed("obj-", k), policy, true, fixed_channel(),
+        rng);
+    ASSERT_TRUE(out.ok);
+    if (out.attempts > 1) {
+      ++recovered_with_retries;
+      EXPECT_GT(out.retry_overhead().value(), 0.0);
+    }
+  }
+  EXPECT_GT(recovered_with_retries, 5);  // p=0.4 must trip sometimes
+}
+
+TEST(TransferEngine, StallIsEnduredWithoutAWatchdog) {
+  FaultModel model;
+  model.p_transfer_stall = 1.0;
+  model.transfer_stall_lo = 4.0;
+  model.transfer_stall_hi = 4.0;  // deterministic factor
+  const FaultInjector faults = injector(model);
+  RetryPolicy policy;  // attempt_timeout = 0: endure
+  Rng rng(4);
+  const TransferOutcome out =
+      transfer_with_retries(faults, "s", policy, true, fixed_channel(), rng);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.stalls, 1);
+  EXPECT_DOUBLE_EQ(out.time.value(), 40.0);  // 10 s * factor 4
+}
+
+TEST(TransferEngine, WatchdogCutsTheStallAndRetries) {
+  FaultModel model;
+  model.p_transfer_stall = 1.0;
+  model.transfer_stall_lo = 4.0;
+  model.transfer_stall_hi = 4.0;
+  const FaultInjector faults = injector(model);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.attempt_timeout = Seconds(15.0);  // < 40 s stalled read
+  policy.jitter = 0.0;
+  Rng rng(4);
+  const TransferOutcome out =
+      transfer_with_retries(faults, "s", policy, true, fixed_channel(), rng);
+  EXPECT_FALSE(out.ok);  // every attempt stalls, every stall times out
+  EXPECT_EQ(out.timeouts, 2);
+  EXPECT_EQ(out.error, TransferErrorKind::kTimeout);
+  // Two watchdog windows + one backoff.
+  EXPECT_DOUBLE_EQ(out.time.value(), 30.0 + policy.backoff(0).value());
+}
+
+TEST(TransferEngine, CorruptionIsDetectedOnlyUnderVerification) {
+  FaultModel model;
+  model.p_transfer_corruption = 1.0;
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.jitter = 0.0;
+
+  {
+    const FaultInjector faults = injector(model);
+    Rng rng(6);
+    const TransferOutcome out =
+        transfer_with_retries(faults, "c", policy, true, fixed_channel(), rng);
+    EXPECT_FALSE(out.ok);  // both payloads corrupt, both detected
+    EXPECT_EQ(out.corruptions_detected, 2);
+    EXPECT_FALSE(out.delivered_corrupt);
+    EXPECT_EQ(out.error, TransferErrorKind::kCorruption);
+  }
+  {
+    // Without the digest check the first corrupt payload sails through.
+    const FaultInjector faults = injector(model);
+    Rng rng(6);
+    const TransferOutcome out = transfer_with_retries(faults, "c", policy,
+                                                      false, fixed_channel(),
+                                                      rng);
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(out.attempts, 1);
+    EXPECT_TRUE(out.delivered_corrupt);
+    EXPECT_EQ(out.corruptions_detected, 0);
+  }
+}
+
+TEST(TransferEngine, SameSeedReplaysBitIdentically) {
+  FaultModel model;
+  model.p_transfer_error = 0.3;
+  model.p_transfer_stall = 0.2;
+  model.p_transfer_corruption = 0.1;
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+
+  auto run = [&] {
+    const FaultInjector faults = injector(model, 123);
+    Rng rng(9);
+    std::vector<TransferOutcome> outs;
+    for (int k = 0; k < 20; ++k) {
+      outs.push_back(transfer_with_retries(faults, keyed("o", k),
+                                           policy, true, fixed_channel(),
+                                           rng));
+    }
+    return outs;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ok, b[i].ok);
+    EXPECT_EQ(a[i].attempts, b[i].attempts);
+    EXPECT_DOUBLE_EQ(a[i].time.value(), b[i].time.value());
+    EXPECT_EQ(a[i].transient_errors, b[i].transient_errors);
+    EXPECT_EQ(a[i].stalls, b[i].stalls);
+    EXPECT_EQ(a[i].corruptions_detected, b[i].corruptions_detected);
+  }
+}
+
+TEST(TransferEngine, DistinctKeysSeeIndependentFaultHistories) {
+  FaultModel model;
+  model.p_transfer_error = 0.5;
+  const FaultInjector faults = injector(model);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  Rng rng(1);
+  bool attempts_differ = false;
+  int prev = -1;
+  for (int k = 0; k < 30; ++k) {
+    const TransferOutcome out = transfer_with_retries(
+        faults, keyed("key-", k), policy, true, fixed_channel(),
+        rng);
+    if (prev >= 0 && out.attempts != prev) attempts_differ = true;
+    prev = out.attempts;
+  }
+  EXPECT_TRUE(attempts_differ);
+}
+
+TEST(HedgedTransfer, DuplicateRescuesAFailedPrimary) {
+  // Find a key whose primary stream exhausts its budget but whose #hedge
+  // stream succeeds; the race must be saved by the duplicate.
+  FaultModel model;
+  model.p_transfer_error = 0.6;
+  const FaultInjector faults = injector(model, 77);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  bool rescued = false;
+  Rng rng(13);
+  for (int k = 0; k < 200 && !rescued; ++k) {
+    const std::string key = keyed("h", k);
+    Rng probe(1);
+    const TransferOutcome primary =
+        transfer_with_retries(faults, key, policy, true, fixed_channel(),
+                              probe);
+    if (primary.ok) continue;
+    const TransferOutcome hedged =
+        hedged_transfer(faults, key, policy, true, fixed_channel(), rng);
+    if (hedged.ok) {
+      EXPECT_TRUE(hedged.hedge_won);
+      rescued = true;
+    }
+  }
+  EXPECT_TRUE(rescued);
+}
+
+TEST(HedgedTransfer, FailsOnlyWhenBothCopiesExhaust) {
+  FaultModel model;
+  model.p_transfer_error = 1.0;  // nothing can succeed
+  const FaultInjector faults = injector(model);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.jitter = 0.0;
+  Rng rng(3);
+  const TransferOutcome out =
+      hedged_transfer(faults, "doomed", policy, true, fixed_channel(), rng);
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 4);  // both copies burn their full budgets
+}
+
+TEST(HedgedTransfer, ZeroModelStillSucceedsOnce) {
+  const FaultInjector faults = injector(FaultModel{});
+  Rng rng(8);
+  const TransferOutcome out = hedged_transfer(faults, "z", RetryPolicy{},
+                                              true, fixed_channel(), rng);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 2);  // both copies ran one clean attempt
+  EXPECT_DOUBLE_EQ(out.time.value(), 10.0);
+}
+
+TEST(ObjectStoreFaults, ZeroModelFetchResultMatchesFetchTime) {
+  ObjectStore store;
+  store.put("blob", 64_MB);
+  const FaultInjector faults = injector(FaultModel{});
+  Rng a(21), b(21);
+  const Seconds historic = store.fetch_time("blob", a);
+  const TransferOutcome out =
+      store.fetch_result("blob", b, faults, RetryPolicy{});
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_DOUBLE_EQ(out.time.value(), historic.value());
+}
+
+TEST(ObjectStoreFaults, FetchRetriesUnderTransientErrors) {
+  ObjectStore store;
+  store.put("blob", 64_MB);
+  FaultModel model;
+  model.p_transfer_error = 0.5;
+  const FaultInjector faults = injector(model, 3);
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  Rng rng(4);
+  int total_attempts = 0;
+  for (int k = 0; k < 20; ++k) {
+    store.put(keyed("o", k), 1_MB);
+    const TransferOutcome out =
+        store.fetch_result(keyed("o", k), rng, faults, policy);
+    ASSERT_TRUE(out.ok);
+    total_attempts += out.attempts;
+  }
+  EXPECT_GT(total_attempts, 20);  // some fetch needed a retry
+}
+
+TEST(ObjectStoreFaults, UploadUsesItsOwnFaultStream) {
+  ObjectStore store;
+  FaultModel model;
+  model.p_transfer_error = 0.5;
+  const FaultInjector faults = injector(model, 3);
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  // A fetch of `k` and an upload to `k` must not share a fault history:
+  // their first-attempt fates may differ for some key.
+  bool differs = false;
+  Rng rng(4);
+  for (int k = 0; k < 40 && !differs; ++k) {
+    const std::string key = keyed("k", k);
+    store.put(key, 8_MB);
+    const TransferOutcome down = store.fetch_result(key, rng, faults, policy);
+    const TransferOutcome up =
+        store.upload_result(key, 8_MB, rng, faults, policy);
+    if (down.attempts != up.attempts) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(EbsFaults, ZeroModelReadMatchesEffectiveRate) {
+  const EbsPlacementModel model;
+  const EbsVolume vol(VolumeId{1}, 10_GB, AvailabilityZone{},
+                      model, Rng(55));
+  const FaultInjector faults = injector(FaultModel{});
+  const Rate io = Rate::megabytes_per_second(100.0);
+  Rng rng(2);
+  const TransferOutcome out = vol.read_result(
+      0_B, 1_GB, io, Seconds(0.0), rng, faults, RetryPolicy{});
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 1);
+  const Seconds expected = vol.effective_rate(0_B, 1_GB, io).time_for(1_GB);
+  EXPECT_DOUBLE_EQ(out.time.value(), expected.value());
+}
+
+TEST(EbsFaults, SameExtentReplaysTheSameFaultHistory) {
+  const EbsPlacementModel model;
+  const EbsVolume vol(VolumeId{1}, 10_GB, AvailabilityZone{},
+                      model, Rng(55));
+  FaultModel fm;
+  fm.p_transfer_error = 0.5;
+  const FaultInjector faults = injector(fm, 9);
+  const Rate io = Rate::megabytes_per_second(100.0);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.jitter = 0.0;
+  Rng a(1), b(1);
+  const TransferOutcome first = vol.read_result(
+      256_MB, 128_MB, io, Seconds(0.0), a, faults, policy);
+  const TransferOutcome again = vol.read_result(
+      256_MB, 128_MB, io, Seconds(0.0), b, faults, policy);
+  EXPECT_EQ(first.attempts, again.attempts);
+  EXPECT_DOUBLE_EQ(first.time.value(), again.time.value());
+}
+
+TEST(FaultModelValidation, RejectsBadTransferParameters) {
+  {
+    FaultModel model;
+    model.p_transfer_error = 0.7;
+    model.p_transfer_stall = 0.4;  // sum > 1
+    EXPECT_THROW((void)FaultInjector(Rng(1), model), Error);
+  }
+  {
+    FaultModel model;
+    model.p_transfer_stall = 0.1;
+    model.transfer_stall_lo = 0.5;  // would speed the transfer up
+    EXPECT_THROW((void)FaultInjector(Rng(1), model), Error);
+  }
+  {
+    FaultModel model;
+    model.p_transfer_corruption = -0.1;
+    EXPECT_THROW((void)FaultInjector(Rng(1), model), Error);
+  }
+}
+
+}  // namespace
+}  // namespace reshape::cloud

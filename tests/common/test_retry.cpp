@@ -1,0 +1,141 @@
+// Property tests for the retry policy (the data-plane backoff engine).
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace reshape {
+namespace {
+
+TEST(RetryPolicy, BackoffIsMonotoneUpToTheCap) {
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.initial_backoff = Seconds(0.5);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = Seconds(30.0);
+  Seconds prev{0.0};
+  bool capped = false;
+  for (int retry = 0; retry < 11; ++retry) {
+    const Seconds delay = policy.backoff(retry);
+    EXPECT_GE(delay, prev) << "retry " << retry;
+    EXPECT_LE(delay, policy.max_backoff);
+    if (delay == policy.max_backoff) capped = true;
+    prev = delay;
+  }
+  // 0.5 * 2^7 > 30: the schedule must have hit the ceiling.
+  EXPECT_TRUE(capped);
+  // Once capped, it stays capped.
+  EXPECT_EQ(policy.backoff(9), policy.max_backoff);
+  EXPECT_EQ(policy.backoff(10), policy.max_backoff);
+}
+
+TEST(RetryPolicy, UncappedPrefixIsExactlyExponential) {
+  RetryPolicy policy;
+  policy.initial_backoff = Seconds(1.0);
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff = Seconds(1000.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(1).value(), 3.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(2).value(), 9.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(3).value(), 27.0);
+}
+
+TEST(RetryPolicy, JitterStaysWithinTheBand) {
+  RetryPolicy policy;
+  policy.jitter = 0.2;
+  Rng rng(42);
+  for (int retry = 0; retry < 6; ++retry) {
+    const double base = policy.backoff(retry).value();
+    for (int draw = 0; draw < 200; ++draw) {
+      const double jittered = policy.jittered_backoff(retry, rng).value();
+      EXPECT_GE(jittered, base * (1.0 - policy.jitter));
+      EXPECT_LE(jittered, base * (1.0 + policy.jitter));
+    }
+  }
+}
+
+TEST(RetryPolicy, ZeroJitterIsTheBaseSchedule) {
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+  Rng rng(7);
+  for (int retry = 0; retry < 5; ++retry) {
+    EXPECT_DOUBLE_EQ(policy.jittered_backoff(retry, rng).value(),
+                     policy.backoff(retry).value());
+  }
+}
+
+TEST(RetryPolicy, SameSeedSameJitterSequence) {
+  RetryPolicy policy;
+  Rng a(99), b(99);
+  for (int retry = 0; retry < 8; ++retry) {
+    EXPECT_DOUBLE_EQ(policy.jittered_backoff(retry % 4, a).value(),
+                     policy.jittered_backoff(retry % 4, b).value());
+  }
+}
+
+TEST(RetryPolicy, ExpectedAttemptsMatchesTheGeometricSum) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  EXPECT_DOUBLE_EQ(policy.expected_attempts(0.0), 1.0);
+  // (1 - p^4) / (1 - p) at p = 0.5: 1 + 0.5 + 0.25 + 0.125.
+  EXPECT_NEAR(policy.expected_attempts(0.5), 1.875, 1e-12);
+  // Certain failure burns the whole budget.
+  EXPECT_NEAR(policy.expected_attempts(1.0),
+              static_cast<double>(policy.max_attempts), 1e-9);
+  // Monotone in p.
+  double prev = 0.0;
+  for (double p = 0.0; p < 1.0; p += 0.05) {
+    const double attempts = policy.expected_attempts(p);
+    EXPECT_GE(attempts, prev);
+    prev = attempts;
+  }
+}
+
+TEST(RetryPolicy, ExhaustionProbabilityIsPToTheBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_DOUBLE_EQ(policy.exhaustion_probability(0.0), 0.0);
+  EXPECT_NEAR(policy.exhaustion_probability(0.5), 0.125, 1e-12);
+  EXPECT_DOUBLE_EQ(policy.exhaustion_probability(1.0), 1.0);
+}
+
+TEST(RetryPolicy, ExpectedBackoffIsZeroOnACleanChannel) {
+  RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.expected_backoff(0.0).value(), 0.0);
+  EXPECT_GT(policy.expected_backoff(0.3).value(), 0.0);
+  // More failures, more waiting.
+  EXPECT_GT(policy.expected_backoff(0.6).value(),
+            policy.expected_backoff(0.3).value());
+}
+
+TEST(RetryPolicy, ValidateRejectsBadParameters) {
+  RetryPolicy ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  RetryPolicy bad = ok;
+  bad.max_attempts = 0;
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = ok;
+  bad.backoff_multiplier = 0.5;
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = ok;
+  bad.jitter = 1.0;
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = ok;
+  bad.jitter = -0.1;
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = ok;
+  bad.initial_backoff = Seconds(-1.0);
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+}  // namespace
+}  // namespace reshape

@@ -112,6 +112,106 @@ TEST(DynamicExecution, NoReplacementsOnUniformFastFleet) {
   EXPECT_EQ(report.execution.missed, 0u);
 }
 
+// --- Fault tolerance (composition with the injector) ----------------------
+
+cloud::ProviderConfig crashy_config(double crash_rate) {
+  cloud::ProviderConfig config;
+  config.mixture = cloud::uniform_fast_mixture();
+  config.faults.crash_rate_per_hour = crash_rate;
+  return config;
+}
+
+ReschedulingOptions recovery_options() {
+  ReschedulingOptions options;
+  options.base.max_relaunches = 10;
+  return options;
+}
+
+TEST(DynamicFaults, SurvivesCrashesAroundTheCheckpoint) {
+  // A high crash rate makes failures land before, at and after the 600 s
+  // checkpoint across the fleet; every assignment must still terminate
+  // (completed or abandoned — with a generous relaunch budget, completed).
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(31), crashy_config(3.0));
+  const corpus::Corpus data = data_200mb();
+  const ExecutionPlan plan = uniform_plan(data);
+  Rng noise(1);
+  const DynamicReport report = execute_with_rescheduling(
+      provider, plan, cloud::pos_profile(), recovery_options(), noise);
+  ASSERT_GE(report.execution.failures, 1u)
+      << "seed no longer injects a crash; pick another seed";
+  EXPECT_EQ(report.execution.abandoned, 0u);
+  EXPECT_GE(report.execution.relaunches, 1u);
+  EXPECT_GT(report.execution.recovery_time.value(), 0.0);
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_GT(o.work_time.value(), 0.0);
+  }
+}
+
+TEST(DynamicFaults, ExhaustedRelaunchBudgetAbandonsCleanly) {
+  sim::Simulation sim;
+  // Crashes every few simulated minutes: no run survives to completion.
+  cloud::CloudProvider provider(sim, Rng(31), crashy_config(40.0));
+  const corpus::Corpus data = data_200mb();
+  const ExecutionPlan plan = uniform_plan(data);
+  Rng noise(1);
+  ReschedulingOptions options;
+  options.base.max_relaunches = 0;
+  const DynamicReport report = execute_with_rescheduling(
+      provider, plan, cloud::pos_profile(), options, noise);
+  ASSERT_GT(report.execution.abandoned, 0u);
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    if (!o.completed) {
+      EXPECT_FALSE(o.error.empty());
+      EXPECT_FALSE(o.met_deadline);
+    }
+  }
+}
+
+TEST(DynamicFaults, CrashyRunsReplayBitIdentically) {
+  const corpus::Corpus data = data_200mb();
+  const ExecutionPlan plan = uniform_plan(data);
+  auto run_once = [&]() {
+    sim::Simulation sim;
+    cloud::CloudProvider provider(sim, Rng(31), crashy_config(3.0));
+    Rng noise(1);
+    return execute_with_rescheduling(provider, plan, cloud::pos_profile(),
+                                     recovery_options(), noise);
+  };
+  const DynamicReport a = run_once();
+  const DynamicReport b = run_once();
+  EXPECT_EQ(a.execution.failures, b.execution.failures);
+  EXPECT_EQ(a.execution.relaunches, b.execution.relaunches);
+  EXPECT_EQ(a.execution.abandoned, b.execution.abandoned);
+  EXPECT_DOUBLE_EQ(a.execution.makespan.value(), b.execution.makespan.value());
+  ASSERT_EQ(a.execution.outcomes.size(), b.execution.outcomes.size());
+  for (std::size_t i = 0; i < a.execution.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.execution.outcomes[i].work_time.value(),
+                     b.execution.outcomes[i].work_time.value());
+    EXPECT_EQ(a.execution.outcomes[i].failures,
+              b.execution.outcomes[i].failures);
+  }
+}
+
+TEST(DynamicFaults, ZeroFaultModelKeepsCountersZeroAndBehaviourIdentical) {
+  // Guard for the fault-hook plumbing: with the zero model the dynamic
+  // path must not record failures or recovery time.
+  sim::Simulation sim;
+  cloud::ProviderConfig config;
+  config.mixture = cloud::uniform_fast_mixture();
+  cloud::CloudProvider provider(sim, Rng(5), config);
+  const corpus::Corpus data = data_200mb();
+  const ExecutionPlan plan = uniform_plan(data);
+  Rng noise(3);
+  const DynamicReport report = execute_with_rescheduling(
+      provider, plan, cloud::pos_profile(), ReschedulingOptions{}, noise);
+  EXPECT_EQ(report.execution.failures, 0u);
+  EXPECT_EQ(report.execution.relaunches, 0u);
+  EXPECT_EQ(report.execution.abandoned, 0u);
+  EXPECT_DOUBLE_EQ(report.execution.recovery_time.value(), 0.0);
+}
+
 TEST(DynamicExecution, RequiresEbs) {
   sim::Simulation sim;
   cloud::CloudProvider provider(sim, Rng(5), cloud::ProviderConfig{});

@@ -292,6 +292,141 @@ TEST_F(ExecutorFixture, FaultyRunsReplayBitIdentically) {
   EXPECT_EQ(a.cost, b.cost);
 }
 
+// --- Data-plane fault tolerance -------------------------------------------
+
+cloud::ProviderConfig transfer_faulty_config(double p_error,
+                                             double p_corruption = 0.0) {
+  cloud::ProviderConfig config;
+  config.mixture = cloud::uniform_fast_mixture();
+  config.faults.p_transfer_error = p_error;
+  config.faults.p_transfer_corruption = p_corruption;
+  return config;
+}
+
+TEST_F(ExecutorFixture, ZeroDataFaultsLeaveTransferCountersZero) {
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  const ExecutionReport report = execute_plan(
+      provider, plan, cloud::pos_profile(), ExecutionOptions{}, noise);
+  EXPECT_EQ(report.transfer_retries, 0u);
+  EXPECT_DOUBLE_EQ(report.transfer_retry_time.value(), 0.0);
+  EXPECT_EQ(report.corruptions_detected, 0u);
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_EQ(o.transfer_retries, 0);
+    EXPECT_DOUBLE_EQ(o.retrieval.value(), 0.0);
+  }
+}
+
+TEST_F(ExecutorFixture, FlakyStagingRetriesAndStillCompletes) {
+  cloud::CloudProvider provider(sim, Rng(7), transfer_faulty_config(0.4));
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  ExecutionOptions options;
+  options.transfer_retry.max_attempts = 8;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_EQ(report.abandoned, 0u);
+  EXPECT_GT(report.transfer_retries, 0u);
+  EXPECT_GT(report.transfer_retry_time.value(), 0.0);
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.completed);
+  }
+}
+
+TEST_F(ExecutorFixture, CertainTransferFailureAbandonsWithStructuredError) {
+  cloud::CloudProvider provider(sim, Rng(7), transfer_faulty_config(1.0));
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  ExecutionOptions options;
+  options.transfer_retry.max_attempts = 3;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_EQ(report.abandoned, report.instance_count());
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_FALSE(o.completed);
+    EXPECT_NE(o.error.find("staging transfer failed"), std::string::npos)
+        << o.error;
+  }
+}
+
+TEST_F(ExecutorFixture, CorruptionIsDetectedAndRetriedDuringStaging) {
+  cloud::CloudProvider provider(sim, Rng(7),
+                                transfer_faulty_config(0.0, 0.3));
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  ExecutionOptions options;
+  options.transfer_retry.max_attempts = 8;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_EQ(report.abandoned, 0u);
+  EXPECT_GT(report.corruptions_detected, 0u);
+}
+
+TEST_F(ExecutorFixture, OutputRatioChargesRetrievalAgainstTheDeadline) {
+  cloud::CloudProvider provider(sim, Rng(7), uniform_config());
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  ExecutionOptions options;
+  options.output_ratio = 0.2;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  for (const InstanceOutcome& o : report.outcomes) {
+    EXPECT_GT(o.retrieval.value(), 0.0);
+    EXPECT_GE(o.work_time, o.retrieval);
+  }
+
+  // Same seed without retrieval: the makespan must be strictly shorter.
+  sim::Simulation sim2;
+  cloud::CloudProvider provider2(sim2, Rng(7), uniform_config());
+  Rng noise2(1);
+  const ExecutionReport without = execute_plan(
+      provider2, plan, cloud::pos_profile(), ExecutionOptions{}, noise2);
+  EXPECT_GT(report.makespan.value(), without.makespan.value());
+}
+
+TEST_F(ExecutorFixture, HedgedRetrievalSurvivesAFlakyChannel) {
+  cloud::CloudProvider provider(sim, Rng(7), transfer_faulty_config(0.3));
+  const ExecutionPlan plan = uniform_plan(small_gig(), 1_h);
+  Rng noise(1);
+  ExecutionOptions options;
+  options.output_ratio = 0.2;
+  options.hedge_retrieval = true;
+  options.transfer_retry.max_attempts = 6;
+  const ExecutionReport report =
+      execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_EQ(report.abandoned, 0u);
+  EXPECT_GT(report.hedge_wins, 0u);
+}
+
+TEST_F(ExecutorFixture, DataPlaneFaultRunsReplayBitIdentically) {
+  const corpus::Corpus data = small_gig();
+  const ExecutionPlan plan = uniform_plan(data, 1_h);
+  auto run_once = [&]() {
+    sim::Simulation local_sim;
+    cloud::CloudProvider provider(local_sim, Rng(101),
+                                  transfer_faulty_config(0.3, 0.05));
+    Rng noise(9);
+    ExecutionOptions options;
+    options.output_ratio = 0.1;
+    options.transfer_retry.max_attempts = 8;
+    return execute_plan(provider, plan, cloud::pos_profile(), options, noise);
+  };
+  const ExecutionReport a = run_once();
+  const ExecutionReport b = run_once();
+  ASSERT_EQ(a.instance_count(), b.instance_count());
+  EXPECT_EQ(a.transfer_retries, b.transfer_retries);
+  EXPECT_DOUBLE_EQ(a.transfer_retry_time.value(),
+                   b.transfer_retry_time.value());
+  EXPECT_EQ(a.corruptions_detected, b.corruptions_detected);
+  EXPECT_DOUBLE_EQ(a.makespan.value(), b.makespan.value());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].transfer_attempts, b.outcomes[i].transfer_attempts);
+    EXPECT_DOUBLE_EQ(a.outcomes[i].retrieval.value(),
+                     b.outcomes[i].retrieval.value());
+  }
+}
+
 TEST_F(ExecutorFixture, EmptyPlanThrows) {
   cloud::CloudProvider provider(sim, Rng(7), uniform_config());
   ExecutionPlan plan;

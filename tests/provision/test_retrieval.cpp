@@ -95,5 +95,170 @@ TEST(OutputSegmentation, InvalidInputsThrow) {
   EXPECT_THROW((void)OutputSegmentation::per_block(1_MB, 0_B, 1.0), Error);
 }
 
+TEST(ReliableRetrieval, ZeroReliabilityIsExactlyTheCleanEstimate) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  const RetrievalEstimate clean = expected_retrieval_time(seg, s3);
+  const TransferReliability zero =
+      TransferReliability::from(cloud::FaultModel{}, RetryPolicy{});
+  const RetrievalEstimate est =
+      expected_retrieval_time(seg, s3, zero, RetryPolicy{});
+  EXPECT_DOUBLE_EQ(est.total.value(), clean.total.value());
+  EXPECT_DOUBLE_EQ(est.retry_overhead.value(), 0.0);
+  EXPECT_DOUBLE_EQ(est.expected_attempts, 1.0);
+}
+
+TEST(ReliableRetrieval, RetryOverheadIsMonotoneInTheErrorRate) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  double prev_total = 0.0;
+  for (double p = 0.0; p <= 0.45; p += 0.05) {
+    cloud::FaultModel model;
+    model.p_transfer_error = p;
+    const TransferReliability rel = TransferReliability::from(model, policy);
+    const RetrievalEstimate est =
+        expected_retrieval_time(seg, s3, rel, policy);
+    EXPECT_GE(est.total.value(), prev_total);
+    if (p > 0.0) {
+      EXPECT_GT(est.retry_overhead.value(), 0.0);
+      EXPECT_GT(est.expected_attempts, 1.0);
+    }
+    prev_total = est.total.value();
+  }
+}
+
+TEST(ReliableRetrieval, EnduredStallsInflateTransferTime) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  cloud::FaultModel model;
+  model.p_transfer_stall = 0.2;
+  model.transfer_stall_lo = 4.0;
+  model.transfer_stall_hi = 6.0;
+
+  // No watchdog: stalls are endured, transfer inflates by 1 + 0.2 * 4.
+  const RetryPolicy no_watchdog;
+  const TransferReliability endured =
+      TransferReliability::from(model, no_watchdog);
+  EXPECT_DOUBLE_EQ(endured.p_stall_endured, 0.2);
+  EXPECT_DOUBLE_EQ(endured.failure_probability(), 0.0);
+  const RetrievalEstimate clean = expected_retrieval_time(seg, s3);
+  const RetrievalEstimate est =
+      expected_retrieval_time(seg, s3, endured, no_watchdog);
+  EXPECT_NEAR(est.transfer.value(),
+              clean.transfer.value() * endured.stall_inflation(), 1e-9);
+
+  // With a watchdog the stall becomes a per-attempt failure instead.
+  RetryPolicy watchdog;
+  watchdog.attempt_timeout = Seconds(5.0);
+  const TransferReliability cut = TransferReliability::from(model, watchdog);
+  EXPECT_DOUBLE_EQ(cut.p_stall_timeout, 0.2);
+  EXPECT_DOUBLE_EQ(cut.p_stall_endured, 0.0);
+}
+
+TEST(ReliableRetrieval, HedgingBeatsSequentialOnAFlakyChannel) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  cloud::FaultModel model;
+  model.p_transfer_error = 0.3;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  const TransferReliability rel = TransferReliability::from(model, policy);
+  const RetrievalEstimate plain = expected_retrieval_time(seg, s3, rel, policy);
+  const RetrievalEstimate hedged =
+      expected_hedged_retrieval_time(seg, s3, rel, policy);
+  EXPECT_TRUE(hedged.hedged);
+  // E[min of two draws] < E[one draw] and the failure rate squares, so the
+  // hedged estimate must be strictly faster here.
+  EXPECT_LT(hedged.total.value(), plain.total.value());
+  EXPECT_LT(hedged.expected_attempts, plain.expected_attempts);
+}
+
+TEST(SampledWithFaults, ZeroModelMatchesTheCleanSampler) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  const cloud::FaultInjector faults(Rng(7), cloud::FaultModel{});
+  Rng a(11), b(11);
+  const Seconds clean = retrieval_time_sampled(seg, s3, a);
+  const SampledRetrieval sampled = retrieval_time_sampled_with_faults(
+      seg, s3, faults, RetryPolicy{}, "out", b);
+  EXPECT_DOUBLE_EQ(sampled.total.value(), clean.value());
+  EXPECT_EQ(sampled.retries, 0);
+  EXPECT_DOUBLE_EQ(sampled.retry_time.value(), 0.0);
+  // Both samplers must leave the rng in the same state (bit-identity for
+  // any downstream draws).
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SampledWithFaults, RetriesShowUpUnderTransientErrors) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  cloud::FaultModel model;
+  model.p_transfer_error = 0.3;
+  const cloud::FaultInjector faults(Rng(7), model);
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  Rng rng(11);
+  const SampledRetrieval sampled =
+      retrieval_time_sampled_with_faults(seg, s3, faults, policy, "out", rng);
+  EXPECT_GT(sampled.retries, 0);
+  EXPECT_GT(sampled.retry_time.value(), 0.0);
+  EXPECT_EQ(sampled.attempts,
+            static_cast<int>(seg.object_count) + sampled.retries);
+}
+
+TEST(SampledWithFaults, BudgetExhaustionThrowsTransferError) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  cloud::FaultModel model;
+  model.p_transfer_error = 1.0;
+  const cloud::FaultInjector faults(Rng(7), model);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  Rng rng(11);
+  EXPECT_THROW((void)retrieval_time_sampled_with_faults(seg, s3, faults,
+                                                        policy, "out", rng),
+               TransferError);
+}
+
+TEST(SampledWithFaults, SameSeedReplaysBitIdentically) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg = OutputSegmentation::per_block(1_GB, 50_MB, 0.2);
+  cloud::FaultModel model;
+  model.p_transfer_error = 0.2;
+  model.p_transfer_corruption = 0.05;
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  auto run = [&] {
+    const cloud::FaultInjector faults(Rng(7), model);
+    Rng rng(11);
+    return retrieval_time_sampled_with_faults(seg, s3, faults, policy, "out",
+                                              rng);
+  };
+  const SampledRetrieval first = run();
+  const SampledRetrieval again = run();
+  EXPECT_DOUBLE_EQ(first.total.value(), again.total.value());
+  EXPECT_EQ(first.attempts, again.attempts);
+  EXPECT_EQ(first.retries, again.retries);
+  EXPECT_EQ(first.corruptions_detected, again.corruptions_detected);
+}
+
+TEST(SampledWithFaults, HedgedModeRescuesFailedPrimaries) {
+  const cloud::S3Model s3;
+  const OutputSegmentation seg =
+      OutputSegmentation::per_input_file(200, 100_MB, 0.5);
+  cloud::FaultModel model;
+  model.p_transfer_error = 0.3;
+  const cloud::FaultInjector faults(Rng(7), model);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  Rng rng(11);
+  const SampledRetrieval hedged = retrieval_time_sampled_with_faults(
+      seg, s3, faults, policy, "out", rng, /*hedge=*/true);
+  // Over 200 flaky objects some duplicate must have beaten its primary.
+  EXPECT_GT(hedged.hedge_wins, 0);
+}
+
 }  // namespace
 }  // namespace reshape::provision

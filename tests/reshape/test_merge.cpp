@@ -159,5 +159,72 @@ TEST(MergedCorpus, EmptyAccessors) {
   EXPECT_DOUBLE_EQ(empty.fill_factor(), 0.0);
 }
 
+TEST(BlockDigests, EveryMergeStampsOnePerBlock) {
+  const corpus::Corpus c = sample_corpus();
+  const MergedCorpus merged = merge_to_unit(c, 1_MB);
+  ASSERT_EQ(merged.digests.size(), merged.block_count());
+  for (std::size_t b = 0; b < merged.block_count(); ++b) {
+    EXPECT_EQ(merged.digests[b], block_digest(merged.blocks[b]));
+    EXPECT_NE(merged.digests[b], 0u);
+  }
+}
+
+TEST(BlockDigests, SequentialAndOneShardParallelAgree) {
+  // One shard produces the identical partition, so the digests must be
+  // bit-identical too: the digest is a function of the logical block, not
+  // of the code path that built it.
+  const corpus::Corpus c = sample_corpus();
+  const MergedCorpus seq = merge_to_unit(c, 1_MB);
+  const MergedCorpus par =
+      merge_to_unit_parallel(c, 1_MB, ItemOrder::kOriginal, 1);
+  ASSERT_EQ(seq.digests.size(), par.digests.size());
+  EXPECT_EQ(seq.digests, par.digests);
+}
+
+TEST(BlockDigests, DerivedBlocksGetFreshDigests) {
+  const corpus::Corpus c = sample_corpus();
+  const MergedCorpus base = merge_to_unit(c, 500_kB);
+  const MergedCorpus doubled = derive_multiple(base, 2);
+  ASSERT_EQ(doubled.digests.size(), doubled.block_count());
+  for (std::size_t b = 0; b < doubled.block_count(); ++b) {
+    EXPECT_EQ(doubled.digests[b], block_digest(doubled.blocks[b]));
+  }
+}
+
+TEST(BlockDigests, DistinctBlocksDisagree) {
+  const corpus::Corpus c = sample_corpus();
+  const MergedCorpus merged = merge_to_unit(c, 1_MB);
+  ASSERT_GE(merged.block_count(), 2u);
+  std::set<std::uint64_t> unique(merged.digests.begin(),
+                                 merged.digests.end());
+  // FNV-1a over distinct id sets: collisions across a few hundred blocks
+  // would indicate a broken update loop, not bad luck.
+  EXPECT_EQ(unique.size(), merged.digests.size());
+}
+
+TEST(ContentDigests, CatchAFlippedByte) {
+  std::vector<corpus::VirtualFile> files;
+  std::vector<std::string> texts{"aaa", "bb", "cccc", "d"};
+  for (std::uint64_t i = 0; i < texts.size(); ++i) {
+    files.push_back(corpus::VirtualFile{i, Bytes(texts[i].size()), 1.0});
+  }
+  const corpus::Corpus c{std::move(files)};
+  const MergedCorpus merged = merge_to_unit(c, Bytes(5));
+  std::vector<std::string> blocks = materialize(merged, texts);
+  const std::vector<std::uint64_t> expected = content_digests(blocks);
+  EXPECT_TRUE(verify_blocks(blocks, expected).empty());
+
+  blocks[1][0] ^= 0x01;  // one silently corrupted bit
+  const std::vector<std::size_t> bad = verify_blocks(blocks, expected);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], 1u);
+}
+
+TEST(ContentDigests, CountMismatchThrows) {
+  const std::vector<std::string> blocks{"x", "y"};
+  const std::vector<std::uint64_t> expected = content_digests({"x"});
+  EXPECT_THROW((void)verify_blocks(blocks, expected), Error);
+}
+
 }  // namespace
 }  // namespace reshape::pack
