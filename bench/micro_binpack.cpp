@@ -14,6 +14,13 @@
 //   micro_binpack --smoke   n=10k only; exits nonzero if the tree-based
 //                           first-fit is slower than the naive reference.
 //                           Wired up as the `bench-smoke` CTest target.
+//
+// Observability flags (untimed — recording only turns on after the timed
+// sweep, for one extra merge pass, so the numbers above stay clean):
+//   --trace out.json        wall-clock spans of the parallel merge
+//                           (ThreadPool parallel_for + per-shard packing)
+//                           exported as Chrome trace-event JSON
+//   --metrics out.json      binpack.* / pool.* counter-histogram snapshot
 
 #include <chrono>
 #include <cstdio>
@@ -24,6 +31,9 @@
 #include "common/rng.hpp"
 #include "corpus/corpus.hpp"
 #include "corpus/distribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "reshape/binpack.hpp"
 #include "reshape/merge.hpp"
 
@@ -89,7 +99,23 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--trace out.json] "
+                   "[--metrics out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   const std::vector<std::size_t> ns =
       smoke ? std::vector<std::size_t>{10'000}
             : std::vector<std::size_t>{10'000, 100'000, 1'000'000};
@@ -197,6 +223,39 @@ int main(int argc, char** argv) {
                  kShards, seq.fill_factor(), par.fill_factor(), fill_delta);
     std::fclose(out);
     std::printf("wrote BENCH_binpack.json\n");
+  }
+
+  // Observability export: one extra (untimed) parallel merge with
+  // recording + wall-clock capture on.  Runs after every timed section so
+  // the benchmark numbers above are never measured with recording active.
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    if (!obs::compiled_in()) {
+      std::fprintf(stderr,
+                   "--trace/--metrics need a build with RESHAPE_OBS=ON\n");
+      return 2;
+    }
+    obs::reset();
+    obs::set_enabled(true);
+    obs::trace().set_wall_capture(true);
+    (void)pack::merge_to_unit_parallel(corpus, kCapacity,
+                                       pack::ItemOrder::kOriginal, kShards);
+    obs::trace().set_wall_capture(false);
+    obs::set_enabled(false);
+    if (!trace_path.empty()) {
+      if (!obs::trace().write_chrome_json(trace_path)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s (open in Perfetto)\n",
+                  obs::trace().event_count(), trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      if (!obs::metrics().write_json(metrics_path)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+    }
   }
 
   if (!all_identical) return 2;

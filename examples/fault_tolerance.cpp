@@ -10,8 +10,17 @@
 // failure scenario can be replayed bit-identically.
 //
 // Run:  ./fault_tolerance
+//       ./fault_tolerance --trace trace.json --metrics metrics.json
+//
+// With --trace, the seeded faulty campaign is re-run with recording on
+// and exported as Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing).  With --metrics, the run's counter/histogram
+// snapshot is written as JSON.  Recording never touches the tables
+// above: the flagged run happens after them, on its own recorder state.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "cloud/app_profile.hpp"
@@ -21,6 +30,9 @@
 #include "corpus/corpus.hpp"
 #include "corpus/distribution.hpp"
 #include "model/predictor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "provision/executor.hpp"
 #include "provision/planner.hpp"
 #include "sim/simulation.hpp"
@@ -75,7 +87,21 @@ provision::ExecutionReport run_data_plane(const provision::ExecutionPlan& plan,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--metrics out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   Rng corpus_rng(7);
   corpus::Corpus all =
       corpus::Corpus::generate(corpus::text_400k_sizes(), 120'000, corpus_rng);
@@ -144,5 +170,35 @@ int main() {
     }
   }
   std::printf("%s", sweep.str().c_str());
+
+  // Observability export: replay the seeded faulty campaign once more
+  // with recording on.  Spans are stamped in simulated time, so this
+  // trace is byte-identical across runs of the same binary and seed.
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    if (!obs::compiled_in()) {
+      std::fprintf(stderr,
+                   "--trace/--metrics need a build with RESHAPE_OBS=ON\n");
+      return 2;
+    }
+    obs::reset();
+    obs::set_enabled(true);
+    (void)run_campaign(plan, storm);
+    obs::set_enabled(false);
+    if (!trace_path.empty()) {
+      if (!obs::trace().write_chrome_json(trace_path)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("\ntrace: %zu events -> %s (open in Perfetto)\n",
+                  obs::trace().event_count(), trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      if (!obs::metrics().write_json(metrics_path)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+    }
+  }
   return 0;
 }

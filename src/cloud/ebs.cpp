@@ -4,6 +4,8 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace reshape::cloud {
 
@@ -110,6 +112,10 @@ TransferOutcome EbsVolume::read_result(Bytes offset, Bytes length,
       [](Rng&) { return Seconds(0.005); }};
   const std::string key = "vol/" + std::to_string(id_.value) + "/" +
                           std::to_string(offset.count());
+  if (obs::enabled()) {
+    obs::metrics().counter("ebs.reads").add(1);
+    obs::metrics().counter("ebs.bytes_read").add(length.count());
+  }
   return transfer_with_retries(faults, key, policy, verify_integrity, channel,
                                rng);
 }

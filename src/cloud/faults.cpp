@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace reshape::cloud {
 
@@ -69,6 +71,9 @@ std::optional<RuntimeFault> FaultInjector::draw_runtime_fault(
       fault = RuntimeFault{after, FailureKind::kSpotInterruption};
     }
   }
+  if (fault && obs::enabled()) {
+    obs::metrics().counter("fault.runtime_armed").add(1);
+  }
   return fault;
 }
 
@@ -92,16 +97,25 @@ TransferFault FaultInjector::draw_transfer_fault(std::string_view key,
                                                  std::uint64_t attempt) const {
   if (!model_.transfer_any()) return {};
   Rng draw = transfer_.split(key).split(attempt);
+  const auto injected = [](TransferFault fault) {
+    if (obs::enabled()) {
+      obs::metrics().counter("fault.transfer_injected").add(1);
+    }
+    return fault;
+  };
   const double u = draw.uniform();
   double threshold = model_.p_transfer_error;
-  if (u < threshold) return {TransferFaultKind::kTransientError, 1.0};
+  if (u < threshold) {
+    return injected({TransferFaultKind::kTransientError, 1.0});
+  }
   threshold += model_.p_transfer_stall;
   if (u < threshold) {
-    return {TransferFaultKind::kStall,
-            draw.uniform(model_.transfer_stall_lo, model_.transfer_stall_hi)};
+    return injected(
+        {TransferFaultKind::kStall,
+         draw.uniform(model_.transfer_stall_lo, model_.transfer_stall_hi)});
   }
   threshold += model_.p_transfer_corruption;
-  if (u < threshold) return {TransferFaultKind::kCorruption, 1.0};
+  if (u < threshold) return injected({TransferFaultKind::kCorruption, 1.0});
   return {};
 }
 

@@ -3,8 +3,18 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace reshape::cloud {
+
+namespace {
+
+std::uint32_t trace_tid(InstanceId id) {
+  return static_cast<std::uint32_t>(id.value);
+}
+
+}  // namespace
 
 Instance::Instance(InstanceId id, InstanceType type, AvailabilityZone az,
                    InstanceQuality quality, Seconds launched_at)
@@ -18,20 +28,35 @@ void Instance::mark_running(Seconds now) {
                   "only a pending instance can start running");
   state_ = InstanceState::kRunning;
   running_since_ = now;
+  if (obs::enabled()) {
+    obs::trace().complete(obs::kPidCloud, trace_tid(id_), "instance", "boot",
+                          launched_at_.value(),
+                          (now - launched_at_).value(),
+                          {obs::arg("instance", id_.value)});
+  }
 }
 
 void Instance::begin_shutdown(Seconds now) {
   RESHAPE_REQUIRE(state_ == InstanceState::kRunning ||
                       state_ == InstanceState::kPending,
                   "instance is not running or pending");
-  (void)now;
+  if (obs::enabled() && running_since_) {
+    obs::trace().complete(obs::kPidCloud, trace_tid(id_), "instance",
+                          "running", running_since_->value(),
+                          (now - *running_since_).value(),
+                          {obs::arg("instance", id_.value)});
+  }
   state_ = InstanceState::kShuttingDown;
 }
 
 void Instance::mark_terminated(Seconds now) {
   RESHAPE_REQUIRE(state_ == InstanceState::kShuttingDown,
                   "instance must pass through shutting-down");
-  (void)now;
+  if (obs::enabled()) {
+    obs::trace().instant(obs::kPidCloud, trace_tid(id_), "instance",
+                         "terminated", now.value(),
+                         {obs::arg("instance", id_.value)});
+  }
   state_ = InstanceState::kTerminated;
   wipe_local();  // ephemeral storage does not survive termination
 }
@@ -40,6 +65,24 @@ void Instance::mark_failed(Seconds now, FailureKind kind) {
   RESHAPE_REQUIRE(state_ == InstanceState::kPending ||
                       state_ == InstanceState::kRunning,
                   "only a pending or running instance can fail");
+  if (obs::enabled()) {
+    // Close the open lifecycle phase, then mark the failure itself.
+    if (running_since_) {
+      obs::trace().complete(obs::kPidCloud, trace_tid(id_), "instance",
+                            "running", running_since_->value(),
+                            (now - *running_since_).value(),
+                            {obs::arg("instance", id_.value)});
+    } else {
+      obs::trace().complete(obs::kPidCloud, trace_tid(id_), "instance",
+                            "boot", launched_at_.value(),
+                            (now - launched_at_).value(),
+                            {obs::arg("instance", id_.value)});
+    }
+    obs::trace().instant(obs::kPidCloud, trace_tid(id_), "instance", "failed",
+                         now.value(),
+                         {obs::arg("instance", id_.value),
+                          obs::arg("kind", to_string(kind))});
+  }
   state_ = InstanceState::kFailed;
   failure_ = FailureRecord{kind, now};
   wipe_local();  // ephemeral storage does not survive a crash either

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace reshape::cloud {
 
@@ -31,6 +34,7 @@ InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
   auto inst = std::make_unique<Instance>(id, type, az, quality_.draw(id.value),
                                          sim_.now());
   instances_.emplace(id, std::move(inst));
+  if (obs::enabled()) obs::metrics().counter("instance.launches").add(1);
 
   const Seconds boot = draw_boot_delay();
   if (injector_.draw_boot_failure(id.value)) {
@@ -94,6 +98,19 @@ void CloudProvider::fail(InstanceId id, FailureKind kind) {
   inst.mark_failed(sim_.now(), kind);
   disarm_runtime_fault(id);
   ++failures_;
+  if (obs::enabled()) {
+    switch (kind) {
+      case FailureKind::kBootFailure:
+        obs::metrics().counter("instance.boot_failures").add(1);
+        break;
+      case FailureKind::kCrash:
+        obs::metrics().counter("instance.crashes").add(1);
+        break;
+      case FailureKind::kSpotInterruption:
+        obs::metrics().counter("instance.spot_interruptions").add(1);
+        break;
+    }
+  }
   for (const FailureHook& hook : failure_hooks_) {
     if (hook) hook(inst);
   }
@@ -122,6 +139,7 @@ void CloudProvider::terminate(InstanceId id) {
   inst.begin_shutdown(sim_.now());
   if (was_running) billing_.on_stopped(id, sim_.now());
   disarm_runtime_fault(id);
+  if (obs::enabled()) obs::metrics().counter("instance.terminations").add(1);
   sim_.schedule_in(config_.shutdown_delay, [this, id](sim::Simulation& s) {
     const auto it = instances_.find(id);
     if (it == instances_.end()) return;
@@ -149,9 +167,17 @@ VolumeId CloudProvider::create_volume(Bytes capacity, AvailabilityZone az) {
   const VolumeId id{next_volume_++};
   auto vol = std::make_unique<EbsVolume>(id, capacity, az, config_.ebs,
                                          root_.split("ebs-placement"));
+  if (obs::enabled()) obs::metrics().counter("ebs.volumes").add(1);
   if (const auto episode = injector_.draw_ebs_episode(id.value)) {
     const Seconds start = sim_.now() + episode->start_after;
     vol->add_degradation(start, start + episode->duration, episode->factor);
+    if (obs::enabled()) {
+      obs::metrics().counter("ebs.degradation_episodes").add(1);
+      obs::trace().complete(obs::kPidCloud, 0, "ebs", "degradation",
+                            start.value(), episode->duration.value(),
+                            {obs::arg("volume", id.value),
+                             obs::arg("factor", episode->factor)});
+    }
   }
   volumes_.emplace(id, std::move(vol));
   return id;
@@ -197,6 +223,7 @@ DiskBenchResult CloudProvider::disk_bench(InstanceId id) {
 
 CloudProvider::ScreenedAcquisition CloudProvider::acquire_screened(
     InstanceType type, AvailabilityZone az, Rate threshold, int max_attempts) {
+  const Seconds screen_begun = sim_.now();
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     const InstanceId id = launch(type, az);
     // Run the simulation forward until this instance has booted (or died
@@ -212,6 +239,17 @@ CloudProvider::ScreenedAcquisition CloudProvider::acquire_screened(
     if (!instance(id).is_running()) continue;
     if (first.passes(threshold) && second.passes(threshold) &&
         stable_pair(first, second)) {
+      if (obs::enabled()) {
+        obs::metrics().counter("screen.acquisitions").add(1);
+        obs::metrics().counter("screen.attempts").add(
+            static_cast<std::uint64_t>(attempt));
+        obs::trace().complete(
+            obs::kPidCloud, static_cast<std::uint32_t>(id.value), "screen",
+            "acquire_screened", screen_begun.value(),
+            (sim_.now() - screen_begun).value(),
+            {obs::arg("attempts", attempt),
+             obs::arg("instance", id.value)});
+      }
       return ScreenedAcquisition{id, attempt};
     }
     terminate(id);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace reshape::cloud {
 
@@ -80,6 +82,10 @@ TransferOutcome ObjectStore::fetch_result(const std::string& key, Rng& rng,
   const auto it = objects_.find(key);
   RESHAPE_REQUIRE(it != objects_.end(), "fetch of missing S3 object: " + key);
   const TransferChannel channel = s3_channel(model_, it->second.size);
+  if (obs::enabled()) {
+    obs::metrics().counter("s3.fetches").add(1);
+    obs::metrics().counter("s3.bytes_fetched").add(it->second.size.count());
+  }
   if (hedge) {
     return hedged_transfer(faults, key, policy, verify_integrity, channel,
                            rng);
@@ -95,6 +101,10 @@ TransferOutcome ObjectStore::upload_result(const std::string& key, Bytes size,
   RESHAPE_REQUIRE(size <= model_.max_object_size,
                   "upload exceeds the S3 single-object size cap");
   const TransferChannel channel = s3_channel(model_, size);
+  if (obs::enabled()) {
+    obs::metrics().counter("s3.uploads").add(1);
+    obs::metrics().counter("s3.bytes_uploaded").add(size.count());
+  }
   // "put:" separates the upload's fault history from a same-key fetch.
   return transfer_with_retries(faults, "put:" + key, policy,
                                /*verify_integrity=*/true, channel, rng);

@@ -3,17 +3,32 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
 namespace reshape::cloud {
 
-TransferOutcome transfer_with_retries(const FaultInjector& faults,
-                                      std::string_view key,
-                                      const RetryPolicy& policy,
-                                      bool verify_integrity,
-                                      const TransferChannel& channel,
-                                      Rng& rng) {
+namespace {
+
+/// The retry loop proper.  `hedge` marks recorded attempts as belonging
+/// to the duplicate stream of a hedged transfer; it does not change the
+/// engine's behaviour.  Metrics are recorded by the public entry points
+/// so a hedged transfer counts as one logical transfer, not three.
+TransferOutcome run_attempts(const FaultInjector& faults, std::string_view key,
+                             const RetryPolicy& policy, bool verify_integrity,
+                             const TransferChannel& channel, Rng& rng,
+                             bool hedge) {
   policy.validate();
   RESHAPE_REQUIRE(channel.success_time && channel.error_time,
                   "transfer channel needs both cost callbacks");
+  const bool tracing = obs::enabled();
+  const auto note_attempt = [&](TransferOutcome& out, Seconds begun,
+                                Seconds cost, bool ok,
+                                TransferErrorKind error) {
+    if (!tracing) return;
+    out.attempt_trace.push_back(TransferAttempt{begun, cost, error, ok, hedge});
+  };
   TransferOutcome out;
   out.attempts = 0;
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
@@ -23,6 +38,7 @@ TransferOutcome transfer_with_retries(const FaultInjector& faults,
       out.time += wait;
     }
     ++out.attempts;
+    const Seconds attempt_begun = out.time;
     const TransferFault fault =
         faults.draw_transfer_fault(key, static_cast<std::uint64_t>(attempt));
     switch (fault.kind) {
@@ -32,12 +48,16 @@ TransferOutcome transfer_with_retries(const FaultInjector& faults,
         out.final_attempt = t;
         out.ok = true;
         out.error = TransferErrorKind::kNone;
+        note_attempt(out, attempt_begun, t, true, TransferErrorKind::kNone);
         return out;
       }
       case TransferFaultKind::kTransientError: {
-        out.time += channel.error_time(rng);
+        const Seconds t = channel.error_time(rng);
+        out.time += t;
         ++out.transient_errors;
         out.error = TransferErrorKind::kTransientError;
+        note_attempt(out, attempt_begun, t, false,
+                     TransferErrorKind::kTransientError);
         break;
       }
       case TransferFaultKind::kStall: {
@@ -48,6 +68,8 @@ TransferOutcome transfer_with_retries(const FaultInjector& faults,
           out.time += policy.attempt_timeout;
           ++out.timeouts;
           out.error = TransferErrorKind::kTimeout;
+          note_attempt(out, attempt_begun, policy.attempt_timeout, false,
+                       TransferErrorKind::kTimeout);
           break;
         }
         // No timeout configured: the stall is endured to completion.
@@ -56,6 +78,8 @@ TransferOutcome transfer_with_retries(const FaultInjector& faults,
         ++out.stalls;
         out.ok = true;
         out.error = TransferErrorKind::kNone;
+        note_attempt(out, attempt_begun, stalled, true,
+                     TransferErrorKind::kNone);
         return out;
       }
       case TransferFaultKind::kCorruption: {
@@ -67,10 +91,13 @@ TransferOutcome transfer_with_retries(const FaultInjector& faults,
           out.delivered_corrupt = true;
           out.ok = true;
           out.error = TransferErrorKind::kNone;
+          note_attempt(out, attempt_begun, t, true, TransferErrorKind::kNone);
           return out;
         }
         ++out.corruptions_detected;
         out.error = TransferErrorKind::kCorruption;
+        note_attempt(out, attempt_begun, t, false,
+                     TransferErrorKind::kCorruption);
         break;
       }
     }
@@ -79,22 +106,70 @@ TransferOutcome transfer_with_retries(const FaultInjector& faults,
   return out;
 }
 
+/// Engine-level tallies for one finished logical transfer.
+void record_transfer_metrics(const TransferOutcome& out, bool hedged) {
+  if (!obs::enabled()) return;
+  auto& m = obs::metrics();
+  m.counter("transfer.count").add(1);
+  if (out.attempts > 1) {
+    m.counter("transfer.retries").add(
+        static_cast<std::uint64_t>(out.attempts - 1));
+  }
+  if (out.transient_errors > 0) {
+    m.counter("transfer.transient_errors").add(
+        static_cast<std::uint64_t>(out.transient_errors));
+  }
+  if (out.timeouts > 0) {
+    m.counter("transfer.timeouts").add(
+        static_cast<std::uint64_t>(out.timeouts));
+  }
+  if (out.stalls > 0) {
+    m.counter("transfer.stalls").add(static_cast<std::uint64_t>(out.stalls));
+  }
+  if (out.corruptions_detected > 0) {
+    m.counter("transfer.corruptions_detected").add(
+        static_cast<std::uint64_t>(out.corruptions_detected));
+  }
+  if (out.delivered_corrupt) m.counter("transfer.delivered_corrupt").add(1);
+  if (!out.ok) m.counter("transfer.failures").add(1);
+  if (hedged) {
+    m.counter("transfer.hedges").add(1);
+    if (out.hedge_won) m.counter("transfer.hedge_wins").add(1);
+  }
+  m.histogram("transfer.time",
+              {0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0})
+      .observe(out.time.value());
+}
+
+}  // namespace
+
+TransferOutcome transfer_with_retries(const FaultInjector& faults,
+                                      std::string_view key,
+                                      const RetryPolicy& policy,
+                                      bool verify_integrity,
+                                      const TransferChannel& channel,
+                                      Rng& rng) {
+  TransferOutcome out = run_attempts(faults, key, policy, verify_integrity,
+                                     channel, rng, /*hedge=*/false);
+  record_transfer_metrics(out, /*hedged=*/false);
+  return out;
+}
+
 TransferOutcome hedged_transfer(const FaultInjector& faults,
                                 std::string_view key,
                                 const RetryPolicy& policy,
                                 bool verify_integrity,
                                 const TransferChannel& channel, Rng& rng) {
-  TransferOutcome primary = transfer_with_retries(faults, key, policy,
-                                                  verify_integrity, channel,
-                                                  rng);
+  TransferOutcome primary = run_attempts(faults, key, policy, verify_integrity,
+                                         channel, rng, /*hedge=*/false);
   // The duplicate runs on its own streams: a fresh rng seeded from the
   // caller's (one draw, so repeated hedges stay uncorrelated) and the
   // injector's `key#hedge` fault history.
   Rng duplicate_rng(rng.next_u64());
   const std::string duplicate_key = std::string(key) + "#hedge";
   TransferOutcome duplicate =
-      transfer_with_retries(faults, duplicate_key, policy, verify_integrity,
-                            channel, duplicate_rng);
+      run_attempts(faults, duplicate_key, policy, verify_integrity, channel,
+                   duplicate_rng, /*hedge=*/true);
 
   const bool duplicate_wins =
       duplicate.ok && (!primary.ok || duplicate.time < primary.time);
@@ -112,7 +187,42 @@ TransferOutcome hedged_transfer(const FaultInjector& faults,
   winner.timeouts += loser.timeouts;
   winner.stalls += loser.stalls;
   winner.corruptions_detected += loser.corruptions_detected;
+  if (!winner.attempt_trace.empty() || !loser.attempt_trace.empty()) {
+    // Both copies start at the transfer's t=0, so their attempt offsets
+    // share one origin; keep primary attempts first for stable output.
+    std::vector<TransferAttempt> merged;
+    const auto& prim = duplicate_wins ? loser : winner;
+    const auto& dup = duplicate_wins ? winner : loser;
+    merged.reserve(prim.attempt_trace.size() + dup.attempt_trace.size());
+    merged.insert(merged.end(), prim.attempt_trace.begin(),
+                  prim.attempt_trace.end());
+    merged.insert(merged.end(), dup.attempt_trace.begin(),
+                  dup.attempt_trace.end());
+    winner.attempt_trace = std::move(merged);
+  }
+  record_transfer_metrics(winner, /*hedged=*/true);
   return winner;
+}
+
+void record_transfer_trace(std::uint32_t pid, std::uint32_t tid,
+                           std::string_view name, Seconds start,
+                           const TransferOutcome& outcome) {
+  if (!obs::enabled() || outcome.attempt_trace.empty()) return;
+  auto& tr = obs::trace();
+  tr.complete(pid, tid, "transfer", name, start.value(),
+              outcome.time.value(),
+              {obs::arg("attempts", outcome.attempts),
+               obs::arg("ok", outcome.ok),
+               obs::arg("hedge_won", outcome.hedge_won),
+               obs::arg("retry_overhead_s",
+                        outcome.retry_overhead().value())});
+  for (const TransferAttempt& a : outcome.attempt_trace) {
+    tr.complete(pid, tid, "transfer",
+                a.hedge ? "attempt#hedge" : "attempt",
+                (start + a.start).value(), a.duration.value(),
+                {obs::arg("ok", a.ok),
+                 obs::arg("error", to_string(a.error))});
+  }
 }
 
 }  // namespace reshape::cloud

@@ -14,8 +14,10 @@
 // and taking the first winner costs no extra queueing in the model.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string_view>
+#include <vector>
 
 #include "cloud/faults.hpp"
 #include "common/error.hpp"
@@ -32,6 +34,17 @@ struct TransferChannel {
   /// Wall time burned by an attempt that dies with a transient error
   /// (typically one request latency, no payload movement).
   std::function<Seconds(Rng&)> error_time;
+};
+
+/// One attempt of a transfer, kept only while trace recording is on so a
+/// caller that knows the transfer's sim-time start can emit per-attempt
+/// child spans.  Offsets are relative to the transfer's start.
+struct TransferAttempt {
+  Seconds start{0.0};     // when the attempt began (after any backoff)
+  Seconds duration{0.0};  // wall time the attempt itself consumed
+  TransferErrorKind error = TransferErrorKind::kNone;
+  bool ok = false;
+  bool hedge = false;  // attempt belongs to the hedged duplicate stream
 };
 
 /// Outcome of one logical transfer across all of its attempts.
@@ -51,6 +64,9 @@ struct TransferOutcome {
   bool delivered_corrupt = false;
   /// The hedged duplicate finished first.
   bool hedge_won = false;
+  /// Per-attempt record, populated only while obs recording is enabled
+  /// (empty otherwise — the zero-overhead contract).
+  std::vector<TransferAttempt> attempt_trace;
 
   /// Time spent beyond the winning attempt: failed attempts + backoff.
   [[nodiscard]] Seconds retry_overhead() const {
@@ -78,5 +94,15 @@ struct TransferOutcome {
                                               bool verify_integrity,
                                               const TransferChannel& channel,
                                               Rng& rng);
+
+/// Emits the trace spans for one finished transfer: a parent span over
+/// the whole [start, start + outcome.time] window plus one child span per
+/// recorded attempt (hedged attempts flagged in their args).  The retry
+/// engine has no notion of sim time — callers own the clock, so they
+/// supply the start.  No-op when recording is off or no attempts were
+/// recorded.
+void record_transfer_trace(std::uint32_t pid, std::uint32_t tid,
+                           std::string_view name, Seconds start,
+                           const TransferOutcome& outcome);
 
 }  // namespace reshape::cloud

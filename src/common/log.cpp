@@ -28,8 +28,18 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // One pre-assembled buffer, one fwrite: the line cannot interleave with
+  // other writers even at the stream level (stderr is unbuffered, so the
+  // fwrite maps to a single write call for these line sizes).
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
   const std::lock_guard lock(g_io_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace reshape

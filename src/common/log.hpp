@@ -15,7 +15,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emits one line to stderr if `level` passes the threshold.
+/// True when a message at `level` would be emitted.  The RESHAPE_LOG
+/// macros check this *before* constructing the stream, so a discarded
+/// message pays one atomic load and no formatting.
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+/// Emits one line to stderr if `level` passes the threshold.  The whole
+/// line (prefix, message, newline) is written with a single fwrite under
+/// a mutex, so concurrent writers never interleave within a line.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
@@ -28,9 +37,14 @@ struct LogStream {
 
 }  // namespace reshape
 
-#define RESHAPE_LOG(level_enum)                                 \
-  ::reshape::detail::LogStream{::reshape::LogLevel::level_enum} \
-      .os
+// The if/else shape makes the whole statement — including every `<<`
+// operand — dead when the level is below threshold, and stays safe inside
+// an unbraced if/else in caller code (the else binds here).
+#define RESHAPE_LOG(level_enum)                                         \
+  if (!::reshape::log_enabled(::reshape::LogLevel::level_enum)) {       \
+  } else                                                                \
+    ::reshape::detail::LogStream{::reshape::LogLevel::level_enum}       \
+        .os
 
 #define RESHAPE_DEBUG RESHAPE_LOG(kDebug)
 #define RESHAPE_INFO RESHAPE_LOG(kInfo)

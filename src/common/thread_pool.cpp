@@ -4,6 +4,9 @@
 #include <exception>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace reshape {
 
@@ -77,6 +80,23 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::note_enqueued_locked(std::size_t n) {
+  if (!obs::enabled()) return;
+  if (task_counter_ == nullptr) {
+    task_counter_ = &obs::metrics().counter("pool.tasks");
+    depth_gauge_ = &obs::metrics().gauge("pool.queue_depth");
+  }
+  task_counter_->add(n);
+  queued_ += n;
+  depth_gauge_->set(static_cast<double>(queued_));
+}
+
+void ThreadPool::note_dequeued_locked() {
+  if (!obs::enabled() || depth_gauge_ == nullptr) return;
+  if (queued_ > 0) --queued_;  // recording may have been enabled mid-stream
+  depth_gauge_->set(static_cast<double>(queued_));
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -86,6 +106,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // only reachable when stopping_
       task = std::move(queue_.front());
       queue_.pop_front();
+      note_dequeued_locked();
     }
     task();
   }
@@ -93,6 +114,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  const obs::WallSpan span("pool", "parallel_for");
   Batch batch(n);
   {
     const std::lock_guard lock(mutex_);
@@ -107,6 +129,7 @@ void ThreadPool::parallel_for(std::size_t n,
         batch.finish(i, std::move(err));
       });
     }
+    note_enqueued_locked(n);
   }
   wake_.notify_all();
   batch.wait_and_rethrow();
@@ -116,7 +139,9 @@ void ThreadPool::parallel_for(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   RESHAPE_REQUIRE(grain > 0, "grain must be positive");
-  Batch batch((n + grain - 1) / grain);
+  const obs::WallSpan span("pool", "parallel_for_chunked");
+  const std::size_t tasks = (n + grain - 1) / grain;
+  Batch batch(tasks);
   {
     const std::lock_guard lock(mutex_);
     for (std::size_t begin = 0; begin < n; begin += grain) {
@@ -131,6 +156,7 @@ void ThreadPool::parallel_for(
         batch.finish(begin, std::move(err));
       });
     }
+    note_enqueued_locked(tasks);
   }
   wake_.notify_all();
   batch.wait_and_rethrow();

@@ -16,6 +16,11 @@
 #include <thread>
 #include <vector>
 
+namespace reshape::obs {
+class Counter;
+class Gauge;
+}  // namespace reshape::obs
+
 namespace reshape {
 
 class ThreadPool {
@@ -42,6 +47,7 @@ class ThreadPool {
     {
       const std::lock_guard lock(mutex_);
       queue_.emplace_back([packaged] { (*packaged)(); });
+      note_enqueued_locked(1);
     }
     wake_.notify_one();
     return result;
@@ -60,11 +66,22 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Observability taps, called with `mutex_` held.  One relaxed load
+  /// when recording is off; the instrument handles are resolved lazily on
+  /// first use and cached for the pool's lifetime.
+  void note_enqueued_locked(std::size_t n);
+  void note_dequeued_locked();
+
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;
+
+  // Metrics (guarded by mutex_; null until recording first observed on).
+  obs::Counter* task_counter_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+  std::size_t queued_ = 0;
 };
 
 }  // namespace reshape

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace reshape::mr {
 
@@ -27,6 +30,25 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
   SimJobReport report;
   report.map_tasks = splits.size();
   report.worker_busy.assign(config_.workers, Seconds(0.0));
+
+  // Cluster-local tallies: the event sites below increment these and the
+  // report reads them back, so the counters and the report cannot drift
+  // apart.  Merged into the global registry when recording is on.
+  obs::MetricsRegistry tallies;
+  obs::Counter& m_task_failures = tallies.counter("mr.task_failures");
+  obs::Counter& m_speculative = tallies.counter("mr.speculative_tasks");
+  const bool tracing = obs::enabled();
+  // A map task's span starts at its worker's busy offset: the schedule is
+  // a packing, not an event log, so the offsets reconstruct the timeline.
+  const auto trace_task = [&report, tracing](std::size_t worker,
+                                             const char* name, double duration,
+                                             std::size_t task) {
+    if (!tracing) return;
+    obs::trace().complete(obs::kPidMapReduce,
+                          static_cast<std::uint32_t>(worker), "mapreduce",
+                          name, report.worker_busy[worker].value(), duration,
+                          {obs::arg("task", task)});
+  };
 
   // Greedy list scheduling: longest-processing-time first onto the least
   // loaded worker — the classic makespan heuristic Hadoop's scheduler
@@ -69,10 +91,11 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
         const double speed = worker_speed_[w];
         const double spent =
             (base_overhead + base_scan) * speed * draw.uniform(0.0, 1.0);
+        trace_task(w, "map#failed", spent, task);
         report.worker_busy[w] += Seconds(spent);
         report.wasted_time += Seconds(spent);
         work_total += spent;
-        ++report.task_failures;
+        m_task_failures.add(1);
       }
     }
 
@@ -104,10 +127,12 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
       const double backup_run =
           base_overhead * backup_speed + base_scan * backup_speed;
       const double winner = std::min(overhead + scan, backup_run);
+      trace_task(w, "map", winner, task);
+      trace_task(backup, "map#backup", winner, task);
       report.worker_busy[w] += Seconds(winner);
       report.worker_busy[backup] += Seconds(winner);
       report.wasted_time += Seconds(winner);
-      ++report.speculative_tasks;
+      m_speculative.add(1);
       overhead_total += (overhead + scan <= backup_run)
                             ? overhead
                             : base_overhead * backup_speed;
@@ -115,6 +140,7 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
       speculated = true;
     }
     if (!speculated) {
+      trace_task(w, "map", overhead + scan, task);
       report.worker_busy[w] += Seconds(overhead + scan);
       overhead_total += overhead;
       work_total += overhead + scan;
@@ -130,6 +156,19 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
   report.reduce_time = config_.reduce_rate.time_for(shuffle_bytes);
   report.total =
       report.map_makespan + report.shuffle_time + report.reduce_time;
+  report.task_failures = static_cast<std::size_t>(m_task_failures.value());
+  report.speculative_tasks = static_cast<std::size_t>(m_speculative.value());
+  if (tracing) {
+    obs::trace().complete(obs::kPidMapReduce, 0, "mapreduce", "shuffle",
+                          report.map_makespan.value(),
+                          report.shuffle_time.value(),
+                          {obs::arg("bytes", shuffle_bytes.count())});
+    obs::trace().complete(
+        obs::kPidMapReduce, 0, "mapreduce", "reduce",
+        (report.map_makespan + report.shuffle_time).value(),
+        report.reduce_time.value(), {obs::arg("bytes", shuffle_bytes.count())});
+    obs::metrics().merge(tallies);
+  }
   return report;
 }
 

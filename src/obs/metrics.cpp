@@ -1,0 +1,215 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace reshape::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::string number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Gauge::add(double delta) { atomic_add_double(value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("histogram needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "histogram bounds must be strictly increasing");
+    }
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  // First bound >= v: that bucket counts v (inclusive upper bound).
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(double v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("cannot merge histograms with different "
+                                "bucket bounds");
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  atomic_add_double(sum_, other.sum_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts.push_back(buckets_[i].load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot the other registry's instrument list first so the two locks
+  // are never held together (no lock-order cycle between registries).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> hists;
+  {
+    const std::lock_guard lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) {
+      counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges.emplace_back(name, g->value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      hists.emplace_back(name, h.get());
+    }
+  }
+  for (const auto& [name, v] : counters) counter(name).add(v);
+  for (const auto& [name, v] : gauges) gauge(name).set(v);
+  for (const auto& [name, h] : hists) {
+    histogram(name, h->bounds()).merge(*h);
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + name + "\": " + number(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const HistogramSnapshot snap = h->snapshot();
+    out += "    \"" + name + "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += number(snap.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(snap.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(snap.count) +
+           ", \"sum\": " + number(snap.sum) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace reshape::obs

@@ -1,0 +1,131 @@
+// Counter / gauge / histogram registry with a lock-free hot path.
+//
+// Instruments are registered by name (the registry mutex is taken only on
+// first lookup); the returned references are stable for the registry's
+// lifetime, so hot call sites cache them and every subsequent record is a
+// relaxed atomic operation.  A snapshot can be taken at any moment from
+// any thread without stopping writers, and renders to a deterministic
+// JSON document (names sorted, integer counts exact).
+//
+// The registry is also usable as a local, non-global tally object: the
+// executor and the MapReduce scheduler keep one per run to back their
+// report counters, then merge it into the global registry when recording
+// is enabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reshape::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;           // inclusive upper bounds, ascending
+  std::vector<std::uint64_t> counts;    // bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Fixed-bucket histogram.  Bucket i counts observations v with
+/// v <= bounds[i] (and v > bounds[i-1]); one extra bucket counts the
+/// overflow v > bounds.back().  Observation is two relaxed atomic adds
+/// plus a CAS loop for the sum.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  /// Index of the bucket that would count `v` (exposed so boundary
+  /// semantics are testable).
+  [[nodiscard]] std::size_t bucket_index(double v) const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Adds another histogram's counts; bounds must be identical.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument.  References stay valid for
+  /// the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First registration fixes the bounds; later calls with the same name
+  /// return the existing histogram (bounds argument ignored).
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Value of a counter, or 0 when it was never registered.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Folds `other` into this registry: counters add, gauges take the
+  /// other's value, histograms merge (created here if absent).
+  void merge(const MetricsRegistry& other);
+
+  /// Deterministic JSON snapshot: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with names in sorted order.
+  [[nodiscard]] std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+  /// Zeroes every instrument, keeping registrations.
+  void reset();
+  /// Drops every instrument (invalidates outstanding references).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, never the hot-path atomics
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace reshape::obs

@@ -1,0 +1,33 @@
+#include "obs/recorder.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace reshape::obs {
+
+#ifndef RESHAPE_OBS_DISABLED
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+TraceRecorder& trace() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void reset() {
+  trace().clear();
+  metrics().reset();
+}
+
+}  // namespace reshape::obs

@@ -6,6 +6,9 @@
 
 #include "cloud/workload.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace reshape::provision {
 
@@ -268,6 +271,19 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
               event.new_completion = slot.work_begun + slot.cur_staging +
                                      slot.cur_exec - slot.first_work_begun;
               report.replacements.push_back(event);
+              if (obs::enabled()) {
+                obs::metrics().counter("dynamic.replacements").add(1);
+                obs::trace().instant(
+                    obs::kPidExecutor,
+                    static_cast<std::uint32_t>(slot.index), "dynamic",
+                    "reschedule", s.now().value(),
+                    {obs::arg("slot", slot.index),
+                     obs::arg("replaced", event.replaced.value),
+                     obs::arg("replacement", event.replacement.value),
+                     obs::arg("old_projection_s", event.old_projection.value()),
+                     obs::arg("new_completion_s",
+                              event.new_completion.value())});
+              }
             });
       };
 

@@ -11,6 +11,9 @@
 #include "cloud/transfer.hpp"
 #include "cloud/workload.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "provision/retrieval.hpp"
 
 namespace reshape::provision {
@@ -140,10 +143,57 @@ class ExecutionDriver {
       throw;
     }
     provider_.remove_failure_hook(hook);
-    return assemble();
+    ExecutionReport report = assemble();
+    // The driver-local tallies become part of the global picture only
+    // when recording is on; otherwise they stay private bookkeeping.
+    if (obs::enabled()) obs::metrics().merge(metrics_);
+    return report;
   }
 
  private:
+  [[nodiscard]] static std::uint32_t trace_tid(const Slot& slot) {
+    return static_cast<std::uint32_t>(slot.index);
+  }
+
+  /// Books the wait between a slot's failure and its resumed work, both
+  /// into the slot's tally and the driver registry, and emits the
+  /// recovery span (`mode` says how the slot came back: a backlog drain
+  /// on a survivor or a screened replacement launch).
+  void credit_recovery(Slot& slot, const char* mode) {
+    const Seconds waited = provider_.sim().now() - slot.failed_at;
+    slot.recovery_total += waited;
+    m_recovery_time_.add(waited.value());
+    if (obs::enabled()) {
+      obs::trace().complete(obs::kPidExecutor, trace_tid(slot), "executor",
+                            "recovery", slot.failed_at.value(),
+                            waited.value(),
+                            {obs::arg("mode", mode),
+                             obs::arg("slot", slot.index)});
+    }
+  }
+
+  /// Emits the staging/exec/retrieval child spans of one finished
+  /// attempt on the slot's executor track.
+  void trace_attempt(const Slot& slot) {
+    if (!obs::enabled()) return;
+    auto& tr = obs::trace();
+    const std::uint32_t tid = trace_tid(slot);
+    const double begun = slot.work_begun.value();
+    tr.complete(obs::kPidExecutor, tid, "executor", "staging", begun,
+                slot.cur_staging.value(),
+                {obs::arg("instance", slot.current.value)});
+    tr.complete(obs::kPidExecutor, tid, "executor", "exec",
+                begun + slot.cur_staging.value(), slot.cur_exec.value(),
+                {obs::arg("instance", slot.current.value),
+                 obs::arg("bytes", slot.attempt_bytes.count())});
+    if (slot.cur_retrieval.value() > 0.0) {
+      tr.complete(obs::kPidExecutor, tid, "executor", "retrieval",
+                  begun + slot.cur_staging.value() + slot.cur_exec.value(),
+                  slot.cur_retrieval.value(),
+                  {obs::arg("instance", slot.current.value)});
+    }
+  }
+
   void launch_for(Slot* slot) {
     const cloud::InstanceId id = provider_.launch(
         options_.instance_type, options_.zone,
@@ -232,6 +282,14 @@ class ExecutionDriver {
       slot.transfer_retries += out.attempts - 1;
       slot.transfer_retry_time += out.retry_overhead();
       slot.corruptions_detected += out.corruptions_detected;
+      m_xfer_retries_.add(static_cast<std::uint64_t>(
+          std::max(0, out.attempts - 1)));
+      m_xfer_retry_time_.add(out.retry_overhead().value());
+      m_corruptions_.add(
+          static_cast<std::uint64_t>(std::max(0, out.corruptions_detected)));
+      cloud::record_transfer_trace(obs::kPidExecutor, trace_tid(slot),
+                                   "staging-transfer", provider_.sim().now(),
+                                   out);
       if (!out.ok) {
         slot.work_total += out.time;
         abandon_on_transfer(station, slot,
@@ -271,6 +329,13 @@ class ExecutionDriver {
           slot.transfer_retry_time += sampled.retry_time;
           slot.corruptions_detected += sampled.corruptions_detected;
           slot.hedge_wins += sampled.hedge_wins;
+          m_xfer_retries_.add(
+              static_cast<std::uint64_t>(std::max(0, sampled.retries)));
+          m_xfer_retry_time_.add(sampled.retry_time.value());
+          m_corruptions_.add(static_cast<std::uint64_t>(
+              std::max(0, sampled.corruptions_detected)));
+          m_hedge_wins_.add(
+              static_cast<std::uint64_t>(std::max(0, sampled.hedge_wins)));
         } catch (const TransferError& failure) {
           slot.work_total += staging + exec;
           abandon_on_transfer(station, slot,
@@ -310,11 +375,18 @@ class ExecutionDriver {
   void abandon_on_transfer(Station& station, Slot& slot, std::string why) {
     slot.abandoned = true;
     slot.error = std::move(why);
+    m_abandoned_.add(1);
+    if (obs::enabled()) {
+      obs::trace().instant(obs::kPidExecutor, trace_tid(slot), "executor",
+                           "abandoned", provider_.sim().now().value(),
+                           {obs::arg("slot", slot.index),
+                            obs::arg("reason", "transfer")});
+    }
     station.active = nullptr;
     if (!station.backlog.empty()) {
       Slot* next = station.backlog.front();
       station.backlog.pop_front();
-      next->recovery_total += provider_.sim().now() - next->failed_at;
+      credit_recovery(*next, "backlog");
       begin_work(station, *next);
       return;
     }
@@ -330,11 +402,12 @@ class ExecutionDriver {
     slot.exec_total += slot.cur_exec;
     slot.retrieval_total += slot.cur_retrieval;
     slot.work_total += slot.cur_staging + slot.cur_exec + slot.cur_retrieval;
+    trace_attempt(slot);
     station.active = nullptr;
     if (!station.backlog.empty()) {
       Slot* next = station.backlog.front();
       station.backlog.pop_front();
-      next->recovery_total += provider_.sim().now() - next->failed_at;
+      credit_recovery(*next, "backlog");
       begin_work(station, *next);
       return;
     }
@@ -344,17 +417,26 @@ class ExecutionDriver {
   }
 
   void on_failure(cloud::Instance& instance) {
-    ++failures_observed_;
+    m_failures_.add(1);
     const auto it = stations_.find(instance.id());
     if (it == stations_.end()) return;  // a discarded screening candidate
     const std::unique_ptr<Station> station = std::move(it->second);
     stations_.erase(it);
     const Seconds now = provider_.sim().now();
+    const std::string_view kind =
+        instance.failure() ? to_string(instance.failure()->kind) : "unknown";
 
     if (Slot* waiting = station->awaiting) {
       // Boot failure: no work started, the full remainder survives.
       ++waiting->failures;
       waiting->failed_at = now;
+      if (obs::enabled()) {
+        obs::trace().instant(obs::kPidExecutor, trace_tid(*waiting),
+                             "executor", "crash", now.value(),
+                             {obs::arg("slot", waiting->index),
+                              obs::arg("phase", "boot"),
+                              obs::arg("kind", kind)});
+      }
       recover(waiting);
     } else if (Slot* slot = station->active) {
       // Mid-run crash: the linear-progress prefix of this attempt is kept
@@ -382,6 +464,19 @@ class ExecutionDriver {
       slot->remaining -= processed;
       slot->data_offset += processed;
       slot->failed_at = now;
+      if (obs::enabled()) {
+        obs::trace().complete(obs::kPidExecutor, trace_tid(*slot), "executor",
+                              "attempt#crashed", slot->work_begun.value(),
+                              elapsed.value(),
+                              {obs::arg("slot", slot->index),
+                               obs::arg("instance", instance.id().value),
+                               obs::arg("progress", progress)});
+        obs::trace().instant(obs::kPidExecutor, trace_tid(*slot), "executor",
+                             "crash", now.value(),
+                             {obs::arg("slot", slot->index),
+                              obs::arg("phase", "work"),
+                              obs::arg("kind", kind)});
+      }
       recover(slot);
     }
     // Redistributed slots that were queued behind the dead instance go
@@ -426,6 +521,13 @@ class ExecutionDriver {
     slot->abandoned = true;
     slot->error = "recovery exhausted: no replacement within the relaunch "
                   "budget and no surviving instance to redistribute to";
+    m_abandoned_.add(1);
+    if (obs::enabled()) {
+      obs::trace().instant(obs::kPidExecutor, trace_tid(*slot), "executor",
+                           "abandoned", provider_.sim().now().value(),
+                           {obs::arg("slot", slot->index),
+                            obs::arg("reason", "recovery_exhausted")});
+    }
   }
 
   [[nodiscard]] Station* best_host() {
@@ -450,11 +552,12 @@ class ExecutionDriver {
           options_.instance_type, options_.zone, options_.relaunch_threshold,
           options_.relaunch_screen_attempts);
       ++slot->relaunches;
+      m_relaunches_.add(1);
       auto station = std::make_unique<Station>();
       station->id = acq.id;
       Station* raw = station.get();
       stations_.emplace(acq.id, std::move(station));
-      slot->recovery_total += provider_.sim().now() - slot->failed_at;
+      credit_recovery(*slot, "relaunch");
       begin_work(*raw, *slot);
       return true;
     } catch (const Error&) {
@@ -465,15 +568,13 @@ class ExecutionDriver {
   void redistribute(Slot* slot, Station& host) {
     host.backlog.push_back(slot);
     host.avail_at += estimate_work(*slot);
-    ++redistributions_;
+    m_redistributions_.add(1);
   }
 
   [[nodiscard]] ExecutionReport assemble() {
     ExecutionReport report;
     report.deadline = plan_.deadline;
     report.outcomes.resize(slots_.size());
-    report.failures = failures_observed_;
-    report.redistributions = redistributions_;
     for (const auto& slot : slots_) {
       InstanceOutcome& outcome = report.outcomes[slot->index];
       outcome.index = slot->index;
@@ -496,24 +597,31 @@ class ExecutionDriver {
       outcome.transfer_retry_time = slot->transfer_retry_time;
       outcome.corruptions_detected = slot->corruptions_detected;
       outcome.hedge_wins = slot->hedge_wins;
-      report.transfer_retries +=
-          static_cast<std::size_t>(std::max(0, slot->transfer_retries));
-      report.transfer_retry_time += slot->transfer_retry_time;
-      report.corruptions_detected +=
-          static_cast<std::size_t>(std::max(0, slot->corruptions_detected));
-      report.hedge_wins +=
-          static_cast<std::size_t>(std::max(0, slot->hedge_wins));
       if (!slot->done && slot->error.empty()) {
         outcome.error = "assignment never completed";
       }
       outcome.met_deadline =
           slot->done && outcome.work_time <= plan_.deadline;
       if (!outcome.met_deadline) ++report.missed;
-      if (!slot->done) ++report.abandoned;
-      report.relaunches += slot->relaunches;
-      report.recovery_time += slot->recovery_total;
+      // A slot that never finished without being explicitly abandoned
+      // (the simulation drained first) still counts as abandoned.
+      if (!slot->done && !slot->abandoned) m_abandoned_.add(1);
       report.makespan = std::max(report.makespan, outcome.work_time);
     }
+    // The aggregate tallies come straight from the driver registry — the
+    // event sites are the single source of truth.
+    report.failures = static_cast<std::size_t>(m_failures_.value());
+    report.relaunches = static_cast<std::size_t>(m_relaunches_.value());
+    report.redistributions =
+        static_cast<std::size_t>(m_redistributions_.value());
+    report.abandoned = static_cast<std::size_t>(m_abandoned_.value());
+    report.recovery_time = Seconds(m_recovery_time_.value());
+    report.transfer_retries =
+        static_cast<std::size_t>(m_xfer_retries_.value());
+    report.transfer_retry_time = Seconds(m_xfer_retry_time_.value());
+    report.corruptions_detected =
+        static_cast<std::size_t>(m_corruptions_.value());
+    report.hedge_wins = static_cast<std::size_t>(m_hedge_wins_.value());
     report.instance_hours =
         provider_.billing().instance_hours(provider_.sim().now());
     report.cost = provider_.billing().total_cost(provider_.sim().now());
@@ -525,8 +633,27 @@ class ExecutionDriver {
   const ExecutionOptions& options_;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unordered_map<cloud::InstanceId, std::unique_ptr<Station>> stations_;
-  std::size_t failures_observed_ = 0;
-  std::size_t redistributions_ = 0;
+
+  // One source of truth for the report's fault/data-plane aggregates: a
+  // driver-local registry incremented at the event sites (instead of the
+  // former ad-hoc size_t members), read back in assemble() and merged
+  // into the global registry when recording is on.  The instrument
+  // references are cached once; counting stays O(1) per event.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& m_failures_ = metrics_.counter("executor.failures");
+  obs::Counter& m_relaunches_ = metrics_.counter("executor.relaunches");
+  obs::Counter& m_redistributions_ =
+      metrics_.counter("executor.redistributions");
+  obs::Counter& m_abandoned_ = metrics_.counter("executor.abandoned");
+  obs::Counter& m_xfer_retries_ =
+      metrics_.counter("executor.transfer.retries");
+  obs::Counter& m_corruptions_ =
+      metrics_.counter("executor.transfer.corruptions_detected");
+  obs::Counter& m_hedge_wins_ =
+      metrics_.counter("executor.transfer.hedge_wins");
+  obs::Gauge& m_xfer_retry_time_ =
+      metrics_.gauge("executor.transfer.retry_time_s");
+  obs::Gauge& m_recovery_time_ = metrics_.gauge("executor.recovery_time_s");
 };
 
 }  // namespace

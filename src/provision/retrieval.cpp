@@ -6,6 +6,8 @@
 
 #include "cloud/transfer.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace reshape::provision {
 
@@ -210,6 +212,13 @@ SampledRetrieval retrieval_time_sampled_with_faults(
     out.retry_time += o.retry_overhead();
     out.corruptions_detected += o.corruptions_detected;
     if (o.hedge_won) ++out.hedge_wins;
+    if (obs::enabled()) {
+      obs::metrics().counter("retrieval.objects").add(1);
+      obs::metrics()
+          .histogram("retrieval.object_time",
+                     {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 30.0})
+          .observe(o.time.value());
+    }
   }
   return out;
 }

@@ -6,6 +6,9 @@
 #include "common/digest.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace reshape::pack {
 
@@ -15,6 +18,22 @@ void stamp_digests(MergedCorpus& merged) {
   merged.digests.reserve(merged.blocks.size());
   for (const Bin& bin : merged.blocks) {
     merged.digests.push_back(block_digest(bin));
+  }
+}
+
+/// Packing-quality tallies for one finished merge.
+void record_merge_metrics(const MergedCorpus& merged) {
+  if (!obs::enabled()) return;
+  auto& m = obs::metrics();
+  m.counter("binpack.bins").add(merged.blocks.size());
+  m.gauge("binpack.fill_factor").set(merged.fill_factor());
+  auto& fill = m.histogram("binpack.block_fill",
+                           {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0});
+  const double unit = merged.unit.as_double();
+  if (unit > 0.0) {
+    for (const Bin& bin : merged.blocks) {
+      fill.observe(bin.used.as_double() / unit);
+    }
   }
 }
 }  // namespace
@@ -68,6 +87,7 @@ double MergedCorpus::fill_factor() const {
 
 MergedCorpus merge_to_unit(const corpus::Corpus& corpus, Bytes unit,
                            ItemOrder order) {
+  const obs::WallSpan span("reshape", "merge_sequential");
   std::vector<Item> items;
   items.reserve(corpus.file_count());
   for (const corpus::VirtualFile& f : corpus.files()) {
@@ -77,6 +97,7 @@ MergedCorpus merge_to_unit(const corpus::Corpus& corpus, Bytes unit,
   merged.unit = unit;
   merged.blocks = first_fit(items, unit, order).bins;
   stamp_digests(merged);
+  record_merge_metrics(merged);
   return merged;
 }
 
@@ -89,6 +110,7 @@ MergedCorpus merge_to_unit_parallel(const corpus::Corpus& corpus, Bytes unit,
   }
   shards = std::min(shards, std::max<std::size_t>(files.size(), 1));
   if (shards <= 1) return merge_to_unit(corpus, unit, order);
+  const obs::WallSpan span("reshape", "merge_parallel");
 
   // Shard s owns files [s * grain, (s + 1) * grain); the chunked
   // parallel_for hands each worker one whole shard, so the per-task
@@ -100,6 +122,7 @@ MergedCorpus merge_to_unit_parallel(const corpus::Corpus& corpus, Bytes unit,
   pool.parallel_for(files.size(), grain,
                     [&files, &parts, grain, unit, order](std::size_t begin,
                                                          std::size_t end) {
+                      const obs::WallSpan shard_span("reshape", "shard");
                       std::vector<Item> items;
                       items.reserve(end - begin);
                       for (std::size_t i = begin; i < end; ++i) {
@@ -117,6 +140,7 @@ MergedCorpus merge_to_unit_parallel(const corpus::Corpus& corpus, Bytes unit,
     for (Bin& bin : part.bins) merged.blocks.push_back(std::move(bin));
   }
   stamp_digests(merged);
+  record_merge_metrics(merged);
   return merged;
 }
 

@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "json_lite.hpp"
+
+namespace reshape::obs {
+namespace {
+
+namespace json = reshape::testjson;
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetsAndAccumulates) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(0.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  // Bucket i covers (bounds[i-1], bounds[i]]; the last is the overflow.
+  EXPECT_EQ(h.bucket_index(0.5), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 0u);  // upper bound is inclusive
+  EXPECT_EQ(h.bucket_index(1.0000001), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 1u);
+  EXPECT_EQ(h.bucket_index(4.0), 2u);
+  EXPECT_EQ(h.bucket_index(4.0000001), 3u);  // overflow bucket
+  EXPECT_EQ(h.bucket_index(1e30), 3u);
+
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(100.0);
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 0u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 104.5);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, MergeRequiresIdenticalBounds) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  Histogram c({1.0, 5.0});
+  a.observe(0.5);
+  b.observe(7.0);
+  b.observe(20.0);
+  a.merge(b);
+  const HistogramSnapshot merged = a.snapshot();
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 1u);
+  EXPECT_EQ(merged.counts[2], 1u);
+  EXPECT_DOUBLE_EQ(merged.sum, 27.5);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, LookupIsStableAndCreateOnFirstUse) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);  // same instrument, stable reference
+  a.add(3);
+  EXPECT_EQ(reg.counter_value("x"), 3u);
+  EXPECT_EQ(reg.counter_value("never-created"), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedByFirstCall) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  // A later lookup with different bounds returns the existing instrument.
+  Histogram& again = reg.histogram("h", {5.0, 6.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.snapshot().bounds, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotIsSortedAndParses) {
+  MetricsRegistry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  reg.gauge("m.middle").set(0.5);
+  reg.histogram("h", {1.0}).observe(0.25);
+  const std::string out = reg.to_json();
+  // Deterministic ordering: names sorted within each section.
+  EXPECT_LT(out.find("a.first"), out.find("z.last"));
+  const json::Value doc = json::parse(out);
+  EXPECT_EQ(doc.at("counters").at("a.first").number, 2.0);
+  EXPECT_EQ(doc.at("counters").at("z.last").number, 1.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("m.middle").number, 0.5);
+  const json::Value& h = doc.at("histograms").at("h");
+  EXPECT_EQ(h.at("count").number, 1.0);
+  EXPECT_EQ(h.at("counts").as_array().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, MergeFoldsEverySection) {
+  MetricsRegistry a, b;
+  a.counter("c").add(1);
+  b.counter("c").add(2);
+  b.counter("only-b").add(7);
+  b.gauge("g").set(1.5);
+  b.histogram("h", {1.0}).observe(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("c"), 3u);
+  EXPECT_EQ(a.counter_value("only-b"), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 1.5);
+  EXPECT_EQ(a.histogram("h", {1.0}).snapshot().count, 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsInstruments) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(5);
+  reg.histogram("h", {1.0}).observe(2.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.histogram("h", {1.0}).snapshot().count, 0u);
+  // The reference stays valid across reset (unlike clear()).
+  c.add(1);
+  EXPECT_EQ(reg.counter_value("c"), 1u);
+}
+
+}  // namespace
+}  // namespace reshape::obs

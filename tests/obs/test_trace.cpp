@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json_lite.hpp"
+#include "obs/recorder.hpp"
+
+namespace reshape::obs {
+namespace {
+
+namespace json = reshape::testjson;
+
+TEST(TraceTime, SimSecondsBecomeIntegerMicroseconds) {
+  EXPECT_EQ(to_trace_us(0.0), 0);
+  EXPECT_EQ(to_trace_us(1.0), 1'000'000);
+  EXPECT_EQ(to_trace_us(0.5), 500'000);
+  EXPECT_EQ(to_trace_us(3600.0), 3'600'000'000LL);
+  // Sub-microsecond durations round to the nearest tick, not truncate.
+  EXPECT_EQ(to_trace_us(0.0000006), 1);
+  EXPECT_EQ(to_trace_us(0.0000004), 0);
+}
+
+TEST(TraceRecorderTest, RecordsEventsInInsertionOrder) {
+  TraceRecorder rec;
+  rec.complete(kPidCloud, 1, "instance", "boot", 0.0, 2.0);
+  rec.instant(kPidCloud, 1, "instance", "failed", 2.0);
+  rec.complete(kPidExecutor, 0, "executor", "exec", 1.0, 5.0);
+  EXPECT_EQ(rec.event_count(), 3u);
+
+  const json::Value doc = json::parse(rec.to_chrome_json());
+  const json::Array& events = doc.at("traceEvents").as_array();
+  // 4 metadata process_name events precede the recorded ones.
+  ASSERT_EQ(events.size(), 7u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].at("ph").string, "M");
+    EXPECT_EQ(events[i].at("name").string, "process_name");
+  }
+  EXPECT_EQ(events[4].at("name").string, "boot");
+  EXPECT_EQ(events[4].at("ph").string, "X");
+  EXPECT_EQ(events[4].at("ts").number, 0.0);
+  EXPECT_EQ(events[4].at("dur").number, 2'000'000.0);
+  EXPECT_EQ(events[5].at("name").string, "failed");
+  EXPECT_EQ(events[5].at("ph").string, "i");
+  EXPECT_EQ(events[5].at("s").string, "t");  // thread-scoped instant
+  EXPECT_EQ(events[6].at("pid").number, static_cast<double>(kPidExecutor));
+}
+
+TEST(TraceRecorderTest, ArgsSurviveJsonRoundTrip) {
+  TraceRecorder rec;
+  rec.complete(kPidCloud, 7, "t", "quote\"back\\slash\nnewline", 0.0, 1.0,
+               {arg("str", "a\tb"), arg("int", std::int64_t{-42}),
+                arg("big", std::uint64_t{1} << 63), arg("real", 2.5),
+                arg("flag", true)});
+  const json::Value doc = json::parse(rec.to_chrome_json());
+  const json::Value& e = doc.at("traceEvents").as_array().back();
+  EXPECT_EQ(e.at("name").string, "quote\"back\\slash\nnewline");
+  const json::Value& args = e.at("args");
+  EXPECT_EQ(args.at("str").string, "a\tb");
+  EXPECT_EQ(args.at("int").number, -42.0);
+  EXPECT_EQ(args.at("real").number, 2.5);
+  EXPECT_TRUE(args.at("flag").boolean);
+  // 2^63 is representable exactly as a double.
+  EXPECT_EQ(args.at("big").number, 9223372036854775808.0);
+}
+
+TEST(TraceRecorderTest, SameEventSequenceExportsIdenticalBytes) {
+  const auto record = [](TraceRecorder& rec) {
+    rec.thread_name(kPidCloud, 3, "instance-3");
+    rec.complete(kPidCloud, 3, "instance", "boot", 0.125, 41.5,
+                 {arg("instance", std::uint64_t{3})});
+    rec.instant(kPidExecutor, 0, "executor", "crash", 99.875,
+                {arg("kind", "crash")});
+  };
+  TraceRecorder a, b;
+  record(a);
+  record(b);
+  EXPECT_EQ(a.to_chrome_json(), b.to_chrome_json());
+}
+
+TEST(TraceRecorderTest, ClearEmptiesTheBuffer) {
+  TraceRecorder rec;
+  rec.complete(kPidCloud, 1, "c", "n", 0.0, 1.0);
+  ASSERT_EQ(rec.event_count(), 1u);
+  rec.clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+  // Still exports a valid (empty) document.
+  const json::Value doc = json::parse(rec.to_chrome_json());
+  EXPECT_EQ(doc.at("traceEvents").as_array().size(), 4u);  // metadata only
+}
+
+TEST(TraceRecorderTest, WallSpanIsInertWithoutWallCapture) {
+  if (!compiled_in()) GTEST_SKIP() << "recording sites compiled out";
+  set_enabled(true);
+  trace().clear();
+  trace().set_wall_capture(false);
+  { const WallSpan span("test", "inert"); }
+  EXPECT_EQ(trace().event_count(), 0u);
+  trace().set_wall_capture(true);
+  { const WallSpan span("test", "live"); }
+  trace().set_wall_capture(false);
+  set_enabled(false);
+  EXPECT_EQ(trace().event_count(), 1u);
+  const json::Value doc = json::parse(trace().to_chrome_json());
+  const json::Value& e = doc.at("traceEvents").as_array().back();
+  EXPECT_EQ(e.at("name").string, "live");
+  EXPECT_EQ(e.at("pid").number, static_cast<double>(kPidWall));
+  trace().clear();
+}
+
+TEST(TraceRecorderTest, ChromeSchemaSanity) {
+  TraceRecorder rec;
+  rec.complete(kPidCloud, 2, "instance", "running", 1.0, 2.0);
+  rec.instant(kPidMapReduce, 5, "mapreduce", "done", 3.0);
+  const std::string out = rec.to_chrome_json();
+  const json::Value doc = json::parse(out);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  for (const json::Value& e : doc.at("traceEvents").as_array()) {
+    ASSERT_TRUE(e.is_object());
+    const std::string& ph = e.at("ph").string;
+    EXPECT_TRUE(ph == "X" || ph == "i" || ph == "M");
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+    EXPECT_TRUE(e.at("name").is_string());
+    if (ph == "X") {
+      // Timestamps are integral microseconds — the determinism contract.
+      const double ts = e.at("ts").number;
+      const double dur = e.at("dur").number;
+      EXPECT_EQ(ts, static_cast<double>(static_cast<long long>(ts)));
+      EXPECT_EQ(dur, static_cast<double>(static_cast<long long>(dur)));
+      EXPECT_GE(dur, 0.0);
+      EXPECT_TRUE(e.at("cat").is_string());
+    }
+    if (ph == "i") {
+      EXPECT_EQ(e.at("s").string, "t");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reshape::obs
