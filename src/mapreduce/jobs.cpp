@@ -22,8 +22,12 @@ MapReduceJob word_count_job(std::size_t reducers) {
   job.name = "wordcount";
   job.num_reducers = reducers;
   job.mapper = [](std::string_view document, const Emit& emit) {
-    for (const std::string& word : textproc::tokenize(document)) {
-      emit(word, "1");
+    // One arena per worker thread: token spans are lowercased into a
+    // recycled buffer instead of a per-token std::string vector (mappers
+    // run concurrently under LocalRunner's ThreadPool).
+    thread_local textproc::TokenArena arena;
+    for (const std::string_view word : arena.tokenize(document)) {
+      emit(std::string(word), "1");
     }
   };
   const Reducer sum = [](const std::string& key,

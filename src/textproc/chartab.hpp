@@ -1,0 +1,89 @@
+// Locale-independent character classification tables.
+//
+// The text kernels (tokenizer, scanner, POS pipeline) classify bytes on
+// their innermost loops.  <cctype> routes every call through the global C
+// locale — an indirect load per byte, and worse, behaviour that silently
+// changes if any caller runs setlocale().  These tables freeze the "C"
+// locale's ASCII semantics into constexpr 256-entry lookup tables: one
+// L1-resident array index per byte, bit-identical to std::isalpha/ispunct/
+// isspace/tolower under the default locale, and immune to the global one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace reshape::textproc::ascii {
+
+namespace detail {
+
+constexpr bool ascii_alpha(unsigned c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z');
+}
+constexpr bool ascii_digit(unsigned c) { return c >= '0' && c <= '9'; }
+constexpr bool ascii_space(unsigned c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+// Printable, not alphanumeric, not space — the C locale's ispunct set.
+constexpr bool ascii_punct(unsigned c) {
+  return c > ' ' && c < 0x7f && !ascii_alpha(c) && !ascii_digit(c);
+}
+
+constexpr std::array<bool, 256> make_table(bool (*pred)(unsigned)) {
+  std::array<bool, 256> t{};
+  for (unsigned c = 0; c < 256; ++c) t[c] = pred(c);
+  return t;
+}
+
+constexpr std::array<char, 256> make_lower() {
+  std::array<char, 256> t{};
+  for (unsigned c = 0; c < 256; ++c) {
+    t[c] = static_cast<char>((c >= 'A' && c <= 'Z') ? c + 32 : c);
+  }
+  return t;
+}
+
+}  // namespace detail
+
+inline constexpr std::array<bool, 256> kAlpha =
+    detail::make_table(detail::ascii_alpha);
+inline constexpr std::array<bool, 256> kDigit =
+    detail::make_table(detail::ascii_digit);
+inline constexpr std::array<bool, 256> kSpace =
+    detail::make_table(detail::ascii_space);
+inline constexpr std::array<bool, 256> kPunct =
+    detail::make_table(detail::ascii_punct);
+inline constexpr std::array<char, 256> kLower = detail::make_lower();
+
+constexpr bool is_alpha(char c) { return kAlpha[static_cast<unsigned char>(c)]; }
+constexpr bool is_digit(char c) { return kDigit[static_cast<unsigned char>(c)]; }
+constexpr bool is_space(char c) { return kSpace[static_cast<unsigned char>(c)]; }
+constexpr bool is_punct(char c) { return kPunct[static_cast<unsigned char>(c)]; }
+constexpr char to_lower(char c) { return kLower[static_cast<unsigned char>(c)]; }
+
+/// Relative frequency rank of each byte in English text, low rank = rare.
+/// Used to pick the rarest pattern byte as the memchr probe of the literal
+/// searcher: scanning for a rare byte minimizes candidate verifications.
+/// Values are coarse (digits/punctuation rarer than consonants rarer than
+/// vowels/space); precision does not matter, only the ordering.
+inline constexpr std::array<std::uint8_t, 256> kFrequencyRank = [] {
+  std::array<std::uint8_t, 256> rank{};
+  for (unsigned c = 0; c < 256; ++c) rank[c] = 1;  // default: very rare
+  constexpr const char* common =
+      " etaoinshrdlcumwfgypbvk";  // most→least common, roughly
+  for (unsigned i = 0; common[i] != '\0'; ++i) {
+    const auto c = static_cast<unsigned char>(common[i]);
+    rank[c] = static_cast<std::uint8_t>(250 - i * 10);
+    // Uppercase forms are rarer but track their lowercase letter.
+    if (c >= 'a' && c <= 'z') {
+      rank[c - 32] = static_cast<std::uint8_t>(rank[c] / 4);
+    }
+  }
+  rank[static_cast<unsigned char>('\n')] = 150;
+  rank[static_cast<unsigned char>('.')] = 60;
+  rank[static_cast<unsigned char>(',')] = 60;
+  for (unsigned c = '0'; c <= '9'; ++c) rank[c] = 30;
+  return rank;
+}();
+
+}  // namespace reshape::textproc::ascii

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "textproc/tokenizer.hpp"
 
 namespace reshape::textproc {
@@ -25,25 +28,32 @@ PosTag Lexicon::argmax(const Counts& counts) {
   return tag_from(best);
 }
 
+Lexicon::Counts& Lexicon::counts_for(CountsMap& map, std::string_view key) {
+  const auto it = map.find(key);
+  if (it != map.end()) return it->second;
+  return map.emplace(std::string(key), Counts{}).first->second;
+}
+
 void Lexicon::observe(const TaggedSentence& sentence) {
   for (const corpus::TaggedWord& w : sentence) {
     const std::size_t t = tag_index(w.tag);
-    ++words_[w.text][t];
+    ++counts_for(words_, w.text)[t];
     ++prior_[t];
     if (w.tag != PosTag::kPunct) {
-      const std::size_t len = w.text.size();
+      const std::string_view text = w.text;
+      const std::size_t len = text.size();
       for (std::size_t s = 1; s <= std::min(kMaxSuffix, len); ++s) {
-        ++suffixes_[w.text.substr(len - s)][t];
+        ++counts_for(suffixes_, text.substr(len - s))[t];
       }
     }
   }
 }
 
-bool Lexicon::knows(const std::string& word) const {
-  return words_.count(word) > 0;
+bool Lexicon::knows(std::string_view word) const {
+  return words_.find(word) != words_.end();
 }
 
-double Lexicon::tag_probability(const std::string& word, PosTag tag) const {
+double Lexicon::tag_probability(std::string_view word, PosTag tag) const {
   const auto it = words_.find(word);
   if (it == words_.end()) return 0.0;
   std::uint64_t total = 0;
@@ -53,7 +63,7 @@ double Lexicon::tag_probability(const std::string& word, PosTag tag) const {
          static_cast<double>(total);
 }
 
-PosTag Lexicon::guess_by_suffix(const std::string& word) const {
+PosTag Lexicon::guess_by_suffix(std::string_view word) const {
   const std::size_t len = word.size();
   for (std::size_t s = std::min(kMaxSuffix, len); s >= 1; --s) {
     const auto it = suffixes_.find(word.substr(len - s));
@@ -62,14 +72,14 @@ PosTag Lexicon::guess_by_suffix(const std::string& word) const {
   return argmax(prior_);
 }
 
-PosTag Lexicon::best_tag(const std::string& word) const {
+PosTag Lexicon::best_tag(std::string_view word) const {
   const auto it = words_.find(word);
   if (it != words_.end()) return argmax(it->second);
   return guess_by_suffix(word);
 }
 
 std::array<double, kPosTagCount> Lexicon::emission(
-    const std::string& word) const {
+    std::string_view word) const {
   std::array<double, kPosTagCount> probs{};
   const Counts* counts = nullptr;
   const auto wit = words_.find(word);
@@ -138,13 +148,14 @@ void PosTagger::train(const std::vector<TaggedSentence>& sentences) {
   trained_ = true;
 }
 
-std::vector<PosTag> PosTagger::tag_greedy(
-    const std::vector<std::string>& words) const {
-  std::vector<PosTag> tags;
-  tags.reserve(words.size());
+template <typename Word>
+void PosTagger::tag_greedy_into(const std::vector<Word>& words,
+                                std::vector<PosTag>& out) const {
+  out.clear();
+  out.reserve(words.size());
   PosTag prev2 = PosTag::kPunct;
   PosTag prev1 = PosTag::kPunct;
-  for (const std::string& word : words) {
+  for (const Word& word : words) {
     const auto emission = lexicon_.emission(word);
     double best_score = -1.0;
     PosTag best = PosTag::kNoun;
@@ -156,16 +167,17 @@ std::vector<PosTag> PosTagger::tag_greedy(
         best = tag_from(t);
       }
     }
-    tags.push_back(best);
+    out.push_back(best);
     prev2 = prev1;
     prev1 = best;
   }
-  return tags;
 }
 
-std::vector<PosTag> PosTagger::tag_viterbi(
-    const std::vector<std::string>& words) const {
-  if (words.empty()) return {};
+template <typename Word>
+void PosTagger::tag_viterbi_into(const std::vector<Word>& words,
+                                 std::vector<PosTag>& out) const {
+  out.clear();
+  if (words.empty()) return;
   const std::size_t n = words.size();
   constexpr std::size_t kStates = kPosTagCount * kPosTagCount;  // (t-1, t)
   constexpr double kNegInf = -1e300;
@@ -213,34 +225,59 @@ std::vector<PosTag> PosTagger::tag_viterbi(
   for (std::size_t s = 1; s < kStates; ++s) {
     if (score[n - 1][s] > score[n - 1][best_state]) best_state = s;
   }
-  std::vector<PosTag> tags(n);
+  out.assign(n, PosTag::kNoun);
   std::size_t state = best_state;
   for (std::size_t i = n; i-- > 0;) {
-    tags[i] = tag_from(state % kPosTagCount);
+    out[i] = tag_from(state % kPosTagCount);
     const std::size_t prev1 = state / kPosTagCount;
     if (i > 0) {
       const std::size_t prev2 = back[i][state];
       state = prev2 * kPosTagCount + prev1;
     }
   }
-  return tags;
+}
+
+template <typename Word>
+void PosTagger::tag_dispatch(const std::vector<Word>& words, DecodeMode mode,
+                             std::vector<PosTag>& out) const {
+  RESHAPE_REQUIRE(trained_, "tagger has not been trained");
+  if (mode == DecodeMode::kGreedyLeft3) {
+    tag_greedy_into(words, out);
+  } else {
+    tag_viterbi_into(words, out);
+  }
 }
 
 std::vector<PosTag> PosTagger::tag(const std::vector<std::string>& words,
                                    DecodeMode mode) const {
-  RESHAPE_REQUIRE(trained_, "tagger has not been trained");
-  return mode == DecodeMode::kGreedyLeft3 ? tag_greedy(words)
-                                          : tag_viterbi(words);
+  std::vector<PosTag> tags;
+  tag_dispatch(words, mode, tags);
+  return tags;
+}
+
+void PosTagger::tag_into(const std::vector<std::string_view>& words,
+                         DecodeMode mode, std::vector<PosTag>& out) const {
+  tag_dispatch(words, mode, out);
 }
 
 std::size_t PosTagger::tag_document(std::string_view text,
                                     DecodeMode mode) const {
+  const obs::WallSpan span("textproc", "tag_document");
+  // Zero-copy pipeline: sentence spans -> arena token spans -> tags, with
+  // the arena and both vectors recycled across sentences.
+  TokenArena arena;
+  std::vector<PosTag> tags;
   std::size_t tokens = 0;
-  for (const std::string_view sentence : split_sentences(text)) {
-    const std::vector<std::string> words =
-        tokenize(sentence, /*keep_punct=*/true);
-    if (words.empty()) continue;
-    tokens += tag(words, mode).size();
+  for_each_sentence(text, [&](std::string_view sentence) {
+    const std::vector<std::string_view>& words =
+        arena.tokenize(sentence, /*keep_punct=*/true);
+    if (words.empty()) return;
+    tag_dispatch(words, mode, tags);
+    tokens += tags.size();
+  });
+  if (obs::enabled()) {
+    obs::metrics().counter("textproc.pos.bytes_scanned").add(text.size());
+    obs::metrics().counter("textproc.pos.tokens").add(tokens);
   }
   return tokens;
 }
@@ -249,11 +286,13 @@ double PosTagger::evaluate(const std::vector<TaggedSentence>& gold,
                            DecodeMode mode) const {
   std::size_t correct = 0;
   std::size_t total = 0;
+  std::vector<std::string_view> words;
+  std::vector<PosTag> predicted;
   for (const TaggedSentence& sentence : gold) {
-    std::vector<std::string> words;
+    words.clear();
     words.reserve(sentence.size());
     for (const corpus::TaggedWord& w : sentence) words.push_back(w.text);
-    const std::vector<PosTag> predicted = tag(words, mode);
+    tag_dispatch(words, mode, predicted);
     for (std::size_t i = 0; i < sentence.size(); ++i) {
       if (predicted[i] == sentence[i].tag) ++correct;
       ++total;

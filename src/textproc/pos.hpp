@@ -6,11 +6,17 @@
 // decoded greedily left-to-right over a two-tag history — the same shape
 // as "left3words" (current word + two previous tags).  A full Viterbi
 // decoder is also provided as the high-accuracy mode.
+//
+// The lookup side is zero-copy: every query takes a std::string_view and
+// the hash maps use transparent (heterogeneous) hashing, so tagging a
+// document through TokenArena spans performs no per-word std::string
+// materialization and no substr copies for suffix probes.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +28,15 @@ using corpus::PosTag;
 using corpus::TaggedSentence;
 using corpus::kPosTagCount;
 
+/// Transparent string hashing: lets std::string-keyed unordered_maps
+/// answer string_view queries without constructing a key copy.
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Per-word tag frequency table plus suffix statistics for OOV words.
 class Lexicon {
  public:
@@ -29,31 +44,35 @@ class Lexicon {
   void observe(const TaggedSentence& sentence);
 
   [[nodiscard]] std::size_t vocabulary_size() const { return words_.size(); }
-  [[nodiscard]] bool knows(const std::string& word) const;
+  [[nodiscard]] bool knows(std::string_view word) const;
 
   /// P(tag | word) for a known word (relative frequency).
-  [[nodiscard]] double tag_probability(const std::string& word,
+  [[nodiscard]] double tag_probability(std::string_view word,
                                        PosTag tag) const;
 
   /// Most frequent tag of a known word; guessed via suffixes otherwise.
-  [[nodiscard]] PosTag best_tag(const std::string& word) const;
+  [[nodiscard]] PosTag best_tag(std::string_view word) const;
 
   /// Suffix-based guess for an unknown word (longest matching suffix of
   /// length <= kMaxSuffix wins; falls back to the overall prior).
-  [[nodiscard]] PosTag guess_by_suffix(const std::string& word) const;
+  [[nodiscard]] PosTag guess_by_suffix(std::string_view word) const;
 
   /// P(tag | word) with unknown words answered by suffix statistics.
   [[nodiscard]] std::array<double, kPosTagCount> emission(
-      const std::string& word) const;
+      std::string_view word) const;
 
   static constexpr std::size_t kMaxSuffix = 4;
 
  private:
   using Counts = std::array<std::uint32_t, kPosTagCount>;
+  using CountsMap = std::unordered_map<std::string, Counts,
+                                       TransparentStringHash, std::equal_to<>>;
   [[nodiscard]] static PosTag argmax(const Counts& counts);
+  [[nodiscard]] static Counts& counts_for(CountsMap& map,
+                                          std::string_view key);
 
-  std::unordered_map<std::string, Counts> words_;
-  std::unordered_map<std::string, Counts> suffixes_;
+  CountsMap words_;
+  CountsMap suffixes_;
   Counts prior_{};
 };
 
@@ -93,8 +112,15 @@ class PosTagger {
       const std::vector<std::string>& words,
       DecodeMode mode = DecodeMode::kGreedyLeft3) const;
 
+  /// Zero-copy variant: tags `words` (spans, e.g. from a TokenArena) into
+  /// `out`, which is cleared first and may be recycled across calls.
+  /// Bit-identical tag sequences to tag().
+  void tag_into(const std::vector<std::string_view>& words, DecodeMode mode,
+                std::vector<PosTag>& out) const;
+
   /// Tags a whole document: sentence-splits, tokenizes (keeping
-  /// punctuation) and tags.  Returns the number of tokens processed.
+  /// punctuation) and tags, all through the zero-copy pipeline.  Returns
+  /// the number of tokens processed.
   std::size_t tag_document(std::string_view text,
                            DecodeMode mode = DecodeMode::kGreedyLeft3) const;
 
@@ -104,10 +130,15 @@ class PosTagger {
       const;
 
  private:
-  [[nodiscard]] std::vector<PosTag> tag_greedy(
-      const std::vector<std::string>& words) const;
-  [[nodiscard]] std::vector<PosTag> tag_viterbi(
-      const std::vector<std::string>& words) const;
+  template <typename Word>
+  void tag_greedy_into(const std::vector<Word>& words,
+                       std::vector<PosTag>& out) const;
+  template <typename Word>
+  void tag_viterbi_into(const std::vector<Word>& words,
+                        std::vector<PosTag>& out) const;
+  template <typename Word>
+  void tag_dispatch(const std::vector<Word>& words, DecodeMode mode,
+                    std::vector<PosTag>& out) const;
 
   Lexicon lexicon_;
   TransitionModel transitions_;

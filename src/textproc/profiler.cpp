@@ -4,6 +4,9 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace reshape::textproc {
 
@@ -36,6 +39,10 @@ std::vector<std::string> AppProfiler::chunk(const std::string& text,
 
 MeasuredCosts AppProfiler::profile(const App& app,
                                    corpus::TextGenerator& gen) const {
+  // The span covers the whole probe (text generation + timed runs); the
+  // timed sections inside use their own clocks, so recording stays a pure
+  // observer of the measurement, never a participant.
+  const obs::WallSpan span("textproc", "profile");
   RESHAPE_REQUIRE(options_.small_unit < options_.large_unit,
                   "small unit must be below large unit");
   RESHAPE_REQUIRE(options_.repetitions >= 1, "need at least one repetition");
@@ -69,6 +76,12 @@ MeasuredCosts AppProfiler::profile(const App& app,
                           costs.per_file_overhead.value();
   costs.seconds_per_byte =
       std::max(0.0, work) / static_cast<double>(text.size());
+  if (obs::enabled()) {
+    obs::metrics().counter("textproc.profile.bytes_probed")
+        .add(text.size() * static_cast<std::size_t>(options_.repetitions) * 2);
+    obs::metrics().counter("textproc.profile.runs").add(
+        static_cast<std::size_t>(options_.repetitions) * 3);
+  }
   return costs;
 }
 

@@ -1,10 +1,21 @@
 #include "textproc/scanner.hpp"
 
 #include <cstring>
+#include <unordered_map>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "textproc/chartab.hpp"
 
 namespace reshape::textproc {
+
+// --------------------------------------------------------- LiteralSearcher
 
 LiteralSearcher::LiteralSearcher(std::string pattern)
     : pattern_(std::move(pattern)) {
@@ -13,15 +24,114 @@ LiteralSearcher::LiteralSearcher(std::string pattern)
   for (std::size_t i = 0; i + 1 < pattern_.size(); ++i) {
     skip_[static_cast<unsigned char>(pattern_[i])] = pattern_.size() - 1 - i;
   }
+  // Probe offsets: the two statistically rarest pattern bytes minimize
+  // false candidates, so nearly every byte is covered by the vectorized
+  // filter and memcmp verification stays rare.
+  for (std::size_t i = 1; i < pattern_.size(); ++i) {
+    if (ascii::kFrequencyRank[static_cast<unsigned char>(pattern_[i])] <
+        ascii::kFrequencyRank[static_cast<unsigned char>(pattern_[rare_])]) {
+      rare_ = i;
+    }
+  }
+  rare2_ = rare_ == 0 ? pattern_.size() - 1 : 0;
+  for (std::size_t i = 0; i < pattern_.size(); ++i) {
+    if (i == rare_) continue;
+    if (ascii::kFrequencyRank[static_cast<unsigned char>(pattern_[i])] <
+        ascii::kFrequencyRank[static_cast<unsigned char>(pattern_[rare2_])]) {
+      rare2_ = i;
+    }
+  }
 }
 
 std::size_t LiteralSearcher::find(std::string_view text,
                                   std::size_t from) const {
   const std::size_t m = pattern_.size();
   if (from + m > text.size()) return npos;
+  const char* const base = text.data();
   if (m == 1) {
-    // Single-character patterns skip the BMH machinery: memchr is a
-    // vectorized libc scan, an order of magnitude faster per byte.
+    const void* hit =
+        std::memchr(base + from, pattern_.front(), text.size() - from);
+    if (hit == nullptr) return npos;
+    return static_cast<std::size_t>(static_cast<const char*>(hit) - base);
+  }
+  const std::size_t last = text.size() - m;  // last valid start offset
+  std::size_t i = from;
+#if defined(__SSE2__)
+  // SIMD two-byte filter: compare the two rarest pattern bytes across 16
+  // candidate start positions per iteration; only positions where both
+  // agree are verified with memcmp.  Both loads stay inside the text:
+  // i + 15 + max(rare) <= last + (m - 1) = text.size() - 1.
+  {
+    const __m128i probe1 = _mm_set1_epi8(pattern_[rare_]);
+    const __m128i probe2 = _mm_set1_epi8(pattern_[rare2_]);
+    const char* const lane1 = base + rare_;
+    const char* const lane2 = base + rare2_;
+    const auto filter16 = [&](std::size_t at) {
+      const __m128i block1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(lane1 + at));
+      const __m128i block2 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(lane2 + at));
+      return static_cast<std::uint64_t>(
+          static_cast<unsigned>(_mm_movemask_epi8(_mm_and_si128(
+              _mm_cmpeq_epi8(block1, probe1),
+              _mm_cmpeq_epi8(block2, probe2)))));
+    };
+    std::size_t misses = 0;
+    // 64 candidate positions per iteration, their filter verdicts packed
+    // into one word; the common case (no candidate anywhere) is one test.
+    while (i + 63 <= last) {
+      const std::uint64_t mask = filter16(i) | (filter16(i + 16) << 16) |
+                                 (filter16(i + 32) << 32) |
+                                 (filter16(i + 48) << 48);
+      for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+        const std::size_t cand =
+            i + static_cast<std::size_t>(__builtin_ctzll(rest));
+        if (std::memcmp(base + cand, pattern_.data(), m) == 0) return cand;
+        ++misses;
+      }
+      i += 64;
+      // Pathological inputs (both probe bytes everywhere, few real
+      // matches) would degrade towards O(n·m); hand the remainder to the
+      // BMH oracle, which skips with a precomputed table.
+      if (misses >= 64 && i - from < misses * 4) {
+        return find_reference(text, i);
+      }
+    }
+    while (i + 15 <= last) {
+      for (std::uint64_t rest = filter16(i); rest != 0; rest &= rest - 1) {
+        const std::size_t cand =
+            i + static_cast<std::size_t>(__builtin_ctzll(rest));
+        if (std::memcmp(base + cand, pattern_.data(), m) == 0) return cand;
+      }
+      i += 16;
+    }
+    return find_reference(text, i);
+  }
+#else
+  // Portable fallback: memchr (a SIMD libc scan) probes for the rarest
+  // pattern byte; candidates are verified with memcmp.
+  const char probe = pattern_[rare_];
+  std::size_t misses = 0;
+  while (i <= last) {
+    const void* hit = std::memchr(base + i + rare_, probe, last - i + 1);
+    if (hit == nullptr) return npos;
+    const std::size_t cand =
+        static_cast<std::size_t>(static_cast<const char*>(hit) - base) - rare_;
+    if (std::memcmp(base + cand, pattern_.data(), m) == 0) return cand;
+    i = cand + 1;
+    if (++misses >= 16 && i - from < misses * 8) {
+      return find_reference(text, i);
+    }
+  }
+  return npos;
+#endif
+}
+
+std::size_t LiteralSearcher::find_reference(std::string_view text,
+                                            std::size_t from) const {
+  const std::size_t m = pattern_.size();
+  if (from + m > text.size()) return npos;
+  if (m == 1) {
     const void* hit =
         std::memchr(text.data() + from, pattern_.front(), text.size() - from);
     if (hit == nullptr) return npos;
@@ -47,6 +157,8 @@ std::size_t LiteralSearcher::count(std::string_view text) const {
   }
   return n;
 }
+
+// --------------------------------------------------------------- RegexLite
 
 RegexLite::RegexLite(std::string_view pattern) {
   std::size_t i = 0;
@@ -89,8 +201,14 @@ RegexLite::RegexLite(std::string_view pattern) {
         }
         first = false;
         if (i + 2 < end && pattern[i + 1] == '-' && pattern[i + 2] != ']') {
-          for (char ch = pattern[i]; ch <= pattern[i + 2]; ++ch) {
-            node.klass[static_cast<unsigned char>(ch)] = true;
+          // Iterate as unsigned: a `char` loop variable overflows (UB) on
+          // high-byte ranges like [\x7e-\x80] when char is signed.
+          const unsigned lo = static_cast<unsigned char>(pattern[i]);
+          const unsigned hi = static_cast<unsigned char>(pattern[i + 2]);
+          RESHAPE_REQUIRE(lo <= hi,
+                          "descending character-class range in pattern");
+          for (unsigned ch = lo; ch <= hi; ++ch) {
+            node.klass[ch] = true;
           }
           i += 3;
         } else {
@@ -124,6 +242,7 @@ RegexLite::RegexLite(std::string_view pattern) {
     }
     nodes_.push_back(node);
   }
+  compile();
 }
 
 bool RegexLite::node_matches(const Node& n, char c) {
@@ -133,6 +252,85 @@ bool RegexLite::node_matches(const Node& n, char c) {
     case Node::Kind::kClass: return n.klass[static_cast<unsigned char>(c)];
   }
   return false;
+}
+
+// The NFA is the node list read as positions 0..n ("about to match node
+// i"); position n is acceptance.  Epsilon closure skips nullable nodes
+// ('*'/'?'); one ascending pass suffices because skips only go forward.
+std::uint64_t RegexLite::closure(std::uint64_t mask) const {
+  const std::size_t n = nodes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((mask >> i) & 1u) {
+      const Node::Repeat r = nodes_[i].repeat;
+      if (r == Node::Repeat::kStar || r == Node::Repeat::kOpt) {
+        mask |= std::uint64_t{1} << (i + 1);
+      }
+    }
+  }
+  return mask;
+}
+
+void RegexLite::compile() {
+  const std::size_t n = nodes_.size();
+  if (n > kMaxDfaPositions) return;  // fall back to the backtracker
+
+  const std::uint64_t start_mask = closure(std::uint64_t{1});
+  std::unordered_map<std::uint64_t, std::uint16_t> ids;
+  std::vector<std::uint64_t> masks;
+  std::vector<std::uint16_t> delta;
+  const auto intern = [&](std::uint64_t mask) {
+    const auto [it, inserted] =
+        ids.try_emplace(mask, static_cast<std::uint16_t>(masks.size()));
+    if (inserted) masks.push_back(mask);
+    return it->second;
+  };
+  (void)intern(start_mask);
+
+  for (std::size_t s = 0; s < masks.size(); ++s) {
+    if (masks.size() > kMaxDfaStates) return;  // state blow-up: fall back
+    delta.resize((s + 1) * 256);
+    const std::uint64_t mask = masks[s];
+    for (unsigned c = 0; c < 256; ++c) {
+      std::uint64_t out = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (((mask >> i) & 1u) == 0) continue;
+        if (!node_matches(nodes_[i], static_cast<char>(c))) continue;
+        out |= std::uint64_t{1} << (i + 1);
+        const Node::Repeat r = nodes_[i].repeat;
+        if (r == Node::Repeat::kStar || r == Node::Repeat::kPlus) {
+          out |= std::uint64_t{1} << i;  // the repeat may consume again
+        }
+      }
+      out = closure(out);
+      if (!anchored_start_) out |= start_mask;  // a match may start anywhere
+      delta[s * 256 + c] = intern(out);
+    }
+  }
+
+  delta_ = std::move(delta);
+  accepting_.resize(masks.size());
+  const std::uint64_t accept_bit = std::uint64_t{1} << n;
+  for (std::size_t s = 0; s < masks.size(); ++s) {
+    accepting_[s] = (masks[s] & accept_bit) != 0 ? 1 : 0;
+    if (masks[s] == 0) dfa_dead_ = static_cast<std::uint16_t>(s);
+  }
+  dfa_start_ = 0;
+
+  // Prefilter: when only one byte leaves the start state, every match
+  // starts with it — memchr can skip the rest of the buffer.
+  if (!anchored_start_ && accepting_[dfa_start_] == 0) {
+    int required = -1;
+    int exits = 0;
+    for (unsigned c = 0; c < 256; ++c) {
+      if (delta_[static_cast<std::size_t>(dfa_start_) * 256 + c] !=
+          dfa_start_) {
+        required = static_cast<int>(c);
+        ++exits;
+      }
+    }
+    if (exits == 1) required_first_ = required;
+  }
+  dfa_ok_ = true;
 }
 
 bool RegexLite::match_here(std::size_t node, std::string_view text,
@@ -172,6 +370,41 @@ bool RegexLite::match_here(std::size_t node, std::string_view text,
 }
 
 bool RegexLite::search(std::string_view text) const {
+  if (!dfa_ok_) return search_reference(text);
+  const auto* p = reinterpret_cast<const unsigned char*>(text.data());
+  const auto* const end = p + text.size();
+  std::uint16_t s = dfa_start_;
+  if (!anchored_end_) {
+    if (accepting_[s] != 0) return true;  // empty match at position 0
+    while (p != end) {
+      if (required_first_ >= 0 && s == dfa_start_) {
+        p = static_cast<const unsigned char*>(std::memchr(
+            p, required_first_, static_cast<std::size_t>(end - p)));
+        if (p == nullptr) return false;
+      }
+      s = delta_[static_cast<std::size_t>(s) * 256 +
+                 static_cast<std::size_t>(*p++)];
+      if (accepting_[s] != 0) return true;
+      if (s == dfa_dead_) return false;
+    }
+    return false;
+  }
+  // End-anchored: the verdict is the state after the last byte.
+  while (p != end) {
+    if (required_first_ >= 0 && s == dfa_start_) {
+      const void* hit = std::memchr(p, required_first_,
+                                    static_cast<std::size_t>(end - p));
+      if (hit == nullptr) break;  // state stays dfa_start_ through the end
+      p = static_cast<const unsigned char*>(hit);
+    }
+    s = delta_[static_cast<std::size_t>(s) * 256 +
+               static_cast<std::size_t>(*p++)];
+    if (s == dfa_dead_) return false;
+  }
+  return accepting_[s] != 0;
+}
+
+bool RegexLite::search_reference(std::string_view text) const {
   if (anchored_start_) {
     return match_here(0, text, 0, anchored_end_);
   }
@@ -185,8 +418,54 @@ bool RegexLite::full_match(std::string_view text) const {
   return match_here(0, text, 0, /*to_end=*/true);
 }
 
+// -------------------------------------------------------------------- grep
+
 namespace {
 
+/// Lines under grep's counting rule: every '\n' terminates one (possibly
+/// empty) line; a nonempty tail after the last '\n' is one more.  Counted
+/// as popcounts of 64-position newline bitmasks, not one memchr per line
+/// (short lines would make the per-call overhead dominate the kernel).
+std::size_t count_lines(std::string_view text) {
+  if (text.empty()) return 0;
+  const char* const p = text.data();
+  const std::size_t n = text.size();
+  std::size_t newlines = 0;
+  std::size_t i = 0;
+#if defined(__SSE2__)
+  const __m128i nl = _mm_set1_epi8('\n');
+  const auto newline_mask16 = [&](std::size_t at) {
+    const __m128i block =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + at));
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(block, nl))));
+  };
+  for (; i + 64 <= n; i += 64) {
+    const std::uint64_t mask =
+        newline_mask16(i) | (newline_mask16(i + 16) << 16) |
+        (newline_mask16(i + 32) << 32) | (newline_mask16(i + 48) << 48);
+    newlines += static_cast<std::size_t>(__builtin_popcountll(mask));
+  }
+#endif
+  for (; i < n; ++i) {
+    if (p[i] == '\n') ++newlines;
+  }
+  // The tail after the last '\n' is one more line unless it is empty.
+  return newlines + (p[n - 1] != '\n' ? 1 : 0);
+}
+
+void record_grep_metrics(const char* kernel, const GrepResult& result) {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry& m = obs::metrics();
+  m.counter(std::string("textproc.") + kernel + ".bytes_scanned")
+      .add(result.bytes_scanned);
+  m.counter(std::string("textproc.") + kernel + ".lines")
+      .add(result.total_lines);
+  m.counter(std::string("textproc.") + kernel + ".matches")
+      .add(result.matching_lines);
+}
+
+/// The retained per-line scaffolding: split first, match each line.
 template <typename LineMatcher>
 GrepResult grep_lines(std::string_view text, LineMatcher&& matches) {
   GrepResult result;
@@ -209,16 +488,77 @@ GrepResult grep_lines(std::string_view text, LineMatcher&& matches) {
 }  // namespace
 
 GrepResult grep_literal(std::string_view text, const std::string& word) {
+  const obs::WallSpan span("textproc", "grep_literal");
   const LiteralSearcher searcher(word);
-  return grep_lines(text, [&searcher](std::string_view line) {
-    return searcher.find(line) != LiteralSearcher::npos;
-  });
+  GrepResult result;
+  result.bytes_scanned = text.size();
+  result.total_lines = count_lines(text);
+  // One search over the whole buffer; each hit is bracketed to its line
+  // with memchr('\n') and the scan resumes past that line, so a line with
+  // many occurrences is counted once.  A pattern containing '\n' can never
+  // sit inside a single line, matching the per-line oracle's verdict.
+  if (word.find('\n') == std::string::npos) {
+    const std::size_t m = word.size();
+    std::size_t pos = 0;
+    std::size_t hit = 0;
+    while ((hit = searcher.find(text, pos)) != LiteralSearcher::npos) {
+      ++result.matching_lines;
+      const void* nl = std::memchr(text.data() + hit + m, '\n',
+                                   text.size() - hit - m);
+      if (nl == nullptr) break;
+      pos = static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                     text.data()) +
+            1;
+    }
+  }
+  record_grep_metrics("grep_literal", result);
+  return result;
 }
 
 GrepResult grep_regex(std::string_view text, std::string_view pattern) {
+  const obs::WallSpan span("textproc", "grep_regex");
   const RegexLite re(pattern);
-  return grep_lines(text,
-                    [&re](std::string_view line) { return re.search(line); });
+  GrepResult result;
+  result.bytes_scanned = text.size();
+  // Lines are bracketed with memchr (not string_view::find's generic
+  // loop); each line runs through the DFA once, early-exiting on the
+  // first accepting byte.
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const void* nl =
+        pos < text.size()
+            ? std::memchr(text.data() + pos, '\n', text.size() - pos)
+            : nullptr;
+    const std::size_t end =
+        nl != nullptr
+            ? static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                       text.data())
+            : text.size();
+    if (end > pos || nl != nullptr) {
+      ++result.total_lines;
+      if (re.search(text.substr(pos, end - pos))) ++result.matching_lines;
+    }
+    if (nl == nullptr) break;
+    pos = end + 1;
+  }
+  record_grep_metrics("grep_regex", result);
+  return result;
+}
+
+GrepResult grep_literal_reference(std::string_view text,
+                                  const std::string& word) {
+  const LiteralSearcher searcher(word);
+  return grep_lines(text, [&searcher](std::string_view line) {
+    return searcher.find_reference(line) != LiteralSearcher::npos;
+  });
+}
+
+GrepResult grep_regex_reference(std::string_view text,
+                                std::string_view pattern) {
+  const RegexLite re(pattern);
+  return grep_lines(text, [&re](std::string_view line) {
+    return re.search_reference(line);
+  });
 }
 
 }  // namespace reshape::textproc

@@ -1,22 +1,39 @@
 // grep-style scanning: fast literal search plus a small regex engine.
 //
 // §5.1 restricts grep usage to "simple patterns consisting of English
-// dictionary words", searched with GNU grep 2.5.1.  The literal path is a
-// Boyer-Moore-Horspool scan; the regex-lite path covers the metacharacters
-// such simple patterns might carry (., *, ?, +, character classes,
-// anchors).  Matching is line-oriented like grep: a match means "this line
-// contains the pattern".
+// dictionary words", searched with GNU grep 2.5.1.  Two implementations
+// exist for every kernel and are kept bit-identical:
+//
+//   * the *reference* path — per-line Boyer-Moore-Horspool / backtracking
+//     scans, the retained oracles differential tests and the
+//     micro_textproc benchmark measure against;
+//   * the *vectorized* path — the default.  Literal search probes for the
+//     rarest pattern byte with memchr (a SIMD libc scan) and verifies
+//     candidates with memcmp; the regex engine compiles the pattern to a
+//     DFA by subset construction at construction time and matches with a
+//     single table-driven pass, prefiltered by a required first byte.
+//
+// Matching is line-oriented like grep: a match means "this line contains
+// the pattern".  The buffer-level grep kernels bracket hits to lines with
+// memchr('\n') instead of splitting the buffer line by line first.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace reshape::textproc {
 
-/// Boyer-Moore-Horspool literal searcher (case-sensitive).
+/// Literal substring searcher (case-sensitive).
+///
+/// `find` filters 16 candidate positions at a time by comparing the two
+/// statistically rarest pattern bytes with SSE2 (memchr probing on
+/// non-SSE2 targets) and verifies survivors with memcmp, degrading
+/// gracefully to the BMH loop on pathological inputs; `find_reference` is
+/// the plain Boyer-Moore-Horspool scan it must agree with byte for byte.
 class LiteralSearcher {
  public:
   explicit LiteralSearcher(std::string pattern);
@@ -27,6 +44,10 @@ class LiteralSearcher {
   [[nodiscard]] std::size_t find(std::string_view text,
                                  std::size_t from = 0) const;
 
+  /// Boyer-Moore-Horspool oracle; same contract (and results) as find().
+  [[nodiscard]] std::size_t find_reference(std::string_view text,
+                                           std::size_t from = 0) const;
+
   /// Number of (possibly overlapping) occurrences.
   [[nodiscard]] std::size_t count(std::string_view text) const;
 
@@ -35,11 +56,16 @@ class LiteralSearcher {
  private:
   std::string pattern_;
   std::array<std::size_t, 256> skip_{};
+  // Offsets of the two statistically rarest pattern bytes (filter probes).
+  std::size_t rare_ = 0;
+  std::size_t rare2_ = 0;
 };
 
 /// Minimal regular expressions: literals, '.', '*', '+', '?', character
 /// classes "[abc]"/"[a-z]"/"[^...]", anchors '^'/'$', and '\\' escapes.
-/// Backtracking matcher — adequate for dictionary-word patterns.
+/// No alternation and no captures — which is exactly why the pattern
+/// admits direct subset construction: `search` runs a compiled DFA in one
+/// O(n) pass.  `search_reference` is the retained backtracking matcher.
 class RegexLite {
  public:
   struct Node {
@@ -51,20 +77,47 @@ class RegexLite {
 
   explicit RegexLite(std::string_view pattern);
 
-  /// True if the pattern matches anywhere in `text`.
+  /// True if the pattern matches anywhere in `text`.  O(text) via the DFA
+  /// (falls back to the backtracker for patterns too large to compile —
+  /// see kMaxDfaPositions/kMaxDfaStates, never reached by §5.1 patterns).
   [[nodiscard]] bool search(std::string_view text) const;
+
+  /// The original backtracking matcher; bit-identical verdicts to search().
+  [[nodiscard]] bool search_reference(std::string_view text) const;
 
   /// True if the pattern matches the whole of `text`.
   [[nodiscard]] bool full_match(std::string_view text) const;
+
+  /// True when the DFA compiled (search() takes the table-driven path).
+  [[nodiscard]] bool compiled() const { return dfa_ok_; }
+
+  /// Byte every match must start with, or -1 when no single byte is
+  /// required (exposed for tests; drives the memchr prefilter).
+  [[nodiscard]] int required_first_byte() const { return required_first_; }
+
+  static constexpr std::size_t kMaxDfaPositions = 63;
+  static constexpr std::size_t kMaxDfaStates = 160;
 
  private:
   [[nodiscard]] bool match_here(std::size_t node, std::string_view text,
                                 std::size_t pos, bool to_end) const;
   [[nodiscard]] static bool node_matches(const Node& n, char c);
 
+  void compile();
+  [[nodiscard]] std::uint64_t closure(std::uint64_t mask) const;
+
   std::vector<Node> nodes_;
   bool anchored_start_ = false;
   bool anchored_end_ = false;
+
+  // DFA tables (subset construction over NFA positions 0..nodes_.size();
+  // the bit for position nodes_.size() marks acceptance).
+  std::vector<std::uint16_t> delta_;  // dfa state count x 256
+  std::vector<char> accepting_;       // per dfa state
+  std::uint16_t dfa_start_ = 0;
+  std::uint16_t dfa_dead_ = 0xffff;   // empty-set state, if reachable
+  int required_first_ = -1;
+  bool dfa_ok_ = false;
 };
 
 /// grep over a document: counts matching lines (grep's default unit).
@@ -74,12 +127,22 @@ struct GrepResult {
   std::size_t bytes_scanned = 0;
 };
 
-/// Literal scan of `text` for `word`, line by line.
+/// Literal scan for `word`: one buffer-level search, hits bracketed to
+/// lines with memchr('\n').
 [[nodiscard]] GrepResult grep_literal(std::string_view text,
                                       const std::string& word);
 
-/// Regex scan of `text`, line by line.
+/// Regex scan: lines bracketed with memchr('\n'), each matched by the
+/// single-pass DFA.
 [[nodiscard]] GrepResult grep_regex(std::string_view text,
                                     std::string_view pattern);
+
+/// Retained oracles: the original find-per-line kernels.  Bit-identical
+/// results to grep_literal/grep_regex, kept for differential tests and the
+/// before/after ratio in micro_textproc.
+[[nodiscard]] GrepResult grep_literal_reference(std::string_view text,
+                                                const std::string& word);
+[[nodiscard]] GrepResult grep_regex_reference(std::string_view text,
+                                              std::string_view pattern);
 
 }  // namespace reshape::textproc

@@ -1,53 +1,47 @@
 #include "textproc/tokenizer.hpp"
 
-#include <cctype>
-
 namespace reshape::textproc {
 
-namespace {
-bool is_terminator(char c) { return c == '.' || c == '!' || c == '?'; }
-
-std::string_view trim(std::string_view s) {
-  std::size_t lo = 0;
-  std::size_t hi = s.size();
-  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
-  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
-  return s.substr(lo, hi - lo);
+const std::vector<std::string_view>& TokenArena::tokenize(
+    std::string_view sentence, bool keep_punct) {
+  tokens_.clear();
+  buf_.clear();
+  // Total token bytes never exceed the sentence length, so one reserve
+  // guarantees buf_ never reallocates mid-call and the spans stay valid.
+  if (buf_.capacity() < sentence.size()) buf_.reserve(sentence.size());
+  for_each_token(sentence, keep_punct,
+                 [this](std::string_view raw, TokenKind kind) {
+                   const std::size_t off = buf_.size();
+                   if (kind == TokenKind::kWord) {
+                     for (const char c : raw) buf_.push_back(ascii::to_lower(c));
+                   } else {
+                     buf_.push_back(raw.front());
+                   }
+                   tokens_.emplace_back(buf_.data() + off, raw.size());
+                 });
+  return tokens_;
 }
-}  // namespace
 
 std::vector<std::string_view> split_sentences(std::string_view text) {
   std::vector<std::string_view> sentences;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (is_terminator(text[i])) {
-      const std::string_view s = trim(text.substr(start, i - start + 1));
-      if (!s.empty()) sentences.push_back(s);
-      start = i + 1;
-    }
-  }
-  const std::string_view tail = trim(text.substr(start));
-  if (!tail.empty()) sentences.push_back(tail);
+  for_each_sentence(text,
+                    [&sentences](std::string_view s) { sentences.push_back(s); });
   return sentences;
 }
 
 std::vector<std::string> tokenize(std::string_view sentence, bool keep_punct) {
   std::vector<std::string> tokens;
-  std::string current;
-  for (const char c : sentence) {
-    if (std::isalpha(static_cast<unsigned char>(c))) {
-      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    } else {
-      if (!current.empty()) {
-        tokens.push_back(std::move(current));
-        current.clear();
-      }
-      if (keep_punct && std::ispunct(static_cast<unsigned char>(c))) {
-        tokens.push_back(std::string(1, c));
-      }
-    }
-  }
-  if (!current.empty()) tokens.push_back(std::move(current));
+  for_each_token(sentence, keep_punct,
+                 [&tokens](std::string_view raw, TokenKind kind) {
+                   std::string t;
+                   t.reserve(raw.size());
+                   if (kind == TokenKind::kWord) {
+                     for (const char c : raw) t.push_back(ascii::to_lower(c));
+                   } else {
+                     t.push_back(raw.front());
+                   }
+                   tokens.push_back(std::move(t));
+                 });
   return tokens;
 }
 
@@ -55,7 +49,7 @@ std::size_t count_words(std::string_view text) {
   std::size_t count = 0;
   bool in_word = false;
   for (const char c : text) {
-    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool alpha = ascii::is_alpha(c);
     if (alpha && !in_word) ++count;
     in_word = alpha;
   }
@@ -63,11 +57,14 @@ std::size_t count_words(std::string_view text) {
 }
 
 double mean_sentence_length(std::string_view text) {
-  const auto sentences = split_sentences(text);
-  if (sentences.empty()) return 0.0;
+  std::size_t sentences = 0;
   std::size_t words = 0;
-  for (const std::string_view s : sentences) words += count_words(s);
-  return static_cast<double>(words) / static_cast<double>(sentences.size());
+  for_each_sentence(text, [&sentences, &words](std::string_view s) {
+    ++sentences;
+    words += count_words(s);
+  });
+  if (sentences == 0) return 0.0;
+  return static_cast<double>(words) / static_cast<double>(sentences);
 }
 
 }  // namespace reshape::textproc

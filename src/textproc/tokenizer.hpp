@@ -4,13 +4,100 @@
 // sentences (§5.2: "parses a document into sentences"), and basic NLP
 // passes like the full-traversal tokenization the paper cites as the
 // motivating worst case for grep-style scans.
+//
+// Two tiers:
+//   * zero-copy kernels — `for_each_token`/`for_each_sentence` walk the
+//     input with constexpr char-class tables (textproc/chartab.hpp, no
+//     locale calls) and hand out string_view spans; `TokenArena` adds
+//     lowercasing into one reused buffer, so a steady-state document pass
+//     performs no per-token heap allocation;
+//   * the allocating reference — `tokenize` returning std::vector
+//     <std::string>, the retained oracle the arena must match token for
+//     token (differential-tested, benchmarked in micro_textproc).
 #pragma once
 
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "textproc/chartab.hpp"
+
 namespace reshape::textproc {
+
+/// What a token span is.
+enum class TokenKind : std::uint8_t { kWord, kPunct };
+
+/// True for sentence-terminating punctuation (. ! ?).
+constexpr bool is_sentence_terminator(char c) {
+  return c == '.' || c == '!' || c == '?';
+}
+
+/// Strips ASCII whitespace from both ends (locale-independent).
+constexpr std::string_view trim_ascii(std::string_view s) {
+  std::size_t lo = 0;
+  std::size_t hi = s.size();
+  while (lo < hi && ascii::is_space(s[lo])) ++lo;
+  while (hi > lo && ascii::is_space(s[hi - 1])) --hi;
+  return s.substr(lo, hi - lo);
+}
+
+/// Calls `fn(span, kind)` for every token of `sentence` in order: word
+/// spans are maximal alphabetic runs (NOT lowercased — they alias the
+/// input buffer); punctuation tokens are single-character spans, emitted
+/// only when `keep_punct` is set.  Zero allocation.
+template <typename Fn>
+void for_each_token(std::string_view sentence, bool keep_punct, Fn&& fn) {
+  const std::size_t n = sentence.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (ascii::is_alpha(sentence[i])) {
+      std::size_t j = i + 1;
+      while (j < n && ascii::is_alpha(sentence[j])) ++j;
+      fn(sentence.substr(i, j - i), TokenKind::kWord);
+      i = j;
+    } else {
+      if (keep_punct && ascii::is_punct(sentence[i])) {
+        fn(sentence.substr(i, 1), TokenKind::kPunct);
+      }
+      ++i;
+    }
+  }
+}
+
+/// Calls `fn(sentence)` for every nonempty trimmed sentence of `text`,
+/// split on terminating punctuation (. ! ?).  Zero allocation.
+template <typename Fn>
+void for_each_sentence(std::string_view text, Fn&& fn) {
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (is_sentence_terminator(text[i])) {
+      const std::string_view s =
+          trim_ascii(text.substr(start, i - start + 1));
+      if (!s.empty()) fn(s);
+      start = i + 1;
+    }
+  }
+  const std::string_view tail = trim_ascii(text.substr(start));
+  if (!tail.empty()) fn(tail);
+}
+
+/// Reusable token buffer: tokenizes into lowercased string_view spans
+/// backed by one internal arena instead of per-token std::string heap
+/// allocations.  Steady state performs no allocation at all (the arena
+/// and the span vector are recycled between calls).
+class TokenArena {
+ public:
+  /// Tokenizes `sentence` exactly like the allocating `tokenize`
+  /// reference (lowercased word runs, optional single-char punctuation).
+  /// The returned reference and every span in it are valid until the next
+  /// tokenize() call on this arena (or its destruction).
+  const std::vector<std::string_view>& tokenize(std::string_view sentence,
+                                                bool keep_punct = false);
+
+ private:
+  std::string buf_;
+  std::vector<std::string_view> tokens_;
+};
 
 /// Splits on sentence-terminating punctuation (. ! ?), keeping nonempty
 /// trimmed sentences.
@@ -18,15 +105,17 @@ namespace reshape::textproc {
     std::string_view text);
 
 /// Extracts lowercase word tokens (alphabetic runs); punctuation becomes
-/// its own single-character token when `keep_punct` is set.
+/// its own single-character token when `keep_punct` is set.  This is the
+/// allocating reference oracle for TokenArena::tokenize.
 [[nodiscard]] std::vector<std::string> tokenize(std::string_view sentence,
                                                 bool keep_punct = false);
 
-/// Word count of a document (alphabetic tokens only).
+/// Word count of a document (alphabetic tokens only).  Zero allocation.
 [[nodiscard]] std::size_t count_words(std::string_view text);
 
 /// Mean words per sentence; 0 for empty text.  This is the "average
 /// sentence length" parameter §5.2 calls important for POS tagging cost.
+/// Zero allocation.
 [[nodiscard]] double mean_sentence_length(std::string_view text);
 
 }  // namespace reshape::textproc

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "corpus/textgen.hpp"
+#include "textproc/tokenizer.hpp"
 
 namespace reshape::textproc {
 namespace {
@@ -141,6 +142,81 @@ TEST_F(PosTaggerFixture, LexiconCoversGeneratorVocabulary) {
 TEST(PosTagger, TrainingOnEmptyCorpusThrows) {
   PosTagger t;
   EXPECT_THROW(t.train({}), Error);
+}
+
+TEST(PosTagger, EmptyInputsTagToNothing) {
+  PosTagger t;
+  t.train(training_corpus(200));
+  EXPECT_TRUE(t.tag({}).empty());
+  std::vector<PosTag> out{PosTag::kVerb};  // stale content must be cleared
+  t.tag_into({}, DecodeMode::kViterbi, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(t.tag_document(""), 0u);
+  EXPECT_EQ(t.tag_document("   \n\t  "), 0u);
+}
+
+TEST(PosTagger, UntrainedTaggerOnEmptyTextReturnsZero) {
+  // The trained-precondition fires per nonempty sentence, so a fresh
+  // tagger still answers 0 for text with no sentences (seed behaviour).
+  const PosTagger t;
+  EXPECT_EQ(t.tag_document(""), 0u);
+  EXPECT_THROW(t.tag_document("a sentence."), Error);
+}
+
+TEST(PosTagger, AllPunctuationSentences) {
+  PosTagger t;
+  t.train(training_corpus(200));
+  // "?! .. !" splits into five single-punctuation sentences; every
+  // punctuation token must come out tagged, none dropped.
+  const std::size_t tokens = t.tag_document("?! .. !");
+  EXPECT_EQ(tokens, 5u);
+  const std::vector<std::string> words{".", "."};
+  for (const PosTag tag : t.tag(words)) EXPECT_EQ(tag, PosTag::kPunct);
+}
+
+TEST(Lexicon, HeterogeneousLookupsTakeStringViews) {
+  Lexicon lex;
+  lex.observe({TaggedWord{"walk", PosTag::kVerb},
+               TaggedWord{"walks", PosTag::kVerb}});
+  // Queries through substrings of a larger buffer: no std::string key is
+  // ever materialized (the maps use transparent hashing).
+  const std::string_view buffer = "walks quickly";
+  EXPECT_TRUE(lex.knows(buffer.substr(0, 5)));
+  EXPECT_FALSE(lex.knows(buffer.substr(6)));
+  EXPECT_EQ(lex.best_tag(buffer.substr(0, 4)), PosTag::kVerb);
+  EXPECT_GT(lex.tag_probability(buffer.substr(0, 5), PosTag::kVerb), 0.99);
+}
+
+TEST(Lexicon, MaxSuffixWordsUseAllSuffixLengths) {
+  Lexicon lex;
+  // One observed word ending in "ation"; unknown words should match via
+  // the longest shared suffix, capped at kMaxSuffix characters.
+  for (int i = 0; i < 4; ++i) {
+    lex.observe({TaggedWord{"motivation", PosTag::kNoun}});
+  }
+  static_assert(Lexicon::kMaxSuffix == 4);
+  EXPECT_EQ(lex.guess_by_suffix("locomotion"), PosTag::kNoun);  // "tion"
+  // A word exactly kMaxSuffix long is its own longest suffix.
+  lex.observe({TaggedWord{"runs", PosTag::kVerb}});
+  EXPECT_EQ(lex.guess_by_suffix("runs"), PosTag::kVerb);
+  // Shorter than kMaxSuffix: only the short suffix tables apply.
+  EXPECT_EQ(lex.guess_by_suffix("on"), PosTag::kNoun);
+}
+
+TEST(PosTagger, DocumentPipelineMatchesManualPipelineOnBoundaries) {
+  PosTagger t;
+  t.train(training_corpus(200));
+  // Sentence boundaries at buffer edges: terminator as last byte, no
+  // terminator at all, and a document of exactly one word.
+  for (const std::string_view text :
+       {"word", "word.", ". word", "one two three"}) {
+    std::size_t expected = 0;
+    for (const std::string_view s : split_sentences(text)) {
+      const auto words = tokenize(s, /*keep_punct=*/true);
+      if (!words.empty()) expected += t.tag(words).size();
+    }
+    EXPECT_EQ(t.tag_document(text), expected) << text;
+  }
 }
 
 }  // namespace

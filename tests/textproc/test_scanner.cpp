@@ -79,6 +79,83 @@ TEST(LiteralSearcher, AgreesWithStringFindOnRandomText) {
   }
 }
 
+TEST(LiteralSearcher, SimdFilterAgreesWithReferenceNearBlockBoundaries) {
+  // The vectorized find examines 64 candidate positions per iteration;
+  // matches placed at every offset in and around one block exercise the
+  // lane arithmetic and the scalar tail.
+  const std::string pattern = "needle";
+  const LiteralSearcher s(pattern);
+  for (std::size_t offset = 0; offset < 130; ++offset) {
+    std::string text(offset, 'x');
+    text += pattern;
+    text += std::string(7, 'y');  // tail shorter than one block
+    EXPECT_EQ(s.find(text), offset) << offset;
+    EXPECT_EQ(s.find(text), s.find_reference(text)) << offset;
+    EXPECT_EQ(s.find(text, offset + 1), LiteralSearcher::npos) << offset;
+  }
+}
+
+TEST(LiteralSearcher, PathologicalRepeatsStayCorrect) {
+  // Both probe bytes occur everywhere: the filter degrades to the BMH
+  // oracle instead of O(n*m) verification, and results stay identical.
+  const std::string text(4096, 'a');
+  const LiteralSearcher absent("aaaaaaab");
+  EXPECT_EQ(absent.find(text), LiteralSearcher::npos);
+  const LiteralSearcher present(std::string(8, 'a'));
+  for (const std::size_t from : {0u, 1u, 17u, 4087u, 4089u}) {
+    EXPECT_EQ(present.find(text, from), present.find_reference(text, from))
+        << from;
+  }
+}
+
+TEST(GrepLiteral, MatchesReferenceOnFixtures) {
+  const std::string_view fixtures[] = {
+      "",
+      "\n",
+      "\n\n\n",
+      "word",
+      "word\n",
+      "\nword",
+      "a word here\nanother word\nno match\nword word word\n",
+      "ends without newline but with word",
+      "word\nword\nword",
+  };
+  for (const std::string_view text : fixtures) {
+    const GrepResult got = grep_literal(text, "word");
+    const GrepResult ref = grep_literal_reference(text, "word");
+    EXPECT_EQ(got.matching_lines, ref.matching_lines) << "\"" << text << "\"";
+    EXPECT_EQ(got.total_lines, ref.total_lines) << "\"" << text << "\"";
+    EXPECT_EQ(got.bytes_scanned, ref.bytes_scanned) << "\"" << text << "\"";
+  }
+}
+
+TEST(GrepLiteral, PatternContainingNewlineNeverMatchesALine) {
+  // Per-line semantics: no single line can contain '\n', so the verdict
+  // is zero matches — on both kernels — while lines still get counted.
+  const std::string text = "ab\ncd\nab\ncd\n";
+  const GrepResult got = grep_literal(text, "ab\ncd");
+  const GrepResult ref = grep_literal_reference(text, "ab\ncd");
+  EXPECT_EQ(got.matching_lines, 0u);
+  EXPECT_EQ(ref.matching_lines, 0u);
+  EXPECT_EQ(got.total_lines, 4u);
+  EXPECT_EQ(ref.total_lines, 4u);
+}
+
+TEST(GrepRegex, MatchesReferenceOnFixtures) {
+  const std::string_view fixtures[] = {
+      "", "\n", "abc", "abc\n123", "no digits\nhere either\n", "9\n\n9"};
+  for (const std::string pattern : {"[0-9]+", "^a", "c$", "a.c"}) {
+    for (const std::string_view text : fixtures) {
+      const GrepResult got = grep_regex(text, pattern);
+      const GrepResult ref = grep_regex_reference(text, pattern);
+      EXPECT_EQ(got.matching_lines, ref.matching_lines)
+          << "/" << pattern << "/ on \"" << text << "\"";
+      EXPECT_EQ(got.total_lines, ref.total_lines)
+          << "/" << pattern << "/ on \"" << text << "\"";
+    }
+  }
+}
+
 TEST(RegexLite, LiteralsAndDot) {
   EXPECT_TRUE(RegexLite("cat").search("concatenate"));
   EXPECT_FALSE(RegexLite("dog").search("concatenate"));
@@ -136,6 +213,69 @@ TEST(RegexLite, MalformedPatternsThrow) {
   EXPECT_THROW(RegexLite("*a"), Error);
   EXPECT_THROW(RegexLite("[abc"), Error);
   EXPECT_THROW(RegexLite("a\\"), Error);
+}
+
+TEST(RegexLite, DescendingClassRangeThrows) {
+  // Formerly expanded as a signed-char loop: [z-a] silently produced an
+  // empty class and high-byte ranges were UB.  Now rejected up front.
+  EXPECT_THROW(RegexLite("[z-a]"), Error);
+  EXPECT_THROW(RegexLite("x[9-0]y"), Error);
+}
+
+TEST(RegexLite, HighByteClassRanges) {
+  // Ranges over bytes >= 0x80 must work regardless of char signedness
+  // (the expansion iterates as unsigned char).
+  const RegexLite re("[\x80-\xff]");
+  EXPECT_TRUE(re.search("ab\xc3\xa9"));  // UTF-8 é bytes land in range
+  EXPECT_FALSE(re.search("plain ascii"));
+  const RegexLite wrap("[\x7e-\x80]");
+  EXPECT_TRUE(wrap.search("~"));
+  EXPECT_TRUE(wrap.search("\x7f"));
+  EXPECT_TRUE(wrap.search("\x80"));
+  EXPECT_FALSE(wrap.search("a"));
+}
+
+TEST(RegexLite, CompilesSmallPatternsToDfa) {
+  for (const std::string pattern :
+       {"cat", "[a-z]+tion", "^a.*b$", "colou?r", "[^0-9]+x"}) {
+    EXPECT_TRUE(RegexLite(pattern).compiled()) << pattern;
+  }
+  // More positions than fit in the DFA's 64-bit masks: falls back to the
+  // backtracker but stays correct.
+  const std::string big(RegexLite::kMaxDfaPositions + 1, 'a');
+  const RegexLite fallback(big);
+  EXPECT_FALSE(fallback.compiled());
+  EXPECT_TRUE(fallback.search(std::string(70, 'a')));
+  EXPECT_FALSE(fallback.search(std::string(60, 'a')));
+}
+
+TEST(RegexLite, RequiredFirstBytePrefilter) {
+  // Only one byte leaves the start state -> memchr prefilter engages.
+  EXPECT_EQ(RegexLite("cat").required_first_byte(), 'c');
+  EXPECT_EQ(RegexLite("xyzzy[a-z]+").required_first_byte(), 'x');
+  // Several possible first bytes -> no single required byte.
+  EXPECT_EQ(RegexLite("[ab]cd").required_first_byte(), -1);
+  // Anchored patterns never probe.
+  EXPECT_EQ(RegexLite("^cat").required_first_byte(), -1);
+}
+
+TEST(RegexLite, DfaAgreesWithReferenceOnEdgeCases) {
+  const std::string_view cases[] = {"", "a", "\n", "ab\ncd", "aaaa",
+                                    "cat", "concat", "catalog"};
+  for (const std::string pattern :
+       {"", "a*", "^$", "^a*$", "c.t", "ca+t?", "[a-z]*$", "^[ac]+"}) {
+    const RegexLite re(pattern);
+    for (const std::string_view text : cases) {
+      EXPECT_EQ(re.search(text), re.search_reference(text))
+          << "/" << pattern << "/ on \"" << text << "\"";
+    }
+  }
+}
+
+TEST(RegexLite, DotExcludesNewlineThroughTheDfa) {
+  EXPECT_FALSE(RegexLite("a.b").search("a\nb"));
+  EXPECT_TRUE(RegexLite("a.b").search("axb"));
+  EXPECT_FALSE(RegexLite("a.*b").search("a\nb"));
 }
 
 TEST(GrepLiteral, CountsMatchingLines) {

@@ -62,5 +62,78 @@ TEST(MeanSentenceLength, Averages) {
   EXPECT_DOUBLE_EQ(mean_sentence_length(""), 0.0);
 }
 
+TEST(TokenArena, EmptyAndDegenerateInputs) {
+  TokenArena arena;
+  EXPECT_TRUE(arena.tokenize("").empty());
+  EXPECT_TRUE(arena.tokenize("   \t\n  ").empty());
+  EXPECT_TRUE(arena.tokenize("12345 678").empty());
+  // All-punctuation sentences: nothing without keep_punct, one token per
+  // punctuation character with it.
+  EXPECT_TRUE(arena.tokenize("?!...").empty());
+  const auto& punct = arena.tokenize("?!...", /*keep_punct=*/true);
+  ASSERT_EQ(punct.size(), 5u);
+  EXPECT_EQ(punct[0], "?");
+  EXPECT_EQ(punct[4], ".");
+}
+
+TEST(TokenArena, SpansStayValidForTheWholeCall) {
+  // Views returned by one tokenize() call must all stay valid together —
+  // the arena reserves the full sentence up front, so appending later
+  // tokens can never reallocate earlier ones.
+  TokenArena arena;
+  std::string sentence;
+  for (int w = 0; w < 200; ++w) sentence += "Word" + std::string(1, ' ');
+  const auto& tokens = arena.tokenize(sentence);
+  ASSERT_EQ(tokens.size(), 200u);
+  for (const std::string_view t : tokens) EXPECT_EQ(t, "word");
+}
+
+TEST(TokenArena, RecycledAcrossCallsAndMatchesReference) {
+  TokenArena arena;
+  const std::string_view sentences[] = {
+      "The QUICK brown fox!", "a", "", "MiXeD caSE words HERE",
+      "don't split-hyphens into one"};
+  for (const std::string_view s : sentences) {
+    const auto ref = tokenize(s, /*keep_punct=*/true);
+    const auto& got = arena.tokenize(s, /*keep_punct=*/true);
+    ASSERT_EQ(got.size(), ref.size()) << s;
+    for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(got[i], ref[i]);
+  }
+}
+
+TEST(Tokenize, TokenAtBufferBoundaries) {
+  // Words flush against both ends of the buffer (no leading/trailing
+  // separators) must be emitted whole.
+  const auto front_and_back = tokenize("alpha beta");
+  ASSERT_EQ(front_and_back.size(), 2u);
+  EXPECT_EQ(front_and_back.front(), "alpha");
+  EXPECT_EQ(front_and_back.back(), "beta");
+  const auto single = tokenize("x");
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], "x");
+}
+
+TEST(Tokenize, LocaleIndependentByteClassification) {
+  // Bytes >= 0x80 (e.g. UTF-8 continuation bytes) are never alphabetic
+  // under the frozen C-locale tables, whatever the process locale says —
+  // they split words exactly like digits do.
+  const std::string utf8 = "caf\xc3\xa9 bar";
+  const auto tokens = tokenize(utf8);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "caf");
+  EXPECT_EQ(tokens[1], "bar");
+  EXPECT_EQ(count_words("\xc3\xa9\xc2\xa0"), 0u);
+}
+
+TEST(ForEachSentence, AgreesWithSplitSentences) {
+  const std::string_view text =
+      "First one. Second!   Third?No space...   tail fragment";
+  const auto ref = split_sentences(text);
+  std::vector<std::string_view> got;
+  for_each_sentence(text, [&](std::string_view s) { got.push_back(s); });
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(got[i], ref[i]);
+}
+
 }  // namespace
 }  // namespace reshape::textproc
