@@ -1,0 +1,467 @@
+// Event-engine microbenchmark — the perf trajectory tracker for the
+// simulator core (DESIGN.md "Event engine").
+//
+// Three workloads, each checked for byte-identical behaviour before any
+// timing, so a speedup can never come from an ordering change:
+//
+//   churn        1M-event self-scheduling churn with O(1) cancels: the
+//                slab/ladder engine vs the retained seed engine
+//                (SimulationReference: heap-allocated std::function
+//                entries on a binary heap with lazy-cancel sets).  Fire
+//                logs are FNV-fingerprinted (id, timestamp, cancel
+//                outcomes) and must match exactly.
+//   fault_storm  a seeded instance-lifecycle campaign on CloudProvider
+//                (boot failures, crashes, spot interruptions, guarded
+//                terminates) replayed on Engine::kLadder vs the
+//                Engine::kReferenceHeap ordering oracle; fleet state,
+//                billing and clock are fingerprinted and must match.
+//   zoned        the churn workload sharded over 8 independent zones,
+//                run_sequential vs run_parallel on a ThreadPool; the
+//                merged per-shard fingerprints must be identical (the
+//                determinism property the tsan replay suite pins).
+//
+// Modes:
+//   micro_sim           full sweep, writes BENCH_sim.json
+//   micro_sim --smoke   same event counts, fewer reps; exits nonzero if
+//                       the churn events/sec ratio falls below
+//                       max(4.0, 75% of the recorded ratio).  Wired into
+//                       the bench-smoke CTest label.
+//   micro_sim --metrics out.json
+//                       one extra untimed churn pass with recording on,
+//                       then a sim.* counter snapshot (needs
+//                       RESHAPE_OBS=ON).
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "sim/simulation.hpp"
+#include "sim/simulation_reference.hpp"
+#include "sim/zoned.hpp"
+
+namespace {
+
+using namespace reshape;
+
+// Recorded churn ratio (ladder/slab engine vs seed engine, events/sec,
+// measured on the 1M-event churn).  The smoke gate fails below 75% of
+// this, with an absolute floor of 4x (the acceptance criterion).
+constexpr double kRecordedChurnRatio = 5.3;
+constexpr double kFloorChurn = 4.0;
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+// Order-sensitive word-at-a-time mix (one multiply per value).  Both
+// engines hash through the same function, so the driver cost it adds to
+// the measured loop is identical on each side.
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  h = (h ^ v) * kFnvPrime;
+  return h ^ (h >> 32);
+}
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Best wall time of `reps` runs of fn() (best-of damps scheduler noise).
+template <typename F>
+double time_best_of(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- churn
+// Self-scheduling churn, templated so the identical event stream drives
+// both engines.  Every fired event schedules one successor (until the
+// schedule budget is spent) and every 8th fire attempts to cancel a
+// handle from a sliding window — sometimes live (O(1) cancel path),
+// sometimes already fired (the rejected-stale-handle path).  Delays are
+// log-uniform over ~1e-4..8 s so refs land across ladder buckets and the
+// far-future overflow rung.
+template <typename Sim, typename Handle>
+class Churn {
+ public:
+  Churn(Sim& sim, std::uint64_t target) : sim_(sim), target_(target) {
+    window_.reserve(kWindow);
+  }
+
+  void seed(std::uint64_t initial) {
+    for (std::uint64_t i = 0; i < initial && scheduled_ < target_; ++i) {
+      schedule_one();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t cancel_hits() const { return cancel_hits_; }
+
+ private:
+  static constexpr std::size_t kWindow = 1024;
+
+  void schedule_one() {
+    if (scheduled_ >= target_) return;
+    const std::uint64_t id = ++scheduled_;
+    const std::uint64_t r = splitmix(rng_);
+    // Log-uniform delay built straight from IEEE-754 bits (no libm call
+    // in the loop): 16 mantissa bits in [1, 2), exponent 2^-13..2^2 —
+    // the same value ldexp(1 + frac * 2^-16, e) would produce.
+    const std::uint64_t exp_bits = 1023u - 13u + (r >> 60);
+    const Seconds delay(
+        std::bit_cast<double>((exp_bits << 52) | ((r & 0xffffu) << 36)));
+    const Handle h =
+        sim_.schedule_in(delay, [this, id](auto& s) { on_fire(id, s.now()); });
+    if ((r & 3u) == 0) {  // a quarter of events become cancel candidates
+      if (window_.size() < kWindow) {
+        window_.push_back(h);
+      } else {
+        window_[window_pos_] = h;
+        window_pos_ = (window_pos_ + 1) % kWindow;
+      }
+    }
+  }
+
+  void on_fire(std::uint64_t id, Seconds at) {
+    ++fired_;
+    hash_ = fnv(hash_, id);
+    hash_ = fnv(hash_, std::bit_cast<std::uint64_t>(at.value()));
+    const std::uint64_t r = splitmix(rng_);
+    schedule_one();
+    if ((r & 7u) == 0 && !window_.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>((r >> 8) % window_.size());
+      const bool hit = sim_.cancel(window_[pick]);
+      hash_ = fnv(hash_, hit ? 0x9e37u : 0x517cu);
+      if (hit) ++cancel_hits_;
+    }
+  }
+
+  Sim& sim_;
+  std::uint64_t target_;
+  std::uint64_t rng_ = 0x0123456789ABCDEFULL;
+  std::uint64_t hash_ = kFnvOffset;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cancel_hits_ = 0;
+  std::vector<Handle> window_;
+  std::size_t window_pos_ = 0;
+};
+
+struct ChurnOut {
+  std::uint64_t hash = 0;
+  std::uint64_t fired = 0;
+};
+
+ChurnOut churn_ladder(std::uint64_t target) {
+  sim::Simulation sim;
+  sim.reserve(262144 + 2048);
+  Churn<sim::Simulation, sim::EventHandle> churn(sim, target);
+  churn.seed(262144);
+  sim.run();
+  return ChurnOut{churn.hash(), churn.fired()};
+}
+
+ChurnOut churn_reference(std::uint64_t target) {
+  sim::SimulationReference sim;
+  Churn<sim::SimulationReference, sim::ReferenceEventHandle> churn(sim, target);
+  churn.seed(262144);
+  sim.run();
+  return ChurnOut{churn.hash(), churn.fired()};
+}
+
+// ---------------------------------------------------------- fault storm
+// A seeded lifecycle campaign: staggered launches under an aggressive
+// fault model, each surviving boot scheduling its own guarded terminate.
+// The fingerprint folds in every instance's final state, the billing
+// totals, the failure count and the final clock.
+struct StormOut {
+  std::uint64_t hash = 0;
+  std::size_t events = 0;
+};
+
+StormOut run_storm(sim::Simulation::Engine engine, std::uint64_t fleet) {
+  sim::Simulation sim(engine);
+  cloud::ProviderConfig cfg;
+  cfg.faults.p_boot_failure = 0.06;
+  cfg.faults.crash_rate_per_hour = 0.35;
+  cfg.faults.spot_interruption_rate_per_hour = 0.10;
+  cloud::CloudProvider provider(sim, Rng(777), cfg);
+  const cloud::AvailabilityZone az{};
+
+  std::uint64_t rng = 0xC0FFEEULL;
+  for (std::uint64_t i = 0; i < fleet; ++i) {
+    const std::uint64_t r = splitmix(rng);
+    const Seconds at(static_cast<double>(i) * 1.5);
+    const Seconds lifetime(600.0 +
+                           static_cast<double>(r % 7200u));  // 10 min..2 h
+    sim.schedule_at(at, [&provider, az, lifetime](sim::Simulation& s) {
+      provider.launch(
+          cloud::InstanceType::kSmall, az,
+          [&provider, lifetime](cloud::Instance& inst) {
+            const cloud::InstanceId id = inst.id();
+            provider.sim().schedule_in(
+                lifetime, [&provider, id](sim::Simulation&) {
+                  // The crash may win the race; terminate only survivors.
+                  if (provider.instance(id).is_running()) {
+                    provider.terminate(id);
+                  }
+                });
+          });
+      (void)s;
+    });
+  }
+  StormOut out;
+  out.events = sim.run();
+  std::uint64_t h = kFnvOffset;
+  for (std::uint64_t id = 1; id <= provider.launches(); ++id) {
+    const cloud::Instance& inst = provider.instance(cloud::InstanceId{id});
+    h = fnv(h, static_cast<std::uint64_t>(inst.state()));
+    h = fnv(h, std::bit_cast<std::uint64_t>(
+                   provider.billing()
+                       .running_time(cloud::InstanceId{id}, sim.now())
+                       .value()));
+  }
+  h = fnv(h, provider.failure_count());
+  h = fnv(h, provider.billing().billed_instances());
+  h = fnv(h, std::bit_cast<std::uint64_t>(sim.now().value()));
+  out.hash = h;
+  return out;
+}
+
+// ---------------------------------------------------------------- zoned
+// The churn workload sharded over independent zones; per-shard
+// fingerprints merge in canonical shard order.
+struct ZonedOut {
+  std::uint64_t hash = 0;
+  std::uint64_t fired = 0;
+};
+
+ZonedOut run_zoned(std::size_t shards, std::uint64_t per_shard,
+                   ThreadPool* pool) {
+  sim::ZonedSimulation zoned(shards);
+  std::vector<std::unique_ptr<Churn<sim::Simulation, sim::EventHandle>>> drivers;
+  drivers.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    drivers.push_back(
+        std::make_unique<Churn<sim::Simulation, sim::EventHandle>>(
+            zoned.shard(s), per_shard));
+    drivers.back()->seed(2000);
+  }
+  ZonedOut out;
+  out.fired = pool != nullptr ? zoned.run_parallel(*pool)
+                              : zoned.run_sequential();
+  std::uint64_t h = kFnvOffset;
+  for (const auto& d : drivers) h = fnv(h, d->hash());
+  out.hash = h;
+  return out;
+}
+
+struct Row {
+  std::string workload;
+  std::uint64_t events = 0;
+  double ref_seconds = 0.0;
+  double new_seconds = 0.0;
+  [[nodiscard]] double ratio() const {
+    return new_seconds > 0.0 ? ref_seconds / new_seconds : 0.0;
+  }
+  [[nodiscard]] double events_per_s(double seconds) const {
+    return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--metrics out.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::uint64_t churn_events = 1000000;
+  const int reps = smoke ? 2 : 3;
+  std::printf("-- %s mode, churn target %llu events\n",
+              smoke ? "smoke" : "full",
+              static_cast<unsigned long long>(churn_events));
+
+  std::vector<Row> rows;
+  bool all_identical = true;
+  const auto print_row = [](const Row& r) {
+    std::printf(
+        "  %-14s ref %10.0f ev/s   new %10.0f ev/s   ratio %5.2fx\n",
+        r.workload.c_str(), r.events_per_s(r.ref_seconds),
+        r.events_per_s(r.new_seconds), r.ratio());
+  };
+
+  // Churn: correctness first (identical fire fingerprints), then timing.
+  {
+    const ChurnOut ref = churn_reference(churn_events);
+    const ChurnOut neu = churn_ladder(churn_events);
+    if (ref.hash != neu.hash || ref.fired != neu.fired) {
+      std::fprintf(stderr,
+                   "FATAL: churn diverged (ref %016llx/%llu vs new "
+                   "%016llx/%llu)\n",
+                   static_cast<unsigned long long>(ref.hash),
+                   static_cast<unsigned long long>(ref.fired),
+                   static_cast<unsigned long long>(neu.hash),
+                   static_cast<unsigned long long>(neu.fired));
+      all_identical = false;
+    } else {
+      const double t_ref =
+          time_best_of(reps, [&] { (void)churn_reference(churn_events); });
+      const double t_new =
+          time_best_of(reps, [&] { (void)churn_ladder(churn_events); });
+      rows.push_back(Row{"churn", ref.fired, t_ref, t_new});
+      print_row(rows.back());
+    }
+  }
+
+  // Fault storm: ladder vs the in-kernel reference-heap ordering oracle.
+  {
+    const std::uint64_t fleet = 20000;
+    const StormOut oracle =
+        run_storm(sim::Simulation::Engine::kReferenceHeap, fleet);
+    const StormOut neu = run_storm(sim::Simulation::Engine::kLadder, fleet);
+    if (oracle.hash != neu.hash || oracle.events != neu.events) {
+      std::fprintf(stderr,
+                   "FATAL: fault storm diverged between engines "
+                   "(%016llx/%zu vs %016llx/%zu)\n",
+                   static_cast<unsigned long long>(oracle.hash),
+                   oracle.events, static_cast<unsigned long long>(neu.hash),
+                   neu.events);
+      all_identical = false;
+    } else {
+      const double t_ref = time_best_of(reps, [&] {
+        (void)run_storm(sim::Simulation::Engine::kReferenceHeap, fleet);
+      });
+      const double t_new = time_best_of(reps, [&] {
+        (void)run_storm(sim::Simulation::Engine::kLadder, fleet);
+      });
+      rows.push_back(Row{"fault_storm", oracle.events, t_ref, t_new});
+      print_row(rows.back());
+    }
+  }
+
+  // Zoned churn: sequential vs parallel must fingerprint identically;
+  // the row's ratio is the parallel speedup.
+  {
+    const std::size_t shards = 8;
+    const std::uint64_t per_shard = churn_events / shards;
+    ThreadPool pool;
+    const ZonedOut seq = run_zoned(shards, per_shard, nullptr);
+    const ZonedOut par = run_zoned(shards, per_shard, &pool);
+    if (seq.hash != par.hash || seq.fired != par.fired) {
+      std::fprintf(stderr,
+                   "FATAL: zoned parallel replay diverged from sequential "
+                   "(%016llx/%llu vs %016llx/%llu)\n",
+                   static_cast<unsigned long long>(seq.hash),
+                   static_cast<unsigned long long>(seq.fired),
+                   static_cast<unsigned long long>(par.hash),
+                   static_cast<unsigned long long>(par.fired));
+      all_identical = false;
+    } else {
+      const double t_seq = time_best_of(reps, [&] {
+        (void)run_zoned(shards, per_shard, nullptr);
+      });
+      const double t_par = time_best_of(reps, [&] {
+        (void)run_zoned(shards, per_shard, &pool);
+      });
+      rows.push_back(Row{"zoned_8shards", seq.fired, t_seq, t_par});
+      print_row(rows.back());
+    }
+  }
+
+  // --------------------------------------------------------------- JSON
+  FILE* out = std::fopen("BENCH_sim.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out, "{\n  \"bench\": \"micro_sim\",\n");
+    std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(out, "  \"recorded_ratios\": {\"churn\": %.2f},\n",
+                 kRecordedChurnRatio);
+    std::fprintf(out, "  \"results\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "    {\"workload\": \"%s\", \"events\": %llu, "
+                   "\"seconds_reference\": %.6f, \"seconds_new\": %.6f, "
+                   "\"events_per_s_reference\": %.0f, "
+                   "\"events_per_s_new\": %.0f, \"ratio\": %.2f}%s\n",
+                   r.workload.c_str(),
+                   static_cast<unsigned long long>(r.events), r.ref_seconds,
+                   r.new_seconds, r.events_per_s(r.ref_seconds),
+                   r.events_per_s(r.new_seconds), r.ratio(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote BENCH_sim.json\n");
+  }
+
+  // Observability export: one extra untimed pass with recording on, after
+  // every timed section.
+  if (!metrics_path.empty()) {
+    if (!obs::compiled_in()) {
+      std::fprintf(stderr, "--metrics needs a build with RESHAPE_OBS=ON\n");
+      return 2;
+    }
+    obs::reset();
+    obs::set_enabled(true);
+    (void)churn_ladder(100000);
+    obs::set_enabled(false);
+    if (!obs::metrics().write_json(metrics_path)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+  }
+
+  if (!all_identical) return 2;
+  if (smoke) {
+    bool ok = true;
+    for (const Row& r : rows) {
+      if (r.workload != "churn") continue;
+      const double threshold =
+          std::max(kFloorChurn, kRecordedChurnRatio * 0.75);
+      if (r.ratio() < threshold) {
+        std::fprintf(stderr,
+                     "SMOKE FAIL: churn ratio %.2fx below threshold %.2fx "
+                     "(recorded %.2fx)\n",
+                     r.ratio(), threshold, kRecordedChurnRatio);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("smoke ok: churn ratio above threshold\n");
+  }
+  return 0;
+}

@@ -6,31 +6,46 @@
 
 namespace reshape::cloud {
 
+const BillingMeter::Account* BillingMeter::find(InstanceId id) const {
+  if (!id.valid() || id.value > accounts_.size()) return nullptr;
+  const Account& account = accounts_[static_cast<std::size_t>(id.value - 1)];
+  if (account.intervals.empty()) return nullptr;
+  return &account;
+}
+
 void BillingMeter::on_running(InstanceId id, InstanceType type, Seconds now) {
-  Account& account = accounts_[id];
-  account.type = type;
+  RESHAPE_REQUIRE(id.valid(), "billing needs a valid instance id");
+  if (id.value > accounts_.size()) {
+    accounts_.resize(static_cast<std::size_t>(id.value));
+  }
+  Account& account = accounts_[static_cast<std::size_t>(id.value - 1)];
   RESHAPE_REQUIRE(
       account.intervals.empty() || !account.intervals.back().open,
       "instance reported running twice without stopping");
+  if (account.intervals.empty()) ++billed_;
+  account.type = type;
   account.intervals.push_back(RunningInterval{now, now, true});
 }
 
 void BillingMeter::on_stopped(InstanceId id, Seconds now) {
-  const auto it = accounts_.find(id);
-  RESHAPE_REQUIRE(it != accounts_.end() && !it->second.intervals.empty() &&
-                      it->second.intervals.back().open,
+  Account* account =
+      id.valid() && id.value <= accounts_.size()
+          ? &accounts_[static_cast<std::size_t>(id.value - 1)]
+          : nullptr;
+  RESHAPE_REQUIRE(account != nullptr && !account->intervals.empty() &&
+                      account->intervals.back().open,
                   "instance stopped without a matching running interval");
-  RunningInterval& interval = it->second.intervals.back();
+  RunningInterval& interval = account->intervals.back();
   RESHAPE_REQUIRE(now >= interval.start, "billing interval ends in the past");
   interval.end = now;
   interval.open = false;
 }
 
 Seconds BillingMeter::running_time(InstanceId id, Seconds now) const {
-  const auto it = accounts_.find(id);
-  if (it == accounts_.end()) return Seconds(0.0);
+  const Account* account = find(id);
+  if (account == nullptr) return Seconds(0.0);
   Seconds total{0.0};
-  for (const RunningInterval& interval : it->second.intervals) {
+  for (const RunningInterval& interval : account->intervals) {
     const Seconds end = interval.open ? now : interval.end;
     total += end - interval.start;
   }
@@ -50,15 +65,16 @@ double BillingMeter::billed_hours(const Account& account, Seconds now) {
 }
 
 Dollars BillingMeter::cost(InstanceId id, Seconds now) const {
-  const auto it = accounts_.find(id);
-  if (it == accounts_.end()) return Dollars(0.0);
-  const Dollars rate = spec_for(it->second.type).hourly_rate;
-  return rate * billed_hours(it->second, now);
+  const Account* account = find(id);
+  if (account == nullptr) return Dollars(0.0);
+  const Dollars rate = spec_for(account->type).hourly_rate;
+  return rate * billed_hours(*account, now);
 }
 
 Dollars BillingMeter::total_cost(Seconds now) const {
   Dollars total;
-  for (const auto& [id, account] : accounts_) {
+  for (const Account& account : accounts_) {
+    if (account.intervals.empty()) continue;
     total += spec_for(account.type).hourly_rate * billed_hours(account, now);
   }
   return total;
@@ -66,7 +82,8 @@ Dollars BillingMeter::total_cost(Seconds now) const {
 
 double BillingMeter::instance_hours(Seconds now) const {
   double hours = 0.0;
-  for (const auto& [id, account] : accounts_) {
+  for (const Account& account : accounts_) {
+    if (account.intervals.empty()) continue;
     hours += billed_hours(account, now);
   }
   return hours;

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cloud/types.hpp"
@@ -44,7 +43,7 @@ class BillingMeter {
   /// Total instance-hours billed (the unit Figs. 8-9 compare plans in).
   [[nodiscard]] double instance_hours(Seconds now) const;
 
-  [[nodiscard]] std::size_t billed_instances() const { return accounts_.size(); }
+  [[nodiscard]] std::size_t billed_instances() const { return billed_; }
 
  private:
   struct Account {
@@ -55,7 +54,14 @@ class BillingMeter {
   [[nodiscard]] static double billed_hours(const Account& account,
                                            Seconds now);
 
-  std::unordered_map<InstanceId, Account> accounts_;
+  /// The account for `id`, or nullptr if it never ran (const lookup).
+  [[nodiscard]] const Account* find(InstanceId id) const;
+
+  // Dense slab indexed by id (instance ids are sequential from 1): no
+  // hashing on the billing tick path, and totals accumulate in canonical
+  // id order.  Slots whose `intervals` are empty were never billed.
+  std::vector<Account> accounts_;
+  std::size_t billed_ = 0;
 };
 
 }  // namespace reshape::cloud

@@ -31,9 +31,8 @@ Seconds CloudProvider::draw_attach_latency() {
 InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
                                  std::function<void(Instance&)> on_running) {
   const InstanceId id{next_instance_++};
-  auto inst = std::make_unique<Instance>(id, type, az, quality_.draw(id.value),
-                                         sim_.now());
-  instances_.emplace(id, std::move(inst));
+  instances_.emplace_back(id, type, az, quality_.draw(id.value), sim_.now());
+  armed_faults_.emplace_back();
   if (obs::enabled()) obs::metrics().counter("instance.launches").add(1);
 
   const Seconds boot = draw_boot_delay();
@@ -41,19 +40,15 @@ InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
     // The launch dies during boot: pending -> failed at what would have
     // been the boot instant; it never runs, so it is never billed.
     sim_.schedule_in(boot, [this, id](sim::Simulation&) {
-      const auto it = instances_.find(id);
-      if (it == instances_.end()) return;
       // A terminate() issued while still pending wins: skip the failure.
-      if (it->second->state() != InstanceState::kPending) return;
+      if (instance(id).state() != InstanceState::kPending) return;
       fail(id, FailureKind::kBootFailure);
     });
     return id;
   }
   sim_.schedule_in(boot, [this, id, type,
                           cb = std::move(on_running)](sim::Simulation& s) {
-    const auto it = instances_.find(id);
-    if (it == instances_.end()) return;
-    Instance& inst_ref = *it->second;
+    Instance& inst_ref = instance(id);
     // A terminate() issued while still pending wins: skip the boot.
     if (inst_ref.state() != InstanceState::kPending) return;
     inst_ref.mark_running(s.now());
@@ -67,20 +62,18 @@ InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
 void CloudProvider::arm_runtime_fault(InstanceId id) {
   const auto fault = injector_.draw_runtime_fault(id.value);
   if (!fault) return;
-  const sim::EventHandle handle = sim_.schedule_in(
+  armed_faults_[static_cast<std::size_t>(id.value - 1)] = sim_.schedule_in(
       fault->after, [this, id, kind = fault->kind](sim::Simulation&) {
-        const auto it = instances_.find(id);
-        if (it == instances_.end() || !it->second->is_running()) return;
+        if (!instance(id).is_running()) return;
         fail(id, kind);
       });
-  armed_faults_[id] = handle;
 }
 
 void CloudProvider::disarm_runtime_fault(InstanceId id) {
-  const auto it = armed_faults_.find(id);
-  if (it == armed_faults_.end()) return;
-  sim_.cancel(it->second);
-  armed_faults_.erase(it);
+  sim::EventHandle& armed = armed_faults_[static_cast<std::size_t>(id.value - 1)];
+  if (!armed.valid()) return;
+  sim_.cancel(armed);
+  armed = sim::EventHandle{};
 }
 
 void CloudProvider::fail(InstanceId id, FailureKind kind) {
@@ -141,36 +134,34 @@ void CloudProvider::terminate(InstanceId id) {
   disarm_runtime_fault(id);
   if (obs::enabled()) obs::metrics().counter("instance.terminations").add(1);
   sim_.schedule_in(config_.shutdown_delay, [this, id](sim::Simulation& s) {
-    const auto it = instances_.find(id);
-    if (it == instances_.end()) return;
-    it->second->mark_terminated(s.now());
+    instance(id).mark_terminated(s.now());
   });
 }
 
 Instance& CloudProvider::instance(InstanceId id) {
-  const auto it = instances_.find(id);
-  RESHAPE_REQUIRE(it != instances_.end(), "unknown instance id");
-  return *it->second;
+  RESHAPE_REQUIRE(id.valid() && id.value <= instances_.size(),
+                  "unknown instance id");
+  return instances_[static_cast<std::size_t>(id.value - 1)];
 }
 
 const Instance& CloudProvider::instance(InstanceId id) const {
-  const auto it = instances_.find(id);
-  RESHAPE_REQUIRE(it != instances_.end(), "unknown instance id");
-  return *it->second;
+  RESHAPE_REQUIRE(id.valid() && id.value <= instances_.size(),
+                  "unknown instance id");
+  return instances_[static_cast<std::size_t>(id.value - 1)];
 }
 
 bool CloudProvider::exists(InstanceId id) const {
-  return instances_.count(id) > 0;
+  return id.valid() && id.value <= instances_.size();
 }
 
 VolumeId CloudProvider::create_volume(Bytes capacity, AvailabilityZone az) {
   const VolumeId id{next_volume_++};
-  auto vol = std::make_unique<EbsVolume>(id, capacity, az, config_.ebs,
+  EbsVolume& vol = volumes_.emplace_back(id, capacity, az, config_.ebs,
                                          root_.split("ebs-placement"));
   if (obs::enabled()) obs::metrics().counter("ebs.volumes").add(1);
   if (const auto episode = injector_.draw_ebs_episode(id.value)) {
     const Seconds start = sim_.now() + episode->start_after;
-    vol->add_degradation(start, start + episode->duration, episode->factor);
+    vol.add_degradation(start, start + episode->duration, episode->factor);
     if (obs::enabled()) {
       obs::metrics().counter("ebs.degradation_episodes").add(1);
       obs::trace().complete(obs::kPidCloud, 0, "ebs", "degradation",
@@ -179,20 +170,19 @@ VolumeId CloudProvider::create_volume(Bytes capacity, AvailabilityZone az) {
                              obs::arg("factor", episode->factor)});
     }
   }
-  volumes_.emplace(id, std::move(vol));
   return id;
 }
 
 EbsVolume& CloudProvider::volume(VolumeId id) {
-  const auto it = volumes_.find(id);
-  RESHAPE_REQUIRE(it != volumes_.end(), "unknown volume id");
-  return *it->second;
+  RESHAPE_REQUIRE(id.valid() && id.value <= volumes_.size(),
+                  "unknown volume id");
+  return volumes_[static_cast<std::size_t>(id.value - 1)];
 }
 
 const EbsVolume& CloudProvider::volume(VolumeId id) const {
-  const auto it = volumes_.find(id);
-  RESHAPE_REQUIRE(it != volumes_.end(), "unknown volume id");
-  return *it->second;
+  RESHAPE_REQUIRE(id.valid() && id.value <= volumes_.size(),
+                  "unknown volume id");
+  return volumes_[static_cast<std::size_t>(id.value - 1)];
 }
 
 void CloudProvider::attach(VolumeId volume_id, InstanceId instance_id) {

@@ -8,9 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cloud/billing.hpp"
@@ -140,9 +139,14 @@ class CloudProvider {
   FaultInjector injector_;
   BillingMeter billing_;
   ObjectStore s3_;
-  std::unordered_map<InstanceId, std::unique_ptr<Instance>> instances_;
-  std::unordered_map<VolumeId, std::unique_ptr<EbsVolume>> volumes_;
-  std::unordered_map<InstanceId, sim::EventHandle> armed_faults_;
+  // Per-instance state lives in dense pools indexed by id (ids are
+  // sequential from 1): the fleet is a deque slab (stable references, no
+  // per-instance heap node, no hashing on the lifecycle hot path) and the
+  // armed-fault handles sit in a parallel array — fault-heavy campaigns
+  // walk arrays instead of chasing pointers.
+  std::deque<Instance> instances_;
+  std::deque<EbsVolume> volumes_;
+  std::vector<sim::EventHandle> armed_faults_;  // parallel to instances_
   std::vector<FailureHook> failure_hooks_;
   std::size_t failures_ = 0;
   std::uint64_t next_instance_ = 1;

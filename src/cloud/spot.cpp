@@ -35,6 +35,39 @@ Dollars SpotMarket::price_at(Seconds when) const {
   return price_at_hour(static_cast<std::uint64_t>(when.value() / 3600.0));
 }
 
+void SpotMarket::arm_price_moves(sim::Simulation& sim, Seconds horizon,
+                                 std::function<void(Seconds, Dollars)> on_move) {
+  RESHAPE_REQUIRE(static_cast<bool>(on_move), "null price-move callback");
+  // The chain walks hour boundaries strictly after now(); each link
+  // re-schedules itself until the horizon.  `last` rides along so only
+  // genuine moves reach the callback.
+  const auto first =
+      static_cast<std::uint64_t>(sim.now().value() / 3600.0) + 1;
+  struct Chain {
+    SpotMarket* market;
+    Seconds horizon;
+    std::function<void(Seconds, Dollars)> on_move;
+    void operator()(sim::Simulation& s, std::uint64_t hour, Dollars last) {
+      const Dollars price = market->price_at_hour(hour);
+      if (price != last) on_move(s.now(), price);
+      const Seconds next(static_cast<double>(hour + 1) * 3600.0);
+      if (next > horizon) return;
+      s.schedule_at(next, [chain = *this, hour, price](sim::Simulation& s2) {
+        auto link = chain;  // operator() needs a mutable copy to move from
+        link(s2, hour + 1, price);
+      });
+    }
+  };
+  const Seconds start(static_cast<double>(first) * 3600.0);
+  if (start > horizon) return;
+  const Dollars before = price_at_hour(first - 1);
+  Chain chain{this, horizon, std::move(on_move)};
+  sim.schedule_at(start, [chain = std::move(chain), first,
+                          before](sim::Simulation& s) mutable {
+    chain(s, first, before);
+  });
+}
+
 std::vector<SpotSpan> spans_running(const SpotMarket& market, Dollars bid,
                                     Seconds horizon) {
   std::vector<SpotSpan> spans;

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cloud/types.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
+#include "sim/simulation.hpp"
 
 namespace reshape::cloud {
 
@@ -36,6 +38,14 @@ class SpotMarket {
   [[nodiscard]] Dollars price_at(Seconds when) const;
 
   [[nodiscard]] const SpotMarketModel& model() const { return model_; }
+
+  /// Event-driven price feed: arms a chain of simulation events, one per
+  /// hour boundary in (sim.now(), horizon], firing `on_move(when, price)`
+  /// only at hours where the market price actually changed.  Each event
+  /// schedules its successor, so the queue carries at most one pending
+  /// price move at a time regardless of the horizon.
+  void arm_price_moves(sim::Simulation& sim, Seconds horizon,
+                       std::function<void(Seconds, Dollars)> on_move);
 
  private:
   Rng stream_;

@@ -1,6 +1,8 @@
 #include "mapreduce/sim_cluster.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -61,11 +63,38 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
               return splits[a].total > splits[b].total;
             });
 
-  const auto least_loaded = [&report]() {
-    return static_cast<std::size_t>(
-        std::min_element(report.worker_busy.begin(),
-                         report.worker_busy.end()) -
-        report.worker_busy.begin());
+  // Worker loads live in a lazy min-heap of (busy, worker) pairs, so each
+  // placement costs O(log W) instead of an O(W) scan per attempt.  A
+  // worker's entry goes stale when its load changes (`touch` pushes a
+  // fresh pair instead of re-keying in place); peeks purge stale tops.
+  // Lexicographic pair order reproduces min_element's
+  // first-minimum-by-index tie-break, so schedules stay byte-identical to
+  // the scan this replaces.
+  using Load = std::pair<double, std::size_t>;
+  std::vector<Load> load_heap;
+  load_heap.reserve(2 * config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    load_heap.emplace_back(0.0, w);
+  }
+  std::make_heap(load_heap.begin(), load_heap.end(), std::greater<>{});
+  const auto stale = [&report](const Load& entry) {
+    return entry.first != report.worker_busy[entry.second].value();
+  };
+  // Every worker always has exactly one live entry, so the purge loop
+  // cannot empty the heap.
+  const auto purge = [&]() {
+    while (stale(load_heap.front())) {
+      std::pop_heap(load_heap.begin(), load_heap.end(), std::greater<>{});
+      load_heap.pop_back();
+    }
+  };
+  const auto least_loaded = [&]() {
+    purge();
+    return load_heap.front().second;
+  };
+  const auto touch = [&](std::size_t w) {
+    load_heap.emplace_back(report.worker_busy[w].value(), w);
+    std::push_heap(load_heap.begin(), load_heap.end(), std::greater<>{});
   };
 
   double overhead_total = 0.0;
@@ -93,6 +122,7 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
             (base_overhead + base_scan) * speed * draw.uniform(0.0, 1.0);
         trace_task(w, "map#failed", spent, task);
         report.worker_busy[w] += Seconds(spent);
+        touch(w);
         report.wasted_time += Seconds(spent);
         work_total += spent;
         m_task_failures.add(1);
@@ -115,13 +145,19 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
     if (config_.speculative_execution && config_.workers > 1 &&
         overhead + scan >
             config_.speculative_slowdown * (base_overhead + base_scan)) {
-      std::size_t backup = config_.workers;  // least loaded, excluding w
-      for (std::size_t c = 0; c < config_.workers; ++c) {
-        if (c == w) continue;
-        if (backup == config_.workers ||
-            report.worker_busy[c] < report.worker_busy[backup]) {
-          backup = c;
-        }
+      // Least loaded excluding w: if w itself tops the heap, lift its
+      // live entry out, take the next live top, and drop the entry back.
+      std::size_t backup;
+      purge();
+      if (load_heap.front().second != w) {
+        backup = load_heap.front().second;
+      } else {
+        const Load own = load_heap.front();
+        std::pop_heap(load_heap.begin(), load_heap.end(), std::greater<>{});
+        load_heap.pop_back();
+        backup = least_loaded();
+        load_heap.push_back(own);
+        std::push_heap(load_heap.begin(), load_heap.end(), std::greater<>{});
       }
       const double backup_speed = worker_speed_[backup];
       const double backup_run =
@@ -131,6 +167,8 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
       trace_task(backup, "map#backup", winner, task);
       report.worker_busy[w] += Seconds(winner);
       report.worker_busy[backup] += Seconds(winner);
+      touch(w);
+      touch(backup);
       report.wasted_time += Seconds(winner);
       m_speculative.add(1);
       overhead_total += (overhead + scan <= backup_run)
@@ -142,6 +180,7 @@ SimJobReport SimCluster::run(const std::vector<Split>& splits,
     if (!speculated) {
       trace_task(w, "map", overhead + scan, task);
       report.worker_busy[w] += Seconds(overhead + scan);
+      touch(w);
       overhead_total += overhead;
       work_total += overhead + scan;
     }

@@ -1,0 +1,146 @@
+// Move-only callable holder for event callbacks, with small-buffer storage.
+//
+// The hot schedule path of the discrete-event engine used to heap-allocate
+// a std::function control block per event.  EventFn instead stores any
+// callable up to kInlineBytes directly inside the event slab slot; only
+// oversized captures fall back to the heap.  A manual ops table (invoke /
+// relocate / destroy) keeps the type trivially small: one pointer plus the
+// buffer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace reshape::sim {
+
+class Simulation;
+
+class EventFn {
+ public:
+  /// Sized to hold the largest hot-path lambda in the tree (the provider's
+  /// boot callback: this + id + type + a std::function) without spilling.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventFn() = default;
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  ~EventFn() { reset(); }
+
+  /// Constructs the callable in place (inline when it fits).
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_v<D&, Simulation&>,
+                  "event callbacks take (Simulation&)");
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &ops_for<D, /*Inline=*/true>();
+    } else {
+      heap_ = new D(std::forward<F>(f));
+      ops_ = &ops_for<D, /*Inline=*/false>();
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return ops_ == nullptr; }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invokes the callable (in place — the chunked slab keeps the slot's
+  /// address stable while the callback schedules more events).
+  void operator()(Simulation& sim) { ops_->invoke(storage(), sim); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      // destroy is null for trivially destructible inline callables (the
+      // common capture-a-few-pointers case): no indirect call to a no-op.
+      if (ops_->destroy != nullptr) ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*, Simulation&);
+    // Moves the callable from `src` (a buf_ or the heap pointer slot) into
+    // `dst` and destroys the source.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  // Pointer alignment, not max_align_t: a 16-aligned buffer would pad the
+  // event slab slot to 112 bytes; 8 keeps it at 96.  Over-aligned
+  // callables (rare) take the heap path.
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(void*) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D, bool Inline>
+  static constexpr void (*destroy_for())(void*) noexcept {
+    if constexpr (Inline && std::is_trivially_destructible_v<D>) {
+      return nullptr;
+    } else if constexpr (Inline) {
+      return [](void* p) noexcept { static_cast<D*>(p)->~D(); };
+    } else {
+      return [](void* p) noexcept { delete static_cast<D*>(p); };
+    }
+  }
+
+  template <typename D, bool Inline>
+  static const Ops& ops_for() {
+    static const Ops ops{
+        // invoke
+        [](void* p, Simulation& sim) { (*static_cast<D*>(p))(sim); },
+        // relocate
+        [](void* dst, void* src) noexcept {
+          if constexpr (Inline) {
+            D* from = static_cast<D*>(src);
+            ::new (dst) D(std::move(*from));
+            from->~D();
+          } else {
+            *static_cast<void**>(dst) = *static_cast<void**>(src);
+          }
+        },
+        destroy_for<D, Inline>(), Inline};
+    return ops;
+  }
+
+  [[nodiscard]] void* storage() {
+    if (ops_->inline_storage) return buf_;
+    return heap_;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    if (other.ops_ == nullptr) return;
+    ops_ = other.ops_;
+    if (ops_->inline_storage) {
+      ops_->relocate(buf_, other.buf_);
+    } else {
+      heap_ = other.heap_;
+    }
+    other.ops_ = nullptr;
+  }
+
+  const Ops* ops_ = nullptr;
+  union {
+    alignas(alignof(void*)) unsigned char buf_[kInlineBytes];
+    void* heap_;
+  };
+};
+
+}  // namespace reshape::sim

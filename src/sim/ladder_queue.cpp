@@ -1,0 +1,60 @@
+#include "sim/ladder_queue.hpp"
+
+#include <algorithm>
+
+namespace reshape::sim {
+
+LadderQueue::LadderQueue() = default;
+
+
+void LadderQueue::respan_from_overflow() {
+  double lo = overflow_.front().when;
+  double hi = lo;
+  for (const EventRef& r : overflow_) {
+    lo = std::min(lo, r.when);
+    hi = std::max(hi, r.when);
+  }
+  if (rungs_.empty()) rungs_.emplace_back();
+  Rung& g = rungs_[0];
+  if (g.buckets.empty()) g.buckets.resize(kBuckets);
+  g.start = lo;
+  g.width =
+      std::max((hi - lo) / static_cast<double>(kBuckets), kMinWidth);
+  g.inv_width = 1.0 / g.width;
+  g.end = g.start + static_cast<double>(kBuckets) * g.width;
+  g.cur = 0;
+  g.population = overflow_.size();
+  // Everything moves in (the max lands in the last bucket via the index
+  // clamp), so the overflow is scanned exactly once per re-span.
+  for (const EventRef& r : overflow_) {
+    g.buckets[bucket_index(g, r.when)].push_back(r);
+  }
+  overflow_.clear();
+  depth_ = 1;
+  bottom_ready_ = false;
+}
+
+void LadderQueue::spawn_rung() {
+  // emplace_back may reallocate rungs_, so take the parent only after.
+  if (rungs_.size() <= depth_) rungs_.emplace_back();
+  Rung& parent = rungs_[depth_ - 1];
+  Rung& child = rungs_[depth_];
+  if (child.buckets.empty()) child.buckets.resize(kBuckets);
+  child.start =
+      parent.start + static_cast<double>(parent.cur) * parent.width;
+  child.width = parent.width / static_cast<double>(kBuckets);
+  child.inv_width = 1.0 / child.width;
+  child.end = child.start + parent.width;
+  child.cur = 0;
+  std::vector<EventRef>& bucket = parent.buckets[parent.cur];
+  for (const EventRef& r : bucket) {
+    child.buckets[bucket_index(child, r.when)].push_back(r);
+  }
+  child.population = bucket.size();
+  parent.population -= bucket.size();
+  bucket.clear();
+  ++depth_;
+  bottom_ready_ = false;
+}
+
+}  // namespace reshape::sim

@@ -1,0 +1,70 @@
+#include "sim/simulation_reference.hpp"
+
+#include "common/error.hpp"
+
+namespace reshape::sim {
+
+ReferenceEventHandle SimulationReference::schedule_at(Seconds when,
+                                                      Callback cb) {
+  RESHAPE_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  RESHAPE_REQUIRE(static_cast<bool>(cb), "event callback must be callable");
+  const std::uint64_t id = next_seq_++;
+  queue_.push(Entry{when, id, id, std::move(cb)});
+  live_ids_.insert(id);
+  ++live_;
+  return ReferenceEventHandle{id};
+}
+
+ReferenceEventHandle SimulationReference::schedule_in(Seconds delay,
+                                                      Callback cb) {
+  RESHAPE_REQUIRE(delay.value() >= 0.0, "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool SimulationReference::cancel(ReferenceEventHandle handle) {
+  if (!handle.valid()) return false;
+  if (live_ids_.erase(handle.id) == 0) return false;  // fired or cancelled
+  // Lazy deletion: remember the id; the entry is dropped when popped.
+  cancelled_.insert(handle.id);
+  --live_;
+  return true;
+}
+
+bool SimulationReference::step() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(top.id) > 0) continue;
+    live_ids_.erase(top.id);
+    --live_;
+    now_ = top.when;
+    top.cb(*this);
+    return true;
+  }
+  return false;
+}
+
+std::size_t SimulationReference::run() {
+  std::size_t fired = 0;
+  while (step()) ++fired;
+  return fired;
+}
+
+std::size_t SimulationReference::run_until(Seconds horizon) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > horizon) break;
+    step();
+    ++fired;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return fired;
+}
+
+}  // namespace reshape::sim

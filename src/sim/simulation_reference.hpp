@@ -1,0 +1,73 @@
+// The retained reference event engine (the pre-ladder seed design).
+//
+// A binary heap of heap-allocated std::function entries with an
+// unordered-set lazy-cancellation scheme — kept verbatim as the oracle the
+// differential replay suite and bench/micro_sim compare the slab/ladder
+// engine against, both for byte-identical fire ordering and for the
+// events/sec baseline in BENCH_sim.json.  One deliberate deviation from
+// the seed: cancel() consults a live-id set, so cancelling an
+// already-fired event correctly returns false (the seed accepted any
+// id < next_seq_, corrupting pending(); see tests/sim regression).
+//
+// Do not use in new code: sim/simulation.hpp is the production engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace reshape::sim {
+
+/// Identifies an event scheduled on the reference engine.
+struct ReferenceEventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+class SimulationReference {
+ public:
+  using Callback = std::function<void(SimulationReference&)>;
+  using Handle = ReferenceEventHandle;
+
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  Handle schedule_at(Seconds when, Callback cb);
+  Handle schedule_in(Seconds delay, Callback cb);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// previously cancelled.
+  bool cancel(Handle handle);
+
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+  std::size_t run();
+  std::size_t run_until(Seconds horizon);
+  bool step();
+
+ private:
+  struct Entry {
+    Seconds when;
+    std::uint64_t seq;  // stable FIFO tiebreak among equal timestamps
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> live_ids_;
+  Seconds now_{0.0};
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace reshape::sim

@@ -1,0 +1,72 @@
+// Deterministic sharded execution for independent simulation zones.
+//
+// Production-scale campaigns (10^5-10^6 instances) decompose into zones —
+// availability zones, tenants, independent stations — whose event streams
+// never interact.  ZonedSimulation gives each zone its own Simulation and
+// runs them either sequentially in canonical shard order or in parallel on
+// a ThreadPool, with the PR 1 sharding discipline: work is partitioned by
+// a stable shard key, each shard's execution is fully confined to one
+// task, and results are merged in ascending shard index order.  Because
+// shards share no mutable state, the parallel schedule is byte-identical
+// to the sequential one — the property the tsan-gated replay suite pins.
+//
+// The windowed driver (`run_windows`) additionally synchronizes shards on
+// same-timestamp-window boundaries: every shard runs to the same horizon
+// before the optional `on_window` hook observes the fleet — the epoch
+// barrier an elastic re-planner (ROADMAP item 2) hangs off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+
+namespace reshape::sim {
+
+class ZonedSimulation {
+ public:
+  /// Creates `shards` independent simulations (all on the same engine).
+  explicit ZonedSimulation(std::size_t shards,
+                           Simulation::Engine engine = Simulation::Engine::kLadder);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// The shard a partition key maps to (stable across runs).
+  [[nodiscard]] std::size_t shard_for(std::uint64_t key) const {
+    return static_cast<std::size_t>(key % shards_.size());
+  }
+
+  [[nodiscard]] Simulation& shard(std::size_t index);
+  [[nodiscard]] const Simulation& shard(std::size_t index) const;
+
+  /// Earliest pending event time across all shards, if any shard has one.
+  [[nodiscard]] std::optional<Seconds> next_event_time();
+
+  /// Drains every shard, one after another in shard order.  Returns the
+  /// total number of events fired.
+  std::size_t run_sequential();
+
+  /// Drains every shard on the pool (one task per shard).  Shards are
+  /// independent, so the result is identical to run_sequential().
+  std::size_t run_parallel(ThreadPool& pool);
+
+  /// Epoch-synced drive: repeatedly finds the earliest pending event time
+  /// T across shards, then runs every shard to the horizon T + window
+  /// (sequentially, or in parallel when `pool` is non-null).  After each
+  /// window every shard's clock rests at the same horizon and `on_window`
+  /// (if given) observes the synchronized fleet from the calling thread.
+  /// Returns the total number of events fired.
+  std::size_t run_windows(Seconds window, ThreadPool* pool = nullptr,
+                          const std::function<void(Seconds)>& on_window = nullptr);
+
+ private:
+  // unique_ptr for address stability: callbacks capture their shard.
+  std::vector<std::unique_ptr<Simulation>> shards_;
+};
+
+}  // namespace reshape::sim

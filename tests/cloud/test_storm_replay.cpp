@@ -1,0 +1,155 @@
+// Fault-storm replay: the three-way determinism gate for the event
+// engines under a full cloud workload.
+//
+// A seeded lifecycle campaign (staggered launches under an aggressive
+// fault model, guarded terminates racing crashes) must fingerprint
+// byte-identically on (1) the reference-heap ordering oracle, (2) the
+// production ladder engine, and (3) zone-sharded execution — where the
+// parallel schedule must match the sequential one exactly.  Carries the
+// tsan-smoke label so the sharded path is swept for data races under
+// -DRESHAPE_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+#include "sim/zoned.hpp"
+
+namespace reshape::cloud {
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h = (h ^ v) * 1099511628211ULL;
+  return h ^ (h >> 32);
+}
+
+ProviderConfig storm_config() {
+  ProviderConfig cfg;
+  cfg.faults.p_boot_failure = 0.06;
+  cfg.faults.crash_rate_per_hour = 0.35;
+  cfg.faults.spot_interruption_rate_per_hour = 0.10;
+  return cfg;
+}
+
+/// Launches `fleet` instances into `sim` on a staggered schedule; every
+/// boot survivor arms a guarded terminate that may lose to a crash.
+void drive_storm(sim::Simulation& sim, CloudProvider& provider,
+                 std::uint64_t fleet, std::uint64_t seed) {
+  const AvailabilityZone az{};
+  std::uint64_t rng = seed;
+  for (std::uint64_t i = 0; i < fleet; ++i) {
+    const std::uint64_t r = splitmix(rng);
+    const Seconds at(static_cast<double>(i) * 1.5);
+    const Seconds lifetime(600.0 + static_cast<double>(r % 7200u));
+    sim.schedule_at(at, [&provider, az, lifetime](sim::Simulation&) {
+      provider.launch(InstanceType::kSmall, az,
+                      [&provider, lifetime](Instance& inst) {
+                        const InstanceId id = inst.id();
+                        provider.sim().schedule_in(
+                            lifetime, [&provider, id](sim::Simulation&) {
+                              if (provider.instance(id).is_running()) {
+                                provider.terminate(id);
+                              }
+                            });
+                      });
+    });
+  }
+}
+
+/// Folds every instance's terminal state, billed running time, the fleet
+/// failure totals and the final clock into one order-sensitive hash.
+std::uint64_t storm_fingerprint(const sim::Simulation& sim,
+                                const CloudProvider& provider) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::uint64_t id = 1; id <= provider.launches(); ++id) {
+    const Instance& inst = provider.instance(InstanceId{id});
+    h = mix(h, static_cast<std::uint64_t>(inst.state()));
+    h = mix(h, std::bit_cast<std::uint64_t>(
+                   provider.billing()
+                       .running_time(InstanceId{id}, sim.now())
+                       .value()));
+  }
+  h = mix(h, provider.failure_count());
+  h = mix(h, provider.billing().billed_instances());
+  h = mix(h, std::bit_cast<std::uint64_t>(sim.now().value()));
+  return h;
+}
+
+struct StormResult {
+  std::uint64_t hash = 0;
+  std::size_t events = 0;
+};
+
+StormResult run_single(sim::Simulation::Engine engine, std::uint64_t fleet) {
+  sim::Simulation sim(engine);
+  CloudProvider provider(sim, Rng(777), storm_config());
+  drive_storm(sim, provider, fleet, 0xC0FFEEULL);
+  StormResult out;
+  out.events = sim.run();
+  out.hash = storm_fingerprint(sim, provider);
+  return out;
+}
+
+StormResult run_sharded(std::size_t shards, std::uint64_t fleet_per_shard,
+                        ThreadPool* pool) {
+  sim::ZonedSimulation zoned(shards);
+  std::vector<std::unique_ptr<CloudProvider>> providers;
+  for (std::size_t i = 0; i < shards; ++i) {
+    providers.push_back(std::make_unique<CloudProvider>(
+        zoned.shard(i), Rng(777 + i), storm_config()));
+    drive_storm(zoned.shard(i), *providers[i], fleet_per_shard,
+                0xC0FFEEULL + i);
+  }
+  StormResult out;
+  out.events = pool != nullptr ? zoned.run_parallel(*pool)
+                               : zoned.run_sequential();
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < shards; ++i) {
+    h = mix(h, storm_fingerprint(zoned.shard(i), *providers[i]));
+  }
+  out.hash = h;
+  return out;
+}
+
+TEST(StormReplay, LadderMatchesReferenceHeapByteForByte) {
+  const StormResult oracle =
+      run_single(sim::Simulation::Engine::kReferenceHeap, 2000);
+  const StormResult ladder =
+      run_single(sim::Simulation::Engine::kLadder, 2000);
+  EXPECT_EQ(oracle.events, ladder.events);
+  EXPECT_EQ(oracle.hash, ladder.hash);
+}
+
+TEST(StormReplay, ZoneShardedParallelMatchesSequential) {
+  ThreadPool pool;
+  const StormResult seq = run_sharded(4, 500, nullptr);
+  const StormResult par = run_sharded(4, 500, &pool);
+  EXPECT_EQ(seq.events, par.events);
+  EXPECT_EQ(seq.hash, par.hash);
+}
+
+TEST(StormReplay, ReplayIsStableAcrossRepeatedRuns) {
+  const StormResult first = run_single(sim::Simulation::Engine::kLadder, 1000);
+  const StormResult second =
+      run_single(sim::Simulation::Engine::kLadder, 1000);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.hash, second.hash);
+}
+
+}  // namespace
+}  // namespace reshape::cloud
