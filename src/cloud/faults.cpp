@@ -11,7 +11,7 @@ namespace reshape::cloud {
 bool FaultModel::any() const {
   return p_boot_failure > 0.0 || crash_rate_per_hour > 0.0 ||
          spot_interruption_rate_per_hour > 0.0 || p_ebs_degradation > 0.0 ||
-         transfer_any();
+         p_az_outage > 0.0 || transfer_any();
 }
 
 bool FaultModel::transfer_any() const {
@@ -22,7 +22,8 @@ bool FaultModel::transfer_any() const {
 FaultInjector::FaultInjector(Rng root, FaultModel model)
     : model_(model), boot_(root.split("boot-failure")),
       crash_(root.split("crash")), spot_(root.split("spot-interruption")),
-      ebs_(root.split("ebs-degradation")), transfer_(root.split("transfer")) {
+      ebs_(root.split("ebs-degradation")), az_(root.split("az-outage")),
+      transfer_(root.split("transfer")) {
   RESHAPE_REQUIRE(model.p_boot_failure >= 0.0 && model.p_boot_failure < 1.0,
                   "boot failure probability must be in [0, 1)");
   RESHAPE_REQUIRE(model.crash_rate_per_hour >= 0.0 &&
@@ -34,6 +35,8 @@ FaultInjector::FaultInjector(Rng root, FaultModel model)
   RESHAPE_REQUIRE(model.p_ebs_degradation == 0.0 ||
                       model.ebs_degradation_lo >= 1.0,
                   "degradation factor must not speed the volume up");
+  RESHAPE_REQUIRE(model.p_az_outage >= 0.0 && model.p_az_outage <= 1.0,
+                  "AZ outage probability must be in [0, 1]");
   RESHAPE_REQUIRE(model.p_transfer_error >= 0.0 &&
                       model.p_transfer_stall >= 0.0 &&
                       model.p_transfer_corruption >= 0.0,
@@ -90,6 +93,20 @@ std::optional<EbsDegradationEpisode> FaultInjector::draw_ebs_episode(
                                                .value())));
   episode.factor =
       draw.uniform(model_.ebs_degradation_lo, model_.ebs_degradation_hi);
+  return episode;
+}
+
+std::optional<AzOutageEpisode> FaultInjector::draw_az_outage(
+    const AvailabilityZone& az) const {
+  if (model_.p_az_outage <= 0.0) return std::nullopt;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(az.region) << 8) | az.index;
+  Rng draw = az_.split(key);
+  if (!draw.bernoulli(model_.p_az_outage)) return std::nullopt;
+  AzOutageEpisode episode;
+  episode.start = Seconds(draw.uniform(0.0, model_.az_outage_spread.value()));
+  episode.duration = Seconds(draw.exponential(
+      1.0 / std::max(1.0, model_.az_outage_mean.value())));
   return episode;
 }
 

@@ -57,6 +57,18 @@ struct FaultModel {
   /// Episode onset is uniform in [0, spread) after volume creation.
   Seconds ebs_degradation_spread{1800.0};
 
+  /// Probability that an availability zone suffers one outage episode
+  /// during the run (drawn once per zone, keyed by the zone itself).  At
+  /// onset every pending or running instance in the zone fails together
+  /// (kAzOutage); launches whose boot would complete inside the episode
+  /// die as boot failures.  Other zones are untouched — the escape hatch
+  /// the elastic controller's cross-AZ replacement exists for.
+  double p_az_outage = 0.0;
+  /// Episode onset is uniform in [0, spread) of absolute simulated time.
+  Seconds az_outage_spread{7200.0};
+  /// Episode length is exponential with this mean.
+  Seconds az_outage_mean{1800.0};
+
   /// Data plane: probability that one transfer attempt fails with a
   /// transient request error (the request dies fast, before any payload).
   double p_transfer_error = 0.0;
@@ -86,6 +98,17 @@ struct EbsDegradationEpisode {
   Seconds start_after{0.0};  // delay from volume creation
   Seconds duration{0.0};
   double factor = 1.0;  // throughput divisor while active (>= 1.0)
+};
+
+/// One availability-zone outage episode, in absolute simulated time.
+struct AzOutageEpisode {
+  Seconds start{0.0};
+  Seconds duration{0.0};
+
+  [[nodiscard]] Seconds end() const { return start + duration; }
+  [[nodiscard]] bool covers(Seconds when) const {
+    return when.value() >= start.value() && when.value() < end().value();
+  }
 };
 
 /// What strikes one transfer attempt.
@@ -122,6 +145,12 @@ class FaultInjector {
   [[nodiscard]] std::optional<EbsDegradationEpisode> draw_ebs_episode(
       std::uint64_t index) const;
 
+  /// The outage episode (if any) striking an availability zone.  Keyed by
+  /// the zone itself (region, index), so the draw is independent of how
+  /// many zones a campaign touches or in what order.
+  [[nodiscard]] std::optional<AzOutageEpisode> draw_az_outage(
+      const AvailabilityZone& az) const;
+
   /// The fault (if any) striking attempt `attempt` of the transfer named
   /// `key`.  A pure function of (injector seed, key, attempt): the same
   /// scenario replays bit-identically, and the zero model short-circuits
@@ -135,6 +164,7 @@ class FaultInjector {
   Rng crash_;
   Rng spot_;
   Rng ebs_;
+  Rng az_;
   Rng transfer_;
 };
 

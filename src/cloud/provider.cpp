@@ -30,17 +30,21 @@ Seconds CloudProvider::draw_attach_latency() {
 
 InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
                                  std::function<void(Instance&)> on_running) {
+  const AzOutageEpisode* outage = arm_zone_outage(az);
   const InstanceId id{next_instance_++};
   instances_.emplace_back(id, type, az, quality_.draw(id.value), sim_.now());
   armed_faults_.emplace_back();
   if (obs::enabled()) obs::metrics().counter("instance.launches").add(1);
 
   const Seconds boot = draw_boot_delay();
-  if (injector_.draw_boot_failure(id.value)) {
+  if (injector_.draw_boot_failure(id.value) ||
+      (outage && outage->covers(sim_.now() + boot))) {
     // The launch dies during boot: pending -> failed at what would have
-    // been the boot instant; it never runs, so it is never billed.
+    // been the boot instant; it never runs, so it is never billed.  A boot
+    // landing inside the zone's outage episode dies the same way.
     sim_.schedule_in(boot, [this, id](sim::Simulation&) {
       // A terminate() issued while still pending wins: skip the failure.
+      // So does the zone-outage onset having already struck this instance.
       if (instance(id).state() != InstanceState::kPending) return;
       fail(id, FailureKind::kBootFailure);
     });
@@ -102,11 +106,64 @@ void CloudProvider::fail(InstanceId id, FailureKind kind) {
       case FailureKind::kSpotInterruption:
         obs::metrics().counter("instance.spot_interruptions").add(1);
         break;
+      case FailureKind::kAzOutage:
+        obs::metrics().counter("instance.az_outage_failures").add(1);
+        break;
     }
   }
   for (const FailureHook& hook : failure_hooks_) {
     if (hook) hook(inst);
   }
+}
+
+const AzOutageEpisode* CloudProvider::arm_zone_outage(
+    const AvailabilityZone& az) {
+  if (config_.faults.p_az_outage <= 0.0) return nullptr;
+  for (const ArmedZone& armed : zone_outages_) {
+    if (armed.az == az) {
+      return armed.episode ? &*armed.episode : nullptr;
+    }
+  }
+  ArmedZone& armed = zone_outages_.emplace_back(
+      ArmedZone{az, injector_.draw_az_outage(az)});
+  if (armed.episode && sim_.now() < armed.episode->start) {
+    sim_.schedule_at(armed.episode->start,
+                     [this, az](sim::Simulation&) { strike_zone(az); });
+    if (obs::enabled()) {
+      obs::trace().complete(obs::kPidCloud, 0, "az", "outage",
+                            armed.episode->start.value(),
+                            armed.episode->duration.value(),
+                            {obs::arg("zone", az.name())});
+    }
+  }
+  return armed.episode ? &*armed.episode : nullptr;
+}
+
+void CloudProvider::strike_zone(const AvailabilityZone& az) {
+  // Collect first: failure hooks run re-entrantly and may launch
+  // replacements (growing instances_) while we iterate.
+  std::vector<InstanceId> victims;
+  for (const Instance& inst : instances_) {
+    if (inst.zone() == az && (inst.state() == InstanceState::kPending ||
+                              inst.state() == InstanceState::kRunning)) {
+      victims.push_back(inst.id());
+    }
+  }
+  if (obs::enabled()) obs::metrics().counter("fault.az_outages").add(1);
+  for (const InstanceId id : victims) {
+    const InstanceState state = instance(id).state();
+    // A hook reacting to an earlier victim may have terminated this one.
+    if (state != InstanceState::kPending && state != InstanceState::kRunning) {
+      continue;
+    }
+    fail(id, FailureKind::kAzOutage);
+  }
+}
+
+std::optional<AzOutageEpisode> CloudProvider::az_outage_episode(
+    AvailabilityZone az) {
+  const AzOutageEpisode* episode = arm_zone_outage(az);
+  return episode ? std::optional<AzOutageEpisode>(*episode) : std::nullopt;
 }
 
 std::size_t CloudProvider::add_failure_hook(FailureHook hook) {

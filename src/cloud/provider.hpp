@@ -87,6 +87,12 @@ class CloudProvider {
     return injector_;
   }
 
+  /// The outage episode (if any) the fault model holds for a zone.  Arms
+  /// the zone on first query, exactly as a launch into it would, so the
+  /// answer is the same episode the fleet will experience.
+  [[nodiscard]] std::optional<AzOutageEpisode> az_outage_episode(
+      AvailabilityZone az);
+
   [[nodiscard]] Instance& instance(InstanceId id);
   [[nodiscard]] const Instance& instance(InstanceId id) const;
   [[nodiscard]] bool exists(InstanceId id) const;
@@ -130,6 +136,12 @@ class CloudProvider {
   /// Cancels an armed-but-unfired fault event for the instance.
   void disarm_runtime_fault(InstanceId id);
 
+  /// Draws (once) and schedules a zone's outage episode; returns it, or
+  /// nullptr when the zone stays healthy.  No draws under the zero model.
+  const AzOutageEpisode* arm_zone_outage(const AvailabilityZone& az);
+  /// Episode onset: every pending or running instance in the zone fails.
+  void strike_zone(const AvailabilityZone& az);
+
   sim::Simulation& sim_;
   Rng root_;
   Rng lifecycle_noise_;
@@ -144,6 +156,12 @@ class CloudProvider {
   // per-instance heap node, no hashing on the lifecycle hot path) and the
   // armed-fault handles sit in a parallel array — fault-heavy campaigns
   // walk arrays instead of chasing pointers.
+  /// Zones whose outage draw has been made (armed lazily at first touch).
+  struct ArmedZone {
+    AvailabilityZone az{};
+    std::optional<AzOutageEpisode> episode;
+  };
+  std::vector<ArmedZone> zone_outages_;
   std::deque<Instance> instances_;
   std::deque<EbsVolume> volumes_;
   std::vector<sim::EventHandle> armed_faults_;  // parallel to instances_

@@ -68,6 +68,7 @@ std::string_view to_string(FailureKind kind) {
     case FailureKind::kBootFailure: return "boot-failure";
     case FailureKind::kCrash: return "crash";
     case FailureKind::kSpotInterruption: return "spot-interruption";
+    case FailureKind::kAzOutage: return "az-outage";
   }
   return "?";
 }

@@ -60,7 +60,9 @@ enum class InstanceState { kPending, kRunning, kShuttingDown, kTerminated,
 [[nodiscard]] std::string_view to_string(InstanceState state);
 
 /// Why an instance failed (recorded on the instance at failure time).
-enum class FailureKind { kBootFailure, kCrash, kSpotInterruption };
+/// kAzOutage is the zone-scoped episode of cloud/faults: every instance
+/// running in the struck availability zone fails together.
+enum class FailureKind { kBootFailure, kCrash, kSpotInterruption, kAzOutage };
 
 [[nodiscard]] std::string_view to_string(FailureKind kind);
 

@@ -7,6 +7,17 @@
 
 namespace reshape {
 
+RetryPolicy RetryPolicy::for_acquisition() {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff = Seconds(15.0);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = Seconds(240.0);
+  policy.jitter = 0.25;
+  policy.attempt_timeout = Seconds(0.0);
+  return policy;
+}
+
 void RetryPolicy::validate() const {
   RESHAPE_REQUIRE(max_attempts >= 1, "retry budget needs at least one attempt");
   RESHAPE_REQUIRE(initial_backoff.value() >= 0.0,

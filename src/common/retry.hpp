@@ -31,6 +31,14 @@ struct RetryPolicy {
   /// once it exceeds this.  Zero means stalls are endured to completion.
   Seconds attempt_timeout{0.0};
 
+  /// Preset for control-plane instance acquisition: boot failures are
+  /// rarer but far costlier than transfer blips, so the schedule starts
+  /// near the boot delay (a faster retry would race the cloud's own
+  /// pending state), grows steeply, and carries a deeper attempt budget so
+  /// even a fault-storm boot-failure rate of 50% leaves the exhaustion
+  /// probability under 2% (see expected_attempts / exhaustion_probability).
+  [[nodiscard]] static RetryPolicy for_acquisition();
+
   /// Throws when the parameters are out of range.
   void validate() const;
 

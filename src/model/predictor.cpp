@@ -1,5 +1,6 @@
 #include "model/predictor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -20,6 +21,55 @@ Bytes Predictor::max_volume_within(Seconds deadline) const {
   const double x = fit_.inverse(deadline.value());
   if (x <= 0.0) return Bytes(0);
   return Bytes(static_cast<std::uint64_t>(x));
+}
+
+void ThroughputBank::observe(Bytes volume, Seconds elapsed) {
+  if (volume.count() == 0 || elapsed.value() <= 0.0) return;
+  volumes_.push_back(volume.as_double());
+  times_.push_back(elapsed.value());
+}
+
+Rate ThroughputBank::mean_throughput() const {
+  double bytes = 0.0;
+  double seconds = 0.0;
+  for (std::size_t i = 0; i < volumes_.size(); ++i) {
+    bytes += volumes_[i];
+    seconds += times_[i];
+  }
+  if (seconds <= 0.0) return Rate(0.0);
+  return Rate(bytes / seconds);
+}
+
+Predictor ThroughputBank::fitted(const Predictor& prior,
+                                 std::size_t min_observations) const {
+  if (volumes_.size() < min_observations) return prior;
+  const auto [lo, hi] = std::minmax_element(volumes_.begin(), volumes_.end());
+  // With no volume spread OLS can't separate intercept from slope; keep
+  // the prior's fixed cost and re-derive only the per-byte rate from the
+  // pooled observations (subtracting the prior's intercept per attempt).
+  if (*hi - *lo < 0.05 * *hi) {
+    double bytes = 0.0;
+    double seconds = 0.0;
+    for (std::size_t i = 0; i < volumes_.size(); ++i) {
+      bytes += volumes_[i];
+      seconds += std::max(0.0, times_[i] - prior.affine().intercept);
+    }
+    if (bytes <= 0.0 || seconds <= 0.0) return prior;
+    AffineFit fit = prior.affine();
+    fit.slope = seconds / bytes;
+    if (fit.slope <= 0.0) return prior;
+    return Predictor(fit);
+  }
+  Predictor refit = Predictor::fit(volumes_, times_);
+  if (refit.affine().slope <= 0.0) return prior;
+  // A negative fitted intercept would let max_volume_within extrapolate
+  // into free work; clamp to zero (pure rate model) instead.
+  if (refit.affine().intercept < 0.0) {
+    AffineFit fit = refit.affine();
+    fit.intercept = 0.0;
+    refit = Predictor(fit);
+  }
+  return refit;
 }
 
 RelativeResiduals relative_residuals(const Predictor& predictor,

@@ -39,6 +39,38 @@ class Predictor {
   AffineFit fit_;
 };
 
+/// Online observation bank for epoch re-planning: the elastic controller
+/// streams every completed attempt's (volume, elapsed) pair in, and each
+/// epoch asks for a predictor refreshed with the campaign's own evidence
+/// (C3O-style feedback: observed progress sharpens the model as the run
+/// unfolds).  Until enough well-spread evidence has accumulated the
+/// caller's prior predictor stands.
+class ThroughputBank {
+ public:
+  /// Banks one completed attempt.  Non-positive volumes or times are
+  /// ignored (a zero-byte recovery remainder carries no signal).
+  void observe(Bytes volume, Seconds elapsed);
+
+  [[nodiscard]] std::size_t count() const { return volumes_.size(); }
+
+  /// Mean observed throughput over all banked attempts (bytes/s); zero
+  /// rate when nothing was banked.
+  [[nodiscard]] Rate mean_throughput() const;
+
+  /// The refreshed predictor: an affine refit of the banked observations
+  /// once at least `min_observations` with meaningful volume spread exist
+  /// and the refit is sane (positive slope); otherwise `prior` is
+  /// returned unchanged.  When the refit lacks spread (all attempts the
+  /// same size), the slope falls back to the pooled per-byte rate around
+  /// the prior's intercept, which still tracks fleet-wide slowdowns.
+  [[nodiscard]] Predictor fitted(const Predictor& prior,
+                                 std::size_t min_observations = 3) const;
+
+ private:
+  std::vector<double> volumes_;
+  std::vector<double> times_;
+};
+
 /// Statistics of relative residuals r_i = (y_i - f(x_i)) / f(x_i).
 struct RelativeResiduals {
   double mean = 0.0;

@@ -1,0 +1,1122 @@
+#include "provision/controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "cloud/workload.hpp"
+#include "common/digest.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace reshape::provision {
+
+std::string_view to_string(DegradePolicy policy) {
+  switch (policy) {
+    case DegradePolicy::kShedLowestValue: return "shed-lowest-value";
+    case DegradePolicy::kWidenMergeUnits: return "widen-merge-units";
+    case DegradePolicy::kOvershootCost: return "overshoot-cost";
+  }
+  return "unknown";
+}
+
+double CampaignReport::deadline_hit_rate() const {
+  if (execution.outcomes.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (const InstanceOutcome& o : execution.outcomes) {
+    if (o.met_deadline) ++hit;
+  }
+  return static_cast<double>(hit) /
+         static_cast<double>(execution.outcomes.size());
+}
+
+namespace {
+
+constexpr std::size_t kNoUnit = std::numeric_limits<std::size_t>::max();
+
+/// One work unit (a plan assignment).  Its bytes live on a persistent EBS
+/// volume in `volume_zone`; a cross-AZ move re-stages the remainder onto
+/// a fresh volume in the new zone.
+struct Unit {
+  std::size_t index = 0;
+  Assignment assignment;
+  cloud::AppCostProfile app;  // complexity-scaled profile
+  Rng run_noise{0};
+
+  cloud::VolumeId volume{};
+  cloud::AvailabilityZone volume_zone{};
+  Bytes data_offset{0};
+  Bytes remaining{0};
+
+  /// Admission digest over the unit's immutable identity; re-derived and
+  /// verified at completion.
+  std::uint64_t digest = 0;
+
+  // Resolution (exactly one of done / shed / abandoned, at most once).
+  bool done = false;
+  bool shed = false;
+  bool abandoned = false;
+  std::size_t completions = 0;
+  std::string error;
+
+  // Speculative race: member slots currently attempting this unit.  While
+  // more than one contender is live, crash-time prefix banking is off (the
+  // contenders read divergent copies of the same extent).
+  std::vector<std::size_t> contenders;
+  bool racing = false;
+
+  // Accumulated outcome (executor-compatible).
+  int attempt = 0;
+  bool started = false;
+  Seconds first_work_begun{0.0};
+  Seconds finished_at{0.0};
+  Seconds staging_total{0.0};
+  Seconds exec_total{0.0};
+  Seconds work_total{0.0};
+  Seconds recovery_total{0.0};
+  Seconds failed_at{0.0};
+  bool pending_recovery = false;
+  std::uint64_t file_count = 0;
+  bool file_count_set = false;
+  cloud::QualityClass quality = cloud::QualityClass::kFast;
+  std::size_t failures = 0;
+  std::size_t relaunches = 0;
+  cloud::InstanceId last_instance{};
+};
+
+/// One fleet slot.  Slots are stable for the campaign (the straggler
+/// detector keys on them); the instance occupying a slot changes across
+/// boot retries and replacements.
+struct Member {
+  std::size_t slot = 0;
+  enum class State { kBooting, kWorking, kGone } state = State::kBooting;
+  cloud::InstanceId id{};
+  cloud::AvailabilityZone zone{};
+  /// Unit to work on at boot; kNoUnit pulls from the pending queue.
+  std::size_t assigned = kNoUnit;
+  bool speculative = false;
+  std::uint64_t launch_seq = 0;  // epoch the member was launched in
+
+  // In-flight attempt.
+  std::size_t unit = kNoUnit;
+  Seconds work_begun{0.0};
+  Seconds cur_staging{0.0};
+  Seconds cur_exec{0.0};
+  Bytes attempt_bytes{0};
+  sim::EventHandle completion{};
+
+  int boot_attempts = 0;
+};
+
+std::uint64_t unit_digest(const Unit& unit) {
+  Digest64 digest;
+  digest.update_u64(static_cast<std::uint64_t>(unit.index));
+  digest.update_u64(unit.assignment.volume.count());
+  digest.update_u64(unit.assignment.file_count);
+  return digest.value();
+}
+
+/// Drives one campaign: units, fleet slots and the epoch chain.
+class ElasticController {
+ public:
+  ElasticController(cloud::CloudProvider& provider, const ExecutionPlan& plan,
+                    const cloud::AppCostProfile& app,
+                    const ExecutionOptions& base,
+                    const ElasticOptions& options, Rng& noise)
+      : provider_(provider), plan_(plan), base_(base), options_(options),
+        detector_(options.straggler),
+        prior_predictor_(options.planning_prior),
+        backoff_rng_(noise.split("controller-backoff")) {
+    units_.reserve(plan.assignments.size());
+    for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+      auto unit = std::make_unique<Unit>();
+      unit->index = i;
+      unit->assignment = plan.assignments[i];
+      unit->app = app;
+      unit->app.cpu_seconds_per_byte *= plan.assignments[i].mean_complexity;
+      unit->run_noise = noise.split(i);
+      unit->remaining = plan.assignments[i].volume;
+      unit->digest = unit_digest(*unit);
+      units_.push_back(std::move(unit));
+    }
+  }
+
+  CampaignReport run() {
+    start_ = provider_.sim().now();
+    const std::size_t hook = provider_.add_failure_hook(
+        [this](cloud::Instance& inst) { on_failure(inst); });
+    try {
+      for (std::size_t i = 0; i < units_.size(); ++i) {
+        launch_member(i, base_.zone, /*speculative=*/false,
+                      /*charge_budget=*/false);
+      }
+      if (options_.epoch.value() > 0.0) {
+        epoch_event_ = provider_.sim().schedule_in(
+            options_.epoch, [this](sim::Simulation&) { on_epoch(); });
+      }
+      provider_.sim().run();
+    } catch (...) {
+      provider_.remove_failure_hook(hook);
+      throw;
+    }
+    provider_.remove_failure_hook(hook);
+    CampaignReport report = assemble();
+    if (obs::enabled()) obs::metrics().merge(metrics_);
+    return report;
+  }
+
+ private:
+  [[nodiscard]] Seconds deadline_abs() const { return start_ + plan_.deadline; }
+
+  [[nodiscard]] static std::uint32_t trace_tid(const Unit& unit) {
+    return static_cast<std::uint32_t>(unit.index);
+  }
+
+  // -- fleet ----------------------------------------------------------------
+
+  [[nodiscard]] std::size_t live_members() const {
+    std::size_t n = 0;
+    for (const auto& m : members_) {
+      if (m->state != Member::State::kGone) ++n;
+    }
+    return n;
+  }
+
+  /// Whether one more launch fits the acquisition budget.  Under
+  /// kOvershootCost the hard budget is replaced by the cost cap.
+  [[nodiscard]] bool can_acquire() {
+    if (live_members() >= options_.max_fleet) return false;
+    if (options_.degrade == DegradePolicy::kOvershootCost) {
+      const double cap =
+          plan_.predicted_cost.amount() * options_.overshoot_cost_cap;
+      if (plan_.predicted_cost.amount() > 0.0 &&
+          provider_.billing().total_cost(provider_.sim().now()).amount() >=
+              cap) {
+        return false;
+      }
+      return true;
+    }
+    return acquisitions_ < static_cast<std::size_t>(
+                               std::max(0, options_.acquisition_budget));
+  }
+
+  /// Zones new capacity may go to, primary first.
+  [[nodiscard]] std::vector<cloud::AvailabilityZone> zone_candidates() const {
+    std::vector<cloud::AvailabilityZone> zones{base_.zone};
+    if (!options_.fallback_zones.empty()) {
+      for (const auto& z : options_.fallback_zones) zones.push_back(z);
+    } else {
+      for (std::uint8_t step = 1; step < 4; ++step) {
+        zones.push_back(cloud::AvailabilityZone{
+            base_.zone.region,
+            static_cast<std::uint8_t>((base_.zone.index + step) % 4)});
+      }
+    }
+    return zones;
+  }
+
+  [[nodiscard]] bool suspect(const cloud::AvailabilityZone& zone) const {
+    return std::find(suspect_zones_.begin(), suspect_zones_.end(), zone) !=
+           suspect_zones_.end();
+  }
+
+  void mark_suspect(const cloud::AvailabilityZone& zone) {
+    if (suspect(zone)) return;
+    suspect_zones_.push_back(zone);
+    m_suspect_zones_.add(1);
+    if (obs::enabled()) {
+      obs::trace().instant(obs::kPidExecutor, 0, "controller", "zone-suspect",
+                           provider_.sim().now().value(),
+                           {obs::arg("zone", zone.name())});
+    }
+  }
+
+  /// The zone the next launch goes to: the primary while it is healthy,
+  /// otherwise round-robin over the healthy fallbacks (deterministic).
+  [[nodiscard]] cloud::AvailabilityZone pick_zone() {
+    const std::vector<cloud::AvailabilityZone> zones = zone_candidates();
+    std::vector<cloud::AvailabilityZone> healthy;
+    for (const auto& z : zones) {
+      if (!suspect(z)) healthy.push_back(z);
+    }
+    if (healthy.empty()) return base_.zone;  // nowhere better to go
+    if (healthy.front() == base_.zone) return base_.zone;
+    const cloud::AvailabilityZone pick =
+        healthy[zone_rr_ % healthy.size()];
+    ++zone_rr_;
+    return pick;
+  }
+
+  /// Launches an instance into a (new or reused) fleet slot.  `assigned`
+  /// fixes the unit the member starts on (kNoUnit pulls from pending).
+  Member& launch_member(std::size_t assigned, cloud::AvailabilityZone zone,
+                        bool speculative, bool charge_budget) {
+    auto member = std::make_unique<Member>();
+    member->slot = members_.size();
+    member->assigned = assigned;
+    member->speculative = speculative;
+    member->launch_seq = epoch_seq_;
+    Member& ref = *member;
+    members_.push_back(std::move(member));
+    boot(ref, zone, charge_budget);
+    return ref;
+  }
+
+  /// (Re)boots a member's instance in `zone`.
+  void boot(Member& member, cloud::AvailabilityZone zone, bool charge_budget) {
+    member.state = Member::State::kBooting;
+    member.zone = zone;
+    if (charge_budget) {
+      ++acquisitions_;
+      m_acquisitions_.add(1);
+    }
+    member.id = provider_.launch(
+        base_.instance_type, zone,
+        [this, slot = member.slot](cloud::Instance& instance) {
+          Member& m = *members_[slot];
+          if (m.id != instance.id()) return;  // a superseded boot
+          on_boot(m);
+        });
+    by_id_[member.id] = member.slot;
+  }
+
+  void on_boot(Member& member) {
+    if (member.assigned != kNoUnit) {
+      Unit& unit = *units_[member.assigned];
+      const std::size_t target = member.assigned;
+      member.assigned = kNoUnit;
+      if (!resolved(unit)) {
+        begin_work(member, target);
+        return;
+      }
+    }
+    dispatch_next(member);
+  }
+
+  /// Gives an idle (just booted or just freed) member its next unit, or
+  /// releases it when no work is pending.
+  void dispatch_next(Member& member) {
+    while (!pending_.empty()) {
+      const std::size_t index = pending_.front();
+      pending_.pop_front();
+      // Already resolved, or already being worked by a live contender (a
+      // hedge that out-booted the queue): starting it again here would
+      // duplicate work unintentionally.
+      if (resolved(*units_[index]) || !units_[index]->contenders.empty()) {
+        continue;
+      }
+      begin_work(member, index);
+      return;
+    }
+    release(member);
+  }
+
+  void release(Member& member) {
+    if (member.state == Member::State::kWorking) {
+      provider_.sim().cancel(member.completion);
+    }
+    member.state = Member::State::kGone;
+    member.unit = kNoUnit;
+    detector_.forget(member.slot);
+    if (member.id.valid() && provider_.exists(member.id)) {
+      cloud::Instance& inst = provider_.instance(member.id);
+      if (inst.is_running()) {
+        by_id_.erase(member.id);
+        provider_.terminate(member.id);
+        ++releases_;
+      }
+    }
+    maybe_finish();
+  }
+
+  // -- attempts -------------------------------------------------------------
+
+  /// The layout an attempt sees, with the degradation widening applied:
+  /// each doubling of `widen_factor_` halves the per-file overhead (the
+  /// merge units get coarser).
+  [[nodiscard]] cloud::DataLayout attempt_layout(const Unit& unit,
+                                                 Bytes remaining) const {
+    ExecutionOptions opts = base_;
+    if (widen_factor_ > 1 && opts.reshaped_unit.count() > 0) {
+      opts.reshaped_unit =
+          opts.reshaped_unit * static_cast<std::uint64_t>(widen_factor_);
+    }
+    cloud::DataLayout layout =
+        layout_for_remaining(unit.assignment, opts, remaining);
+    if (widen_factor_ > 1 && base_.reshaped_unit.count() == 0) {
+      layout.file_count = std::max<std::uint64_t>(
+          1, layout.file_count / static_cast<std::uint64_t>(widen_factor_));
+      layout.unit_file_size = layout.total_volume / layout.file_count;
+    }
+    return layout;
+  }
+
+  /// Deterministic cost of re-staging `bytes` from the object store into a
+  /// fresh volume (cross-AZ move or speculative copy).
+  [[nodiscard]] Seconds restage_cost(Bytes bytes) const {
+    const cloud::S3Model& s3 = provider_.config().s3;
+    return s3.request_latency_mean + s3.transfer_rate.time_for(bytes);
+  }
+
+  void begin_work(Member& member, std::size_t index) {
+    Unit& unit = *units_[index];
+    cloud::Instance& instance = provider_.instance(member.id);
+    member.state = Member::State::kWorking;
+    member.unit = index;
+    unit.contenders.push_back(member.slot);
+    unit.racing = unit.contenders.size() > 1;
+    unit.last_instance = member.id;
+    unit.quality = instance.quality().cls;
+    if (unit.pending_recovery) {
+      const Seconds waited = provider_.sim().now() - unit.failed_at;
+      unit.recovery_total += waited;
+      m_recovery_time_.add(waited.value());
+      unit.pending_recovery = false;
+    }
+
+    Seconds staging{0.0};
+    cloud::StorageBinding storage = cloud::LocalStorage{};
+    if (base_.data_on_ebs) {
+      cloud::VolumeId vol_id = unit.volume;
+      Bytes offset = unit.data_offset;
+      const bool needs_copy =
+          !vol_id.valid() || unit.volume_zone != member.zone ||
+          member.speculative;
+      if (needs_copy) {
+        const bool had_volume = vol_id.valid();
+        vol_id = provider_.create_volume(
+            std::max(unit.assignment.volume * 2, Bytes(1'000'000)),
+            member.zone);
+        offset = provider_.volume(vol_id).stage(unit.remaining);
+        if (had_volume) {
+          // The remainder must travel through the object store: the old
+          // volume cannot leave its zone (and a racing copy must not
+          // share the original's spindle).
+          staging += restage_cost(unit.remaining);
+          if (unit.volume_zone != member.zone) {
+            ++cross_az_moves_;
+            m_cross_az_.add(1);
+            if (obs::enabled()) {
+              obs::trace().instant(
+                  obs::kPidExecutor, trace_tid(unit), "controller",
+                  "cross-az-move", provider_.sim().now().value(),
+                  {obs::arg("unit", unit.index),
+                   obs::arg("from", unit.volume_zone.name()),
+                   obs::arg("to", member.zone.name())});
+            }
+          }
+        }
+        if (!member.speculative) {
+          unit.volume = vol_id;
+          unit.volume_zone = member.zone;
+          unit.data_offset = offset;
+        }
+      }
+      cloud::EbsVolume& vol = provider_.volume(vol_id);
+      provider_.attach(vol_id, member.id);
+      staging += provider_.draw_attach_latency();
+      storage = cloud::EbsStorage{
+          &vol, offset, vol.degradation_factor(provider_.sim().now())};
+    } else {
+      staging = base_.local_staging_time;
+      instance.stage_local(unit.remaining);
+    }
+
+    const cloud::DataLayout layout = attempt_layout(unit, unit.remaining);
+    if (!unit.file_count_set) {
+      unit.file_count = layout.file_count;
+      unit.file_count_set = true;
+    }
+    Rng attempt_noise =
+        unit.run_noise.split(static_cast<std::uint64_t>(unit.attempt++));
+    const Seconds exec =
+        cloud::run_time(unit.app, layout, instance, storage, attempt_noise);
+
+    const Seconds now = provider_.sim().now();
+    if (!unit.started) {
+      unit.started = true;
+      unit.first_work_begun = now;
+    }
+    member.work_begun = now;
+    member.cur_staging = staging;
+    member.cur_exec = exec;
+    member.attempt_bytes = unit.remaining;
+    member.completion = provider_.sim().schedule_in(
+        staging + exec, [this, slot = member.slot](sim::Simulation&) {
+          on_complete(*members_[slot]);
+        });
+    if (obs::enabled()) {
+      obs::trace().complete(obs::kPidExecutor, trace_tid(unit), "controller",
+                            member.speculative ? "attempt#hedge" : "attempt",
+                            now.value(), (staging + exec).value(),
+                            {obs::arg("unit", unit.index),
+                             obs::arg("slot", member.slot),
+                             obs::arg("instance", member.id.value),
+                             obs::arg("bytes", member.attempt_bytes.count())});
+    }
+  }
+
+  void drop_contender(Unit& unit, std::size_t slot) {
+    unit.contenders.erase(
+        std::remove(unit.contenders.begin(), unit.contenders.end(), slot),
+        unit.contenders.end());
+    unit.racing = unit.contenders.size() > 1;
+  }
+
+  void on_complete(Member& member) {
+    Unit& unit = *units_[member.unit];
+    RESHAPE_REQUIRE(!unit.done && !unit.shed && !unit.abandoned,
+                    "completion for an already-resolved unit");
+    unit.staging_total += member.cur_staging;
+    unit.exec_total += member.cur_exec;
+    unit.work_total += member.cur_staging + member.cur_exec;
+    unit.last_instance = member.id;
+    unit.quality = provider_.instance(member.id).quality().cls;
+
+    ++unit.completions;
+    RESHAPE_REQUIRE(unit.completions == 1,
+                    "a unit completed more than once");
+    RESHAPE_REQUIRE(unit_digest(unit) == unit.digest,
+                    "unit digest mismatch at completion");
+    unit.done = true;
+    unit.finished_at = provider_.sim().now();
+    unit.remaining = Bytes(0);
+
+    bank_.observe(member.attempt_bytes, member.cur_staging + member.cur_exec);
+
+    // Resolve the race: this completion fired first, so by the engine's
+    // FIFO tiebreak it is the (seq, slot)-minimal finisher — the same
+    // winner speculative_winner() names.  Losers are cancelled and their
+    // instances move on.
+    const bool was_racing = unit.racing;
+    const std::vector<std::size_t> losers = [&] {
+      std::vector<std::size_t> others;
+      for (const std::size_t slot : unit.contenders) {
+        if (slot != member.slot) others.push_back(slot);
+      }
+      return others;
+    }();
+    unit.contenders.clear();
+    unit.racing = false;
+    if (was_racing) {
+      if (member.speculative) {
+        ++speculative_wins_;
+      } else {
+        ++speculative_losses_;
+      }
+      if (obs::enabled()) {
+        obs::trace().instant(obs::kPidExecutor, trace_tid(unit), "controller",
+                             "race-resolved", unit.finished_at.value(),
+                             {obs::arg("unit", unit.index),
+                              obs::arg("winner_slot", member.slot),
+                              obs::arg("speculative_won", member.speculative)});
+      }
+    }
+
+    member.state = Member::State::kBooting;  // transitional; re-dispatched
+    member.unit = kNoUnit;
+    member.speculative = false;
+    detector_.forget(member.slot);
+    for (const std::size_t loser_slot : losers) {
+      Member& loser = *members_[loser_slot];
+      if (loser.state == Member::State::kWorking) {
+        provider_.sim().cancel(loser.completion);
+      }
+      loser.unit = kNoUnit;
+      loser.speculative = false;
+      detector_.forget(loser.slot);
+      // The loser's instance is still healthy; put it to work.
+      if (loser.state == Member::State::kWorking) {
+        loser.state = Member::State::kBooting;
+        dispatch_next(loser);
+      }
+    }
+    dispatch_next(member);
+  }
+
+  // -- failure handling -----------------------------------------------------
+
+  void on_failure(cloud::Instance& instance) {
+    const auto it = by_id_.find(instance.id());
+    if (it == by_id_.end()) return;
+    Member& member = *members_[it->second];
+    by_id_.erase(it);
+    if (member.state == Member::State::kGone) return;
+    m_failures_.add(1);
+    const Seconds now = provider_.sim().now();
+    const cloud::FailureKind kind = instance.failure()
+                                        ? instance.failure()->kind
+                                        : cloud::FailureKind::kCrash;
+    note_zone_failure(member.zone, kind);
+
+    if (member.state == Member::State::kBooting) {
+      ++boot_failures_;
+      m_boot_failures_.add(1);
+      retry_boot(member);
+      return;
+    }
+
+    // A working member died.
+    provider_.sim().cancel(member.completion);
+    Unit& unit = *units_[member.unit];
+    const std::size_t unit_index = member.unit;
+    member.state = Member::State::kGone;
+    member.unit = kNoUnit;
+    detector_.forget(member.slot);
+    ++unit.failures;
+    const Seconds elapsed = now - member.work_begun;
+    unit.work_total += elapsed;
+    unit.staging_total += std::min(elapsed, member.cur_staging);
+    unit.exec_total += std::min(
+        std::max(Seconds(0.0), elapsed - member.cur_staging), member.cur_exec);
+
+    if (unit.racing) {
+      // Race semantics: contenders read divergent copies, so no prefix is
+      // banked — the survivor simply continues alone.
+      drop_contender(unit, member.slot);
+      const bool was_speculative = member.speculative;
+      member.speculative = false;
+      if (obs::enabled()) {
+        obs::trace().instant(obs::kPidExecutor, trace_tid(unit), "controller",
+                             "race-contender-lost", now.value(),
+                             {obs::arg("unit", unit.index),
+                              obs::arg("slot", member.slot),
+                              obs::arg("speculative", was_speculative)});
+      }
+      if (!unit.contenders.empty()) return;
+      // Both contenders died: back to the queue, no banking.
+      unit.failed_at = now;
+      unit.pending_recovery = true;
+      pending_.push_front(unit_index);
+      replace_capacity();
+      return;
+    }
+
+    drop_contender(unit, member.slot);
+    member.speculative = false;
+    // Linear-progress banking: the processed prefix survives on the
+    // persistent volume (EBS) or is simply never re-read (local restage
+    // of the remainder).
+    double progress = 1.0;
+    if (member.cur_exec.value() > 0.0) {
+      progress = std::clamp(
+          (elapsed - member.cur_staging).value() / member.cur_exec.value(),
+          0.0, 1.0);
+    }
+    Bytes processed(static_cast<std::uint64_t>(
+        progress * member.attempt_bytes.as_double()));
+    processed = std::min(processed, unit.remaining);
+    unit.remaining -= processed;
+    unit.data_offset += processed;
+    if (obs::enabled()) {
+      obs::trace().instant(obs::kPidExecutor, trace_tid(unit), "controller",
+                           "crash", now.value(),
+                           {obs::arg("unit", unit.index),
+                            obs::arg("kind", to_string(kind)),
+                            obs::arg("progress", progress)});
+    }
+    if (unit.remaining.count() == 0) {
+      // The crash struck after the last byte was processed.
+      ++unit.completions;
+      RESHAPE_REQUIRE(unit.completions == 1,
+                      "a unit completed more than once");
+      RESHAPE_REQUIRE(unit_digest(unit) == unit.digest,
+                      "unit digest mismatch at completion");
+      unit.done = true;
+      unit.finished_at = now;
+      maybe_finish();
+      return;
+    }
+    unit.failed_at = now;
+    unit.pending_recovery = true;
+    ++unit.relaunches;
+    pending_.push_front(unit_index);
+    replace_capacity();
+  }
+
+  /// Launches one replacement member for lost capacity, if the budget
+  /// allows; otherwise the pending unit waits for the next epoch's
+  /// re-plan (or the campaign degrades).
+  void replace_capacity() {
+    if (!can_acquire()) return;
+    launch_member(kNoUnit, pick_zone(), /*speculative=*/false,
+                  /*charge_budget=*/true);
+  }
+
+  void retry_boot(Member& member) {
+    const std::size_t assigned = member.assigned;
+    ++member.boot_attempts;
+    if (member.boot_attempts >= options_.acquisition_retry.max_attempts ||
+        !can_acquire()) {
+      member.state = Member::State::kGone;
+      if (assigned != kNoUnit && !resolved(*units_[assigned])) {
+        Unit& unit = *units_[assigned];
+        drop_contender(unit, member.slot);
+        if (member.speculative) {
+          member.speculative = false;
+          maybe_finish();
+          return;  // the original attempt is still running
+        }
+        unit.failed_at = provider_.sim().now();
+        unit.pending_recovery = true;
+        pending_.push_front(assigned);
+      }
+      maybe_finish();
+      return;
+    }
+    const Seconds backoff = options_.acquisition_retry.jittered_backoff(
+        member.boot_attempts - 1, backoff_rng_);
+    provider_.sim().schedule_in(
+        backoff, [this, slot = member.slot](sim::Simulation&) {
+          Member& m = *members_[slot];
+          if (m.state != Member::State::kBooting) return;
+          if (m.assigned != kNoUnit && resolved(*units_[m.assigned])) {
+            m.state = Member::State::kGone;
+            maybe_finish();
+            return;
+          }
+          boot(m, pick_zone(), /*charge_budget=*/true);
+        });
+  }
+
+  void note_zone_failure(const cloud::AvailabilityZone& zone,
+                         cloud::FailureKind kind) {
+    if (kind == cloud::FailureKind::kAzOutage) {
+      mark_suspect(zone);
+      return;
+    }
+    for (auto& [z, count] : zone_failures_) {
+      if (z == zone) {
+        if (++count >= options_.az_episode_threshold) mark_suspect(zone);
+        return;
+      }
+    }
+    zone_failures_.emplace_back(zone, 1);
+    if (options_.az_episode_threshold <= 1) mark_suspect(zone);
+  }
+
+  // -- the epoch loop -------------------------------------------------------
+
+  [[nodiscard]] bool resolved(const Unit& unit) const {
+    return unit.done || unit.shed || unit.abandoned;
+  }
+
+  [[nodiscard]] bool work_unresolved() const {
+    for (const auto& unit : units_) {
+      if (!resolved(*unit)) return true;
+    }
+    return false;
+  }
+
+  /// Ends the campaign when every unit is resolved: the epoch chain stops
+  /// and the fleet drains.
+  void maybe_finish() {
+    if (finishing_) return;
+    if (work_unresolved()) return;
+    finishing_ = true;
+    provider_.sim().cancel(epoch_event_);
+    for (auto& member : members_) {
+      if (member->state == Member::State::kGone) continue;
+      release(*member);
+    }
+    finishing_ = false;
+  }
+
+  /// Pending bytes: unresolved units no live member is working on or
+  /// booting toward.
+  [[nodiscard]] Bytes pending_bytes() const {
+    Bytes total{0};
+    for (const auto& unit : units_) {
+      if (resolved(*unit) || !unit->contenders.empty()) continue;
+      bool covered = false;
+      for (const auto& m : members_) {
+        if (m->state == Member::State::kBooting &&
+            m->assigned == unit->index) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      total += unit->remaining;
+    }
+    return total;
+  }
+
+  /// Bytes the current fleet can still serve by the deadline under
+  /// `predictor`: each unassigned booting member contributes one full
+  /// provisioning-adjusted capacity; each working member contributes what
+  /// fits between its projected finish and the deadline.
+  [[nodiscard]] Bytes fleet_serveable(const model::Predictor& predictor,
+                                      Bytes fresh_capacity) const {
+    Bytes total(fresh_capacity.count() *
+                static_cast<std::uint64_t>(unassigned_booting()));
+    for (const auto& m : members_) {
+      if (m->state != Member::State::kWorking) continue;
+      const Seconds finish = m->work_begun + m->cur_staging + m->cur_exec;
+      const Seconds residual =
+          deadline_abs() - finish - provider_.config().attach_mean;
+      if (residual.value() <= 0.0) continue;
+      total += predictor.max_volume_within(residual);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t unassigned_booting() const {
+    std::size_t n = 0;
+    for (const auto& m : members_) {
+      if (m->state == Member::State::kBooting && m->assigned == kNoUnit) ++n;
+    }
+    return n;
+  }
+
+  void on_epoch() {
+    const auto wall_begin = std::chrono::steady_clock::now();
+    ++epoch_seq_;
+    EpochDecision decision;
+    decision.seq = epoch_seq_;
+    decision.at = provider_.sim().now();
+    zone_failures_.clear();
+
+    // (a) Progress reports and straggler flags.  A slot's normalized rate
+    // is its attempt's complexity-weighted effective throughput, so slots
+    // chewing harder text are not mistaken for slow instances.
+    for (const auto& m : members_) {
+      if (m->state != Member::State::kWorking) continue;
+      const Unit& unit = *units_[m->unit];
+      const double span = (m->cur_staging + m->cur_exec).value();
+      if (span <= 0.0) continue;
+      detector_.ingest(ProgressReport{
+          m->slot, epoch_seq_,
+          m->attempt_bytes.as_double() * unit.assignment.mean_complexity /
+              span});
+    }
+    decision.flagged = detector_.flag(epoch_seq_);
+    m_flagged_.add(decision.flagged.size());
+    stragglers_flagged_ += decision.flagged.size();
+
+    // Hedge each flagged slot with one speculative duplicate.
+    if (options_.hedge_stragglers) {
+      for (const std::uint64_t slot : decision.flagged) {
+        Member& m = *members_[static_cast<std::size_t>(slot)];
+        if (m.state != Member::State::kWorking) continue;
+        Unit& unit = *units_[m.unit];
+        if (unit.racing || resolved(unit)) continue;
+        if (!can_acquire()) break;
+        launch_member(unit.index, pick_zone(), /*speculative=*/true,
+                      /*charge_budget=*/true);
+        unit.racing = true;  // banking freezes from the hedge launch on
+        ++decision.hedges_launched;
+        ++hedges_launched_;
+        m_hedges_.add(1);
+        if (obs::enabled()) {
+          obs::trace().instant(obs::kPidExecutor, trace_tid(unit),
+                               "controller", "hedge-launched",
+                               decision.at.value(),
+                               {obs::arg("unit", unit.index),
+                                obs::arg("straggler_slot", slot)});
+        }
+      }
+    }
+
+    // (b) Refresh the cost model from the campaign's own evidence.
+    model::Predictor predictor =
+        bank_.fitted(prior_predictor_, options_.predictor_min_observations);
+    decision.refit = bank_.count() >= options_.predictor_min_observations;
+
+    const Bytes backlog = pending_bytes();
+    decision.bytes_remaining = backlog;
+    for (const auto& unit : units_) {
+      if (resolved(*unit) || unit->contenders.empty()) continue;
+      decision.bytes_remaining += unit->remaining;
+    }
+    for (const auto& unit : units_) {
+      if (!resolved(*unit) && unit->contenders.empty()) {
+        ++decision.units_pending;
+      }
+    }
+    decision.live_members = live_members();
+
+    // Re-plan: does the fleet we can field still serve the backlog by the
+    // deadline under the refreshed model?  A fresh launch pays boot +
+    // attach before its capacity window opens.
+    bool infeasible = false;
+    const Seconds slack = deadline_abs() - provider_.sim().now() -
+                          provider_.config().boot_mean -
+                          provider_.config().attach_mean;
+    const Bytes fresh_capacity = slack.value() > 0.0
+                                     ? predictor.max_volume_within(slack)
+                                     : Bytes(0);
+    if (options_.replan) {
+      ++replans_;
+      m_replans_.add(1);
+      decision.replanned = true;
+      if (backlog.count() > 0) {
+        Bytes serveable = fleet_serveable(predictor, fresh_capacity);
+        while (backlog.count() > serveable.count() &&
+               fresh_capacity.count() > 0 && can_acquire()) {
+          launch_member(kNoUnit, pick_zone(), /*speculative=*/false,
+                        /*charge_budget=*/true);
+          serveable += fresh_capacity;
+          ++decision.acquired;
+        }
+        infeasible = backlog.count() > serveable.count();
+      }
+    }
+
+    // (c) Degrade when the deadline is out of reach at full budget.
+    if (infeasible) {
+      decision.degraded = true;
+      degraded_ = true;
+      switch (options_.degrade) {
+        case DegradePolicy::kShedLowestValue:
+          shed_until_feasible(decision, predictor, fresh_capacity);
+          break;
+        case DegradePolicy::kWidenMergeUnits:
+          if (widen_factor_ < 64) {
+            widen_factor_ *= 2;
+            widened_units_ = true;
+            if (obs::enabled()) {
+              obs::trace().instant(obs::kPidExecutor, 0, "controller",
+                                   "widen-units", decision.at.value(),
+                                   {obs::arg("factor", widen_factor_)});
+            }
+          }
+          break;
+        case DegradePolicy::kOvershootCost:
+          // can_acquire() already lifted the budget to the cost cap; if we
+          // are still short, the cap itself is binding and the campaign
+          // runs late rather than shedding work.
+          break;
+      }
+    }
+
+    if (obs::enabled()) {
+      obs::trace().instant(
+          obs::kPidExecutor, 0, "controller", "epoch", decision.at.value(),
+          {obs::arg("seq", decision.seq),
+           obs::arg("live_members", decision.live_members),
+           obs::arg("units_pending", decision.units_pending),
+           obs::arg("flagged", decision.flagged.size()),
+           obs::arg("acquired", decision.acquired),
+           obs::arg("degraded", decision.degraded)});
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_begin)
+              .count();
+      m_epoch_latency_.observe(wall_s);
+    }
+    const std::size_t acquired_this_epoch = decision.acquired;
+    epochs_.push_back(std::move(decision));
+
+    if (!work_unresolved()) {
+      maybe_finish();
+      return;
+    }
+    // A lost fleet that this epoch could not (or would not) replace can
+    // never finish: any launch made above would still be booting — and so
+    // counted live — here.  The budget cannot recover and the deadline
+    // slack only shrinks, so the next epoch would decide identically;
+    // resolve the stranded units now instead of spinning the chain.
+    if (live_members() == 0 && acquired_this_epoch == 0) {
+      for (auto& unit : units_) {
+        if (resolved(*unit)) continue;
+        unit->abandoned = true;
+        unit->error =
+            "fleet lost and acquisition budget exhausted; unit stranded";
+        m_abandoned_.add(1);
+      }
+      maybe_finish();
+      return;
+    }
+    epoch_event_ = provider_.sim().schedule_in(
+        options_.epoch, [this](sim::Simulation&) { on_epoch(); });
+  }
+
+  /// Sheds pending units, lowest value first (ties broken by shedding the
+  /// higher index), until the remaining backlog fits the fleet we could
+  /// actually field.
+  void shed_until_feasible(EpochDecision& decision,
+                           const model::Predictor& predictor,
+                           Bytes fresh_capacity) {
+    const Bytes serveable = fleet_serveable(predictor, fresh_capacity);
+    while (pending_bytes().count() > serveable.count()) {
+      // Lowest value first; at equal value shed the higher index (later
+      // units are the marginal ones).
+      Unit* victim = nullptr;
+      for (auto& unit : units_) {
+        if (resolved(*unit) || !unit->contenders.empty()) continue;
+        if (victim == nullptr || unit->assignment.value < victim->assignment.value ||
+            (unit->assignment.value == victim->assignment.value &&
+             unit->index > victim->index)) {
+          victim = unit.get();
+        }
+      }
+      if (victim == nullptr) break;
+      victim->shed = true;
+      victim->error = "shed: deadline infeasible at full acquisition budget";
+      decision.shed_units.push_back(victim->index);
+      decision.shed_bytes += victim->remaining;
+      shed_units_.push_back(victim->index);
+      bytes_shed_ += victim->remaining;
+      ++units_shed_;
+      m_shed_.add(1);
+      if (obs::enabled()) {
+        obs::trace().instant(obs::kPidExecutor, trace_tid(*victim),
+                             "controller", "unit-shed",
+                             provider_.sim().now().value(),
+                             {obs::arg("unit", victim->index),
+                              obs::arg("value", victim->assignment.value),
+                              obs::arg("bytes", victim->remaining.count())});
+      }
+    }
+    maybe_finish();
+  }
+
+  // -- report ---------------------------------------------------------------
+
+  [[nodiscard]] CampaignReport assemble() {
+    CampaignReport report;
+    report.execution.deadline = plan_.deadline;
+    report.execution.outcomes.resize(units_.size());
+    for (const auto& unit : units_) {
+      InstanceOutcome& outcome = report.execution.outcomes[unit->index];
+      outcome.index = unit->index;
+      outcome.id = unit->last_instance;
+      outcome.volume = unit->assignment.volume;
+      outcome.volume_id = unit->volume;
+      outcome.file_count = unit->file_count;
+      outcome.staging = unit->staging_total;
+      outcome.exec_time = unit->exec_total;
+      outcome.work_time = unit->work_total + unit->recovery_total;
+      outcome.quality = unit->quality;
+      outcome.completed = unit->done;
+      outcome.error = unit->error;
+      outcome.failures = unit->failures;
+      outcome.relaunches = unit->relaunches;
+      outcome.recovery_time = unit->recovery_total;
+      if (!unit->done && unit->error.empty()) {
+        outcome.error = "unit never completed";
+      }
+      // Campaign-clock deadline: the unit must be done by D after start.
+      outcome.met_deadline =
+          unit->done && unit->finished_at <= deadline_abs();
+      if (!outcome.met_deadline) ++report.execution.missed;
+      if (!unit->done && !unit->shed && !unit->abandoned) {
+        m_abandoned_.add(1);
+      }
+      report.execution.makespan =
+          std::max(report.execution.makespan, outcome.work_time);
+    }
+    report.execution.failures = static_cast<std::size_t>(m_failures_.value());
+    report.execution.relaunches = acquisitions_;
+    report.execution.abandoned =
+        static_cast<std::size_t>(m_abandoned_.value());
+    report.execution.recovery_time = Seconds(m_recovery_time_.value());
+    report.execution.instance_hours =
+        provider_.billing().instance_hours(provider_.sim().now());
+    report.execution.cost =
+        provider_.billing().total_cost(provider_.sim().now());
+
+    report.epochs = std::move(epochs_);
+    report.replans = replans_;
+    report.stragglers_flagged = stragglers_flagged_;
+    report.hedges_launched = hedges_launched_;
+    report.speculative_wins = speculative_wins_;
+    report.speculative_losses = speculative_losses_;
+    report.units_shed = units_shed_;
+    report.bytes_shed = bytes_shed_;
+    report.shed_units = shed_units_;
+    std::sort(report.shed_units.begin(), report.shed_units.end());
+    report.cross_az_moves = cross_az_moves_;
+    report.acquisitions = acquisitions_;
+    report.releases = releases_;
+    report.boot_failures = boot_failures_;
+    report.degraded = degraded_;
+    report.widened_units = widened_units_;
+    return report;
+  }
+
+  cloud::CloudProvider& provider_;
+  const ExecutionPlan& plan_;
+  const ExecutionOptions& base_;
+  const ElasticOptions& options_;
+  StragglerDetector detector_;
+  model::ThroughputBank bank_;
+  model::Predictor prior_predictor_;
+  Rng backoff_rng_;
+
+  std::vector<std::unique_ptr<Unit>> units_;
+  std::vector<std::unique_ptr<Member>> members_;
+  std::unordered_map<cloud::InstanceId, std::size_t> by_id_;
+  std::deque<std::size_t> pending_;
+  std::vector<std::pair<cloud::AvailabilityZone, std::size_t>> zone_failures_;
+  std::vector<cloud::AvailabilityZone> suspect_zones_;
+  std::size_t zone_rr_ = 0;
+
+  Seconds start_{0.0};
+  sim::EventHandle epoch_event_{};
+  std::uint64_t epoch_seq_ = 0;
+  int widen_factor_ = 1;
+  bool finishing_ = false;
+
+  std::vector<EpochDecision> epochs_;
+  std::size_t replans_ = 0;
+  std::size_t stragglers_flagged_ = 0;
+  std::size_t hedges_launched_ = 0;
+  std::size_t speculative_wins_ = 0;
+  std::size_t speculative_losses_ = 0;
+  std::size_t units_shed_ = 0;
+  Bytes bytes_shed_{0};
+  std::vector<std::size_t> shed_units_;
+  std::size_t cross_az_moves_ = 0;
+  std::size_t acquisitions_ = 0;
+  std::size_t releases_ = 0;
+  std::size_t boot_failures_ = 0;
+  bool degraded_ = false;
+  bool widened_units_ = false;
+
+  // Event-site tallies (the executor's local-registry pattern): merged
+  // into the global registry only when recording is on.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& m_replans_ = metrics_.counter("controller.replans");
+  obs::Counter& m_flagged_ =
+      metrics_.counter("controller.stragglers_flagged");
+  obs::Counter& m_shed_ = metrics_.counter("controller.units_shed");
+  obs::Counter& m_hedges_ = metrics_.counter("controller.hedges_launched");
+  obs::Counter& m_acquisitions_ =
+      metrics_.counter("controller.acquisitions");
+  obs::Counter& m_cross_az_ = metrics_.counter("controller.cross_az_moves");
+  obs::Counter& m_boot_failures_ =
+      metrics_.counter("controller.boot_failures");
+  obs::Counter& m_failures_ = metrics_.counter("controller.failures");
+  obs::Counter& m_abandoned_ = metrics_.counter("controller.abandoned");
+  obs::Counter& m_suspect_zones_ =
+      metrics_.counter("controller.suspect_zones");
+  obs::Gauge& m_recovery_time_ =
+      metrics_.gauge("controller.recovery_time_s");
+  obs::Histogram& m_epoch_latency_ = metrics_.histogram(
+      "controller.epoch_replan_latency_s",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+};
+
+}  // namespace
+
+CampaignReport run_campaign(cloud::CloudProvider& provider,
+                            const ExecutionPlan& plan,
+                            const cloud::AppCostProfile& app,
+                            const ExecutionOptions& base,
+                            const ElasticOptions& options, Rng& noise) {
+  RESHAPE_REQUIRE(!plan.assignments.empty(), "plan has no assignments");
+  RESHAPE_REQUIRE(options.epoch.value() > 0.0, "epoch period must be > 0");
+  ElasticController controller(provider, plan, app, base, options, noise);
+  return controller.run();
+}
+
+}  // namespace reshape::provision

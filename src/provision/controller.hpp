@@ -1,0 +1,156 @@
+// The elastic campaign controller: epoch re-planning, straggler defense,
+// and deadline-aware graceful degradation under fault storms.
+//
+// The static executor commits a fleet once and rides it to the end; the
+// dynamic rescheduler inspects each instance once at a fixed checkpoint.
+// Both leave the paper's §3.1/§7 monitoring loop unfinished: nothing
+// re-plans when the world drifts away from the model.  This controller
+// closes that loop.  A campaign runs as a sequence of *epochs* on the
+// shared event engine; at every epoch boundary the controller
+//
+//   (a) ingests one progress report per fleet slot and flags stragglers
+//       with the robust median/MAD estimator (provision/straggler),
+//       hedging each flagged slot with a speculative relaunch whose loser
+//       is cancelled the moment the winner finishes;
+//   (b) banks every completed attempt's observed throughput into a
+//       model::ThroughputBank, refits the predictor, and re-runs the
+//       capacity calculation against the remaining work — acquiring and
+//       releasing instances under an explicit acquisition budget with
+//       capped-exponential backoff on failed boots, and routing new
+//       capacity to a fallback availability zone when a zone turns
+//       suspect (an AZ-outage episode or a failure cluster);
+//   (c) when the deadline has become infeasible even at full budget,
+//       degrades gracefully per a declared policy — shed the lowest-value
+//       pending units, widen the merge unit, or overshoot the cost cap —
+//       and reports exactly what was shed.
+//
+// Determinism contract: the controller makes no draws of its own beyond
+// named child streams of the caller's noise Rng and the provider's
+// seeded streams, so a campaign with a given (seed, options) replays
+// bit-identically — the property the chaos differential suite leans on.
+//
+// Invariants (enforced, and re-checked by the chaos suite):
+//   * every unit is completed exactly once, or shed/abandoned exactly
+//     once — never both, never twice;
+//   * a unit's admission digest matches at completion (no bookkeeping
+//     corruption across relaunches, hedges and cross-AZ moves);
+//   * billing stays consistent: every launched instance is terminated or
+//     failed by campaign end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/predictor.hpp"
+#include "provision/executor.hpp"
+#include "provision/straggler.hpp"
+
+namespace reshape::provision {
+
+/// What to give up when the deadline is infeasible at full budget.
+enum class DegradePolicy {
+  /// Shed pending units, lowest Assignment::value first (ties by higher
+  /// index), until the projection fits.  Shed units are reported.
+  kShedLowestValue,
+  /// Widen the effective merge unit (halve per-file overhead) instead of
+  /// dropping work: everything completes, later and coarser.
+  kWidenMergeUnits,
+  /// Keep acquiring past the budget until the projected spend reaches
+  /// `overshoot_cost_cap` times the plan's predicted cost.
+  kOvershootCost,
+};
+
+[[nodiscard]] std::string_view to_string(DegradePolicy policy);
+
+struct ElasticOptions {
+  /// Epoch period.  Reports, flags, refits, re-plans and degradation all
+  /// happen on these boundaries.
+  Seconds epoch{300.0};
+  /// Straggler estimator knobs (provision/straggler).
+  StragglerOptions straggler{};
+  /// Hedge flagged slots with a speculative duplicate attempt.
+  bool hedge_stragglers = true;
+  /// Re-run the capacity calculation each epoch.  Off, the controller
+  /// only replaces failures — the behaviour of the static fleet.
+  bool replan = true;
+  /// Launches allowed beyond the initial fleet (replacements, hedges and
+  /// growth all draw from this one budget).
+  int acquisition_budget = 16;
+  /// Fleet ceiling (live members), counting the initial fleet.
+  std::size_t max_fleet = 64;
+  /// Backoff schedule for boot-failure retries.
+  RetryPolicy acquisition_retry = RetryPolicy::for_acquisition();
+  /// This many member failures in one zone within one epoch marks the
+  /// zone suspect (an AZ-outage fault does so immediately).
+  std::size_t az_episode_threshold = 2;
+  /// Zones to route new capacity to when a zone is suspect; empty means
+  /// the other indexes of the primary zone's region.
+  std::vector<cloud::AvailabilityZone> fallback_zones{};
+  DegradePolicy degrade = DegradePolicy::kShedLowestValue;
+  /// kOvershootCost stops acquiring at this multiple of predicted cost.
+  double overshoot_cost_cap = 2.0;
+  /// Observations before the banked refit replaces the prior predictor.
+  std::size_t predictor_min_observations = 3;
+  /// The planning prior — normally the StaticPlanner's fitted predictor.
+  /// Stands until the throughput bank has enough evidence to refit.  The
+  /// default is the executor's nominal 20 MB/s fallback rate.
+  model::Predictor planning_prior{model::AffineFit{0.0, 1.0 / 20.0e6, {}}};
+};
+
+/// One epoch boundary's decisions, in order.
+struct EpochDecision {
+  std::uint64_t seq = 0;
+  Seconds at{0.0};
+  std::size_t live_members = 0;
+  std::size_t units_pending = 0;
+  Bytes bytes_remaining{0};
+  std::vector<std::uint64_t> flagged;  // straggler slots, ascending
+  std::size_t hedges_launched = 0;
+  std::size_t acquired = 0;
+  std::size_t released = 0;
+  bool refit = false;      // banked refit replaced the prior predictor
+  bool replanned = false;  // capacity calculation ran
+  bool degraded = false;   // degradation policy engaged this epoch
+  std::vector<std::size_t> shed_units;  // unit indexes shed this epoch
+  Bytes shed_bytes{0};
+};
+
+struct CampaignReport {
+  /// Per-unit outcomes in the executor's report shape (one outcome per
+  /// work unit; met_deadline is campaign-clock: finished by `deadline`).
+  ExecutionReport execution;
+  std::vector<EpochDecision> epochs;
+
+  std::size_t replans = 0;
+  std::size_t stragglers_flagged = 0;
+  std::size_t hedges_launched = 0;
+  std::size_t speculative_wins = 0;    // races won by the hedge
+  std::size_t speculative_losses = 0;  // races won by the original
+  std::size_t units_shed = 0;
+  Bytes bytes_shed{0};
+  std::vector<std::size_t> shed_units;  // all shed unit indexes, ascending
+  std::size_t cross_az_moves = 0;  // re-stages into a different zone
+  std::size_t acquisitions = 0;    // launches beyond the initial fleet
+  std::size_t releases = 0;        // voluntary terminations of idle members
+  std::size_t boot_failures = 0;
+  bool degraded = false;
+  bool widened_units = false;  // kWidenMergeUnits engaged
+
+  /// Fraction of units that completed within the campaign deadline (shed
+  /// and abandoned units count as misses).
+  [[nodiscard]] double deadline_hit_rate() const;
+};
+
+/// Runs one campaign under elastic control.  `options.base` carries the
+/// per-attempt execution knobs (instance type, primary zone, staging
+/// mode, reshaped unit); `noise` seeds the per-unit run-time jitter
+/// streams exactly as execute_plan does.  The provider's simulation is
+/// run to completion.
+[[nodiscard]] CampaignReport run_campaign(cloud::CloudProvider& provider,
+                                          const ExecutionPlan& plan,
+                                          const cloud::AppCostProfile& app,
+                                          const ExecutionOptions& base,
+                                          const ElasticOptions& options,
+                                          Rng& noise);
+
+}  // namespace reshape::provision

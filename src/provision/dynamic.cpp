@@ -87,6 +87,21 @@ DynamicReport execute_with_rescheduling(cloud::CloudProvider& provider,
   RESHAPE_REQUIRE(options.base.data_on_ebs,
                   "dynamic rescheduling relies on EBS re-attachment");
   RESHAPE_REQUIRE(!plan.assignments.empty(), "plan has no assignments");
+  // epochs == 1 is the static special case and runs the legacy one-shot
+  // checkpoint path below, untouched; anything else is the elastic
+  // controller's epoch loop.
+  if (options.epochs != 1) {
+    ElasticOptions elastic = options.elastic;
+    if (options.epochs > 1) {
+      elastic.epoch = plan.deadline / static_cast<double>(options.epochs);
+    }
+    DynamicReport report;
+    report.elastic = true;
+    report.campaign =
+        run_campaign(provider, plan, app, options.base, elastic, noise);
+    report.execution = report.campaign.execution;
+    return report;
+  }
   constexpr int kMaxCandidates = 2;
   constexpr double kSwitchMargin = 0.90;  // require a >=10% projected win
 

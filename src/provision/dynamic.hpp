@@ -9,6 +9,7 @@
 // executor and reports the comparison.
 #pragma once
 
+#include "provision/controller.hpp"
 #include "provision/executor.hpp"
 
 namespace reshape::provision {
@@ -20,6 +21,14 @@ struct ReschedulingOptions {
   /// Replace only when projected completion exceeds the deadline by this
   /// factor (hysteresis against jitter).
   double overrun_trigger = 1.05;
+  /// Number of control epochs.  1 (the default) runs the legacy one-shot
+  /// checkpoint rescheduler, byte-identical to its historic behaviour.
+  /// > 1 delegates to the elastic campaign controller with an epoch
+  /// period of deadline / epochs; <= 0 also delegates, keeping
+  /// `elastic.epoch` as given.
+  int epochs = 1;
+  /// Controller knobs for the elastic path (epochs != 1).
+  ElasticOptions elastic{};
 };
 
 struct RescheduleEvent {
@@ -33,6 +42,10 @@ struct RescheduleEvent {
 struct DynamicReport {
   ExecutionReport execution;
   std::vector<RescheduleEvent> replacements;
+  /// True when the elastic controller ran (epochs != 1); `campaign` then
+  /// carries its full report and `execution` mirrors campaign.execution.
+  bool elastic = false;
+  CampaignReport campaign{};
 };
 
 /// Executes the plan with checkpoint-based replacement.  Requires

@@ -86,9 +86,11 @@ struct Station {
   Seconds avail_at{0.0};  // predicted drain time of active + backlog
 };
 
-cloud::DataLayout layout_for(const Assignment& assignment,
-                             const ExecutionOptions& options,
-                             Bytes remaining) {
+}  // namespace
+
+cloud::DataLayout layout_for_remaining(const Assignment& assignment,
+                                       const ExecutionOptions& options,
+                                       Bytes remaining) {
   if (options.reshaped_unit.count() > 0) {
     return cloud::DataLayout::reshaped(remaining, options.reshaped_unit);
   }
@@ -109,6 +111,8 @@ cloud::DataLayout layout_for(const Assignment& assignment,
              frac * static_cast<double>(assignment.file_count)));
   return cloud::DataLayout::original(remaining, files, remaining / files);
 }
+
+namespace {
 
 /// Drives one plan to completion over the (possibly faulty) provider.
 class ExecutionDriver {
@@ -233,7 +237,7 @@ class ExecutionDriver {
     slot.quality = instance.quality().cls;
 
     const cloud::DataLayout layout =
-        layout_for(slot.assignment, options_, slot.remaining);
+        layout_for_remaining(slot.assignment, options_, slot.remaining);
     if (!slot.file_count_set) {
       slot.file_count = layout.file_count;
       slot.file_count_set = true;

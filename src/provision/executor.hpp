@@ -23,6 +23,7 @@
 
 #include "cloud/app_profile.hpp"
 #include "cloud/provider.hpp"
+#include "cloud/workload.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "provision/planner.hpp"
@@ -114,6 +115,15 @@ struct ExecutionReport {
   /// Worst observed-over-deadline ratio (1.0 when all met).
   [[nodiscard]] double worst_overrun() const;
 };
+
+/// The data layout one attempt over `remaining` bytes of an assignment
+/// sees: the reshaped layout when the options fix a unit size, the plan's
+/// own segmentation on a first full attempt, and a proportionally scaled
+/// file count for a recovered remainder.  Shared by the executor and the
+/// elastic controller so both price an attempt identically.
+[[nodiscard]] cloud::DataLayout layout_for_remaining(
+    const Assignment& assignment, const ExecutionOptions& options,
+    Bytes remaining);
 
 /// Executes the plan.  `noise` drives run-time jitter; the provider's own
 /// streams drive boot/quality draws.  The provider's simulation is run to

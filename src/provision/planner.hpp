@@ -34,6 +34,10 @@ struct Assignment {
   std::uint64_t file_count = 0;
   /// Mean complexity of the assigned files (drives CPU-bound app cost).
   double mean_complexity = 1.0;
+  /// Relative worth when the elastic controller must shed work under an
+  /// infeasible deadline: lowest value goes first.  Uniform by default, so
+  /// plans that never degrade are unaffected.
+  double value = 1.0;
 };
 
 struct ExecutionPlan {

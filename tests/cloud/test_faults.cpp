@@ -278,6 +278,112 @@ TEST(Faults, ScreenedAcquisitionSurvivesBootFailures) {
   EXPECT_GE(acq.attempts, 1);
 }
 
+// --- availability-zone outage episodes -------------------------------------
+
+TEST(FaultInjector, ZeroModelNeverDrawsAnAzOutage) {
+  const FaultInjector injector(Rng(42), FaultModel{});
+  EXPECT_FALSE(injector.draw_az_outage(kZoneA).has_value());
+  EXPECT_FALSE(
+      injector.draw_az_outage({Region::kUsEast, 3}).has_value());
+}
+
+TEST(FaultInjector, AzOutageDrawIsDeterministicAndZoneKeyed) {
+  FaultModel model;
+  model.p_az_outage = 1.0;
+  model.az_outage_spread = Seconds(1000.0);
+  model.az_outage_mean = Seconds(500.0);
+  const FaultInjector a(Rng(7), model);
+  const FaultInjector b(Rng(7), model);
+  const AvailabilityZone zone_b{Region::kUsEast, 1};
+
+  const auto episode = a.draw_az_outage(kZoneA);
+  ASSERT_TRUE(episode.has_value());
+  EXPECT_GE(episode->start.value(), 0.0);
+  EXPECT_LT(episode->start.value(), 1000.0);
+  EXPECT_GT(episode->duration.value(), 0.0);
+
+  // Same seed, same zone: the identical episode — regardless of how many
+  // other zones were drawn first (the draw is keyed, not sequential).
+  const auto detour = b.draw_az_outage(zone_b);
+  const auto replay = b.draw_az_outage(kZoneA);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_DOUBLE_EQ(replay->start.value(), episode->start.value());
+  EXPECT_DOUBLE_EQ(replay->duration.value(), episode->duration.value());
+
+  // Different zones draw independent episodes.
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_NE(detour->start.value(), episode->start.value());
+}
+
+TEST(Faults, AzOutageEpisodeCoversHalfOpenInterval) {
+  const AzOutageEpisode episode{Seconds(100.0), Seconds(50.0)};
+  EXPECT_DOUBLE_EQ(episode.end().value(), 150.0);
+  EXPECT_FALSE(episode.covers(Seconds(99.9)));
+  EXPECT_TRUE(episode.covers(Seconds(100.0)));
+  EXPECT_TRUE(episode.covers(Seconds(149.9)));
+  EXPECT_FALSE(episode.covers(Seconds(150.0)));
+}
+
+TEST(Faults, AzOutageStrikesItsZoneTogetherAndSparesOthers) {
+  FaultModel model;
+  model.p_az_outage = 1.0;
+  model.az_outage_spread = Seconds(300.0);
+  model.az_outage_mean = Seconds(7200.0);  // outlives the test
+  ProviderConfig config;
+  config.faults = model;
+  config.boot_mean = Seconds(30.0);
+  config.boot_stddev = Seconds(0.0);
+  config.boot_min = Seconds(20.0);
+  sim::Simulation sim;
+  CloudProvider provider(sim, Rng(9), config);
+  const AvailabilityZone zone_b{Region::kUsEast, 1};
+
+  // The provider exposes the same episodes the fleet will experience.
+  // Strike the zone whose episode comes first; watch the other one.
+  const auto episode_a = provider.az_outage_episode(kZoneA);
+  const auto episode_b = provider.az_outage_episode(zone_b);
+  ASSERT_TRUE(episode_a.has_value());
+  ASSERT_TRUE(episode_b.has_value());
+  const bool a_first = episode_a->start < episode_b->start;
+  const AvailabilityZone struck = a_first ? kZoneA : zone_b;
+  const AvailabilityZone spared = a_first ? zone_b : kZoneA;
+  const AzOutageEpisode onset = a_first ? *episode_a : *episode_b;
+  const AzOutageEpisode later = a_first ? *episode_b : *episode_a;
+  ASSERT_GT(onset.start.value(), 31.0)
+      << "episode strikes before boots complete; pick another seed";
+  ASSERT_GT(later.start.value(), onset.start.value() + 65.0)
+      << "episodes too close to observe separately; pick another seed";
+
+  const InstanceId s1 = provider.launch(InstanceType::kSmall, struck);
+  const InstanceId s2 = provider.launch(InstanceType::kSmall, struck);
+  const InstanceId other = provider.launch(InstanceType::kSmall, spared);
+  sim.run_until(Seconds(onset.start.value() + 1.0));
+
+  // Every running instance in the struck zone failed together, at the
+  // episode onset, with the zone-scoped kind.
+  for (const InstanceId id : {s1, s2}) {
+    const Instance& inst = provider.instance(id);
+    ASSERT_TRUE(inst.has_failed()) << "instance " << id.value;
+    ASSERT_TRUE(inst.failure().has_value());
+    EXPECT_EQ(inst.failure()->kind, FailureKind::kAzOutage);
+    EXPECT_DOUBLE_EQ(inst.failure()->at.value(), onset.start.value());
+  }
+  // The neighbouring zone is untouched.
+  EXPECT_TRUE(provider.instance(other).is_running());
+
+  // A launch whose boot would complete inside the episode dies as a boot
+  // failure: the control plane cannot bring capacity up in a dead zone.
+  const InstanceId s3 = provider.launch(InstanceType::kSmall, struck);
+  sim.run_until(Seconds(onset.start.value() + 60.0));
+  ASSERT_TRUE(provider.instance(s3).has_failed());
+  EXPECT_EQ(provider.instance(s3).failure()->kind,
+            FailureKind::kBootFailure);
+  EXPECT_TRUE(provider.instance(other).is_running());
+
+  provider.terminate(other);
+  sim.run();
+}
+
 TEST(Faults, SameSeedAndModelReplayBitIdentically) {
   FaultModel model;
   model.p_boot_failure = 0.2;

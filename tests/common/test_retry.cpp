@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
@@ -110,6 +111,34 @@ TEST(RetryPolicy, ExpectedBackoffIsZeroOnACleanChannel) {
   // More failures, more waiting.
   EXPECT_GT(policy.expected_backoff(0.6).value(),
             policy.expected_backoff(0.3).value());
+}
+
+TEST(RetryPolicy, AcquisitionPresetShape) {
+  const RetryPolicy policy = RetryPolicy::for_acquisition();
+  EXPECT_NO_THROW(policy.validate());
+  EXPECT_EQ(policy.max_attempts, 6);
+  EXPECT_DOUBLE_EQ(policy.initial_backoff.value(), 15.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(policy.max_backoff.value(), 240.0);
+  // 15 * 2^4 = 240: the last retry sits exactly on the cap.
+  EXPECT_DOUBLE_EQ(policy.backoff(4).value(), 240.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(5).value(), 240.0);
+  // Control-plane boots have no payload to time out.
+  EXPECT_DOUBLE_EQ(policy.attempt_timeout.value(), 0.0);
+}
+
+TEST(RetryPolicy, AcquisitionPresetClosedForms) {
+  const RetryPolicy policy = RetryPolicy::for_acquisition();
+  // E[attempts] = (1 - p^6) / (1 - p) at a 50% per-boot failure rate.
+  const double p = 0.5;
+  const double expected =
+      (1.0 - std::pow(p, 6)) / (1.0 - p);  // 1.96875
+  EXPECT_NEAR(policy.expected_attempts(p), expected, 1e-12);
+  EXPECT_NEAR(policy.expected_attempts(p), 1.96875, 1e-12);
+  // Even a coin-flip boot exhausts the budget < 2% of the time: the
+  // margin the controller's epoch re-plan leans on before degrading.
+  EXPECT_NEAR(policy.exhaustion_probability(p), std::pow(p, 6), 1e-15);
+  EXPECT_LT(policy.exhaustion_probability(p), 0.02);
 }
 
 TEST(RetryPolicy, ValidateRejectsBadParameters) {

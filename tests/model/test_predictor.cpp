@@ -106,5 +106,64 @@ TEST(AdjustedDeadline, DegenerateAdjustmentThrows) {
   EXPECT_THROW((void)adjusted_deadline(Seconds(3600.0), r, 0.10), Error);
 }
 
+// --- ThroughputBank (the elastic controller's observed-rate refit) ---------
+
+TEST(ThroughputBank, KeepsThePriorBelowMinimumEvidence) {
+  const Predictor prior = eq3_predictor();
+  ThroughputBank bank;
+  bank.observe(1_MB, Seconds(90.0));
+  bank.observe(2_MB, Seconds(180.0));
+  EXPECT_EQ(bank.count(), 2u);
+  const Predictor fitted = bank.fitted(prior, 3);
+  EXPECT_DOUBLE_EQ(fitted.affine().slope, prior.affine().slope);
+  EXPECT_DOUBLE_EQ(fitted.affine().intercept, prior.affine().intercept);
+}
+
+TEST(ThroughputBank, IgnoresDegenerateObservations) {
+  ThroughputBank bank;
+  bank.observe(Bytes(0), Seconds(10.0));
+  bank.observe(1_MB, Seconds(0.0));
+  bank.observe(1_MB, Seconds(-5.0));
+  EXPECT_EQ(bank.count(), 0u);
+  EXPECT_DOUBLE_EQ(bank.mean_throughput().bytes_per_second(), 0.0);
+}
+
+TEST(ThroughputBank, MeanThroughputPoolsBytesOverSeconds) {
+  ThroughputBank bank;
+  bank.observe(Bytes(10'000'000), Seconds(10.0));
+  bank.observe(Bytes(30'000'000), Seconds(10.0));
+  // 40 MB over 20 s = 2 MB/s, pooled — not the mean of per-attempt rates.
+  EXPECT_DOUBLE_EQ(bank.mean_throughput().bytes_per_second(), 2.0e6);
+}
+
+TEST(ThroughputBank, RefitsTheAffineModelFromSpreadObservations) {
+  const Predictor prior = eq3_predictor();
+  ThroughputBank bank;
+  // A world twice as slow as the prior: t = 10 + 2e-4 * v.
+  for (double v = 1e5; v <= 1e6; v += 1e5) {
+    bank.observe(Bytes(static_cast<std::uint64_t>(v)),
+                 Seconds(10.0 + 2.0e-4 * v));
+  }
+  const Predictor fitted = bank.fitted(prior, 3);
+  EXPECT_NEAR(fitted.affine().slope, 2.0e-4, 1e-8);
+  EXPECT_NEAR(fitted.affine().intercept, 10.0, 1e-6);
+  // The refit steers capacity planning: half the volume fits the hour.
+  EXPECT_NEAR(fitted.max_volume_within(Seconds(3600.0)).as_double(),
+              (3600.0 - 10.0) / 2.0e-4, 1e3);
+}
+
+TEST(ThroughputBank, NoVolumeSpreadKeepsPriorInterceptAndPoolsTheRate) {
+  const Predictor prior(AffineFit{20.0, 1.0e-4, {}});
+  ThroughputBank bank;
+  // Same-size attempts (the uniform-plan common case): OLS would be
+  // degenerate, so only the per-byte rate is re-derived.
+  for (int i = 0; i < 4; ++i) {
+    bank.observe(Bytes(1'000'000), Seconds(20.0 + 300.0));  // 3e-4 s/byte
+  }
+  const Predictor fitted = bank.fitted(prior, 3);
+  EXPECT_DOUBLE_EQ(fitted.affine().intercept, 20.0);
+  EXPECT_NEAR(fitted.affine().slope, 3.0e-4, 1e-10);
+}
+
 }  // namespace
 }  // namespace reshape::model

@@ -1,0 +1,367 @@
+#include "provision/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "corpus/distribution.hpp"
+#include "provision/dynamic.hpp"
+
+namespace reshape::provision {
+namespace {
+
+model::Predictor eq3_predictor() {
+  std::vector<double> xs, ys;
+  for (double v = 1e4; v <= 1e6; v += 1e5) {
+    xs.push_back(v);
+    ys.push_back(0.327 + 0.865e-4 * v);
+  }
+  return model::Predictor::fit(xs, ys);
+}
+
+corpus::Corpus data_40mb(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  corpus::Corpus all =
+      corpus::Corpus::generate(corpus::text_400k_sizes(), 20'000, rng);
+  return all.take_volume(40_MB);
+}
+
+/// A plan sized for ~600 s units but judged against a 1 h campaign
+/// deadline, so fault recovery has slack to fit into — the regime where
+/// hitting or missing the deadline is decided by the control policy.
+ExecutionPlan slack_plan(const corpus::Corpus& data) {
+  const StaticPlanner planner(eq3_predictor());
+  PlanOptions options;
+  options.deadline = Seconds(600.0);
+  options.strategy = PackingStrategy::kUniform;
+  ExecutionPlan plan = planner.plan(data, options);
+  plan.deadline = 1_h;
+  return plan;
+}
+
+cloud::ProviderConfig fast_config() {
+  cloud::ProviderConfig config;
+  config.mixture = cloud::uniform_fast_mixture();
+  return config;
+}
+
+CampaignReport run_elastic(const cloud::ProviderConfig& config,
+                           const ExecutionPlan& plan,
+                           const ElasticOptions& elastic,
+                           std::uint64_t provider_seed = 5,
+                           std::uint64_t noise_seed = 3) {
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(provider_seed), config);
+  Rng noise(noise_seed);
+  return run_campaign(provider, plan, cloud::pos_profile(),
+                      ExecutionOptions{}, elastic, noise);
+}
+
+// --- fault-free baseline ---------------------------------------------------
+
+TEST(ElasticCampaign, FaultFreeCompletesEveryUnitWithinDeadline) {
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  const CampaignReport report =
+      run_elastic(fast_config(), plan, ElasticOptions{});
+
+  ASSERT_EQ(report.execution.outcomes.size(), plan.instance_count());
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_TRUE(o.met_deadline);
+    EXPECT_GT(o.work_time.value(), 0.0);
+  }
+  EXPECT_EQ(report.execution.missed, 0u);
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate(), 1.0);
+
+  // A healthy uniform fleet gives the controller nothing to do.
+  EXPECT_EQ(report.stragglers_flagged, 0u);
+  EXPECT_EQ(report.hedges_launched, 0u);
+  EXPECT_EQ(report.acquisitions, 0u);
+  EXPECT_EQ(report.cross_az_moves, 0u);
+  EXPECT_EQ(report.units_shed, 0u);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.execution.failures, 0u);
+
+  // The epoch chain ran and re-planned (units run ~600 s, epochs are 300 s).
+  ASSERT_GE(report.epochs.size(), 1u);
+  EXPECT_EQ(report.replans, report.epochs.size());
+  for (const EpochDecision& e : report.epochs) {
+    EXPECT_TRUE(e.replanned);
+    EXPECT_TRUE(e.flagged.empty());
+    EXPECT_FALSE(e.degraded);
+  }
+}
+
+TEST(ElasticCampaign, FaultFreeReleasesTheWholeFleet) {
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(5), fast_config());
+  Rng noise(3);
+  const CampaignReport report = run_campaign(
+      provider, plan, cloud::pos_profile(), ExecutionOptions{},
+      ElasticOptions{}, noise);
+  EXPECT_GT(report.releases, 0u);
+  for (std::uint64_t id = 1; id <= provider.launches(); ++id) {
+    const cloud::InstanceState state =
+        provider.instance(cloud::InstanceId{id}).state();
+    EXPECT_TRUE(state == cloud::InstanceState::kTerminated ||
+                state == cloud::InstanceState::kFailed)
+        << "instance " << id << " leaked in state " << to_string(state);
+  }
+  EXPECT_GT(report.execution.cost.amount(), 0.0);
+  EXPECT_GT(report.execution.instance_hours, 0.0);
+}
+
+TEST(ElasticCampaign, FaultFreeReplaysBitIdentically) {
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  const CampaignReport a = run_elastic(fast_config(), plan, ElasticOptions{});
+  const CampaignReport b = run_elastic(fast_config(), plan, ElasticOptions{});
+  EXPECT_DOUBLE_EQ(a.execution.makespan.value(), b.execution.makespan.value());
+  EXPECT_DOUBLE_EQ(a.execution.cost.amount(), b.execution.cost.amount());
+  EXPECT_EQ(a.epochs.size(), b.epochs.size());
+  ASSERT_EQ(a.execution.outcomes.size(), b.execution.outcomes.size());
+  for (std::size_t i = 0; i < a.execution.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.execution.outcomes[i].work_time.value(),
+                     b.execution.outcomes[i].work_time.value());
+  }
+}
+
+// --- straggler hedging -----------------------------------------------------
+
+TEST(ElasticCampaign, HedgesStragglersAndTheHedgeWins) {
+  cloud::ProviderConfig config;
+  config.mixture.p_fast = 0.8;
+  config.mixture.p_slow = 0.2;
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+
+  ElasticOptions elastic;
+  const CampaignReport hedged = run_elastic(config, plan, elastic, 77, 2);
+  ASSERT_GE(hedged.stragglers_flagged, 1u)
+      << "seed no longer draws a slow instance; pick another seed";
+  EXPECT_GE(hedged.hedges_launched, 1u);
+  EXPECT_GE(hedged.acquisitions, hedged.hedges_launched);
+  EXPECT_GE(hedged.speculative_wins, 1u);
+  for (const InstanceOutcome& o : hedged.execution.outcomes) {
+    EXPECT_TRUE(o.completed);
+  }
+
+  // Against the same world with hedging off, the race pays for itself.
+  ElasticOptions unhedged = elastic;
+  unhedged.hedge_stragglers = false;
+  const CampaignReport base = run_elastic(config, plan, unhedged, 77, 2);
+  EXPECT_EQ(base.hedges_launched, 0u);
+  EXPECT_LT(hedged.execution.makespan.value(), base.execution.makespan.value());
+}
+
+// --- crash storms ----------------------------------------------------------
+
+cloud::ProviderConfig crashy_config(double crash_rate) {
+  cloud::ProviderConfig config;
+  config.mixture = cloud::uniform_fast_mixture();
+  config.faults.crash_rate_per_hour = crash_rate;
+  return config;
+}
+
+TEST(ElasticCampaign, CrashStormRecoversEveryUnit) {
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  const CampaignReport report =
+      run_elastic(crashy_config(6.0), plan, ElasticOptions{}, 31, 1);
+  ASSERT_GE(report.execution.failures, 1u)
+      << "seed no longer injects a crash; pick another seed";
+  EXPECT_GE(report.acquisitions, 1u);
+  EXPECT_GT(report.execution.recovery_time.value(), 0.0);
+  EXPECT_EQ(report.execution.abandoned, 0u);
+  EXPECT_EQ(report.units_shed, 0u);
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    EXPECT_TRUE(o.completed);
+  }
+}
+
+TEST(ElasticCampaign, CrashStormReplaysBitIdentically) {
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  const CampaignReport a =
+      run_elastic(crashy_config(6.0), plan, ElasticOptions{}, 31, 1);
+  const CampaignReport b =
+      run_elastic(crashy_config(6.0), plan, ElasticOptions{}, 31, 1);
+  EXPECT_EQ(a.execution.failures, b.execution.failures);
+  EXPECT_EQ(a.acquisitions, b.acquisitions);
+  EXPECT_EQ(a.stragglers_flagged, b.stragglers_flagged);
+  EXPECT_EQ(a.epochs.size(), b.epochs.size());
+  EXPECT_DOUBLE_EQ(a.execution.makespan.value(), b.execution.makespan.value());
+  ASSERT_EQ(a.execution.outcomes.size(), b.execution.outcomes.size());
+  for (std::size_t i = 0; i < a.execution.outcomes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.execution.outcomes[i].work_time.value(),
+                     b.execution.outcomes[i].work_time.value());
+    EXPECT_EQ(a.execution.outcomes[i].failures,
+              b.execution.outcomes[i].failures);
+  }
+}
+
+// --- AZ outage escape ------------------------------------------------------
+
+TEST(ElasticCampaign, AzOutageTriggersCrossAzReplacement) {
+  cloud::ProviderConfig config = fast_config();
+  config.faults.p_az_outage = 1.0;
+  config.faults.az_outage_spread = Seconds(600.0);
+  config.faults.az_outage_mean = Seconds(7200.0);  // outage outlives the run
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  const CampaignReport report =
+      run_elastic(config, plan, ElasticOptions{}, 11, 4);
+  ASSERT_GE(report.cross_az_moves, 1u)
+      << "seed strikes before any volume exists; pick another seed";
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    EXPECT_TRUE(o.completed);
+    EXPECT_TRUE(o.met_deadline);
+  }
+  EXPECT_EQ(report.execution.missed, 0u);
+  EXPECT_GE(report.acquisitions, 1u);
+}
+
+// --- graceful degradation --------------------------------------------------
+
+/// A world where no instance ever boots: every zone's outage starts
+/// within the first second and outlives the horizon, so each boot lands
+/// inside a dead zone and fails — deterministic doom without needing the
+/// (disallowed) p_boot_failure = 1.
+cloud::ProviderConfig doomed_config() {
+  cloud::ProviderConfig config = fast_config();
+  config.faults.p_az_outage = 1.0;
+  config.faults.az_outage_spread = Seconds(1.0);
+  config.faults.az_outage_mean = Seconds(36'000.0);
+  config.boot_mean = Seconds(30.0);
+  config.boot_stddev = Seconds(1.0);
+  config.boot_min = Seconds(20.0);
+  return config;
+}
+
+ElasticOptions doomed_options(DegradePolicy policy) {
+  ElasticOptions elastic;
+  elastic.epoch = Seconds(60.0);
+  elastic.acquisition_budget = 0;
+  elastic.degrade = policy;
+  return elastic;
+}
+
+TEST(ElasticCampaign, ShedsLowestValueFirstWithIndexTiebreak) {
+  const corpus::Corpus data = data_40mb();
+  ExecutionPlan plan = slack_plan(data);
+  ASSERT_GE(plan.assignments.size(), 3u);
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    plan.assignments[i].value = static_cast<double>(i % 3);
+  }
+
+  const CampaignReport report = run_elastic(
+      doomed_config(), plan, doomed_options(DegradePolicy::kShedLowestValue));
+
+  // Everything was shed, exactly once each, and reported.
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.units_shed, plan.assignments.size());
+  ASSERT_EQ(report.shed_units.size(), plan.assignments.size());
+  EXPECT_TRUE(std::is_sorted(report.shed_units.begin(),
+                             report.shed_units.end()));
+  EXPECT_DOUBLE_EQ(report.deadline_hit_rate(), 0.0);
+  EXPECT_EQ(report.bytes_shed.count(), plan.total_volume().count());
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    EXPECT_FALSE(o.completed);
+    EXPECT_EQ(o.error.rfind("shed:", 0), 0u) << o.error;
+  }
+
+  // The shedding epoch ordered victims by ascending value, ties broken by
+  // shedding the higher index first.
+  std::vector<std::size_t> order;
+  for (const EpochDecision& e : report.epochs) {
+    order.insert(order.end(), e.shed_units.begin(), e.shed_units.end());
+  }
+  ASSERT_EQ(order.size(), plan.assignments.size());
+  std::vector<std::size_t> expected(order.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) expected[i] = i;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double va = plan.assignments[a].value;
+                     const double vb = plan.assignments[b].value;
+                     if (va != vb) return va < vb;
+                     return a > b;
+                   });
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ElasticCampaign, WidenPolicyWidensInsteadOfShedding) {
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  const CampaignReport report = run_elastic(
+      doomed_config(), plan, doomed_options(DegradePolicy::kWidenMergeUnits));
+  EXPECT_TRUE(report.degraded);
+  EXPECT_TRUE(report.widened_units);
+  EXPECT_EQ(report.units_shed, 0u);
+  // With no fleet and no budget the stranded units resolve as abandoned,
+  // not shed: widening never drops work.
+  EXPECT_EQ(report.execution.abandoned, plan.instance_count());
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    EXPECT_FALSE(o.completed);
+    EXPECT_FALSE(o.error.empty());
+  }
+}
+
+TEST(ElasticCampaign, OvershootPolicyAcquiresPastTheBudget) {
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  ElasticOptions elastic;
+  elastic.acquisition_budget = 0;  // the hard budget forbids every launch…
+  elastic.degrade = DegradePolicy::kOvershootCost;
+  const CampaignReport report =
+      run_elastic(crashy_config(6.0), plan, elastic, 31, 1);
+  ASSERT_GE(report.execution.failures, 1u)
+      << "seed no longer injects a crash; pick another seed";
+  // …but the overshoot policy swaps it for the cost cap and keeps going.
+  EXPECT_GE(report.acquisitions, 1u);
+  EXPECT_EQ(report.units_shed, 0u);
+  for (const InstanceOutcome& o : report.execution.outcomes) {
+    EXPECT_TRUE(o.completed);
+  }
+}
+
+// --- wiring through the dynamic rescheduler --------------------------------
+
+TEST(DynamicElastic, EpochsOneRunsTheLegacyRescheduler) {
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(5), fast_config());
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  Rng noise(3);
+  ReschedulingOptions options;  // epochs = 1
+  const DynamicReport report = execute_with_rescheduling(
+      provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_FALSE(report.elastic);
+  EXPECT_TRUE(report.campaign.epochs.empty());
+  EXPECT_EQ(report.execution.instance_count(), plan.instance_count());
+}
+
+TEST(DynamicElastic, MultipleEpochsDelegateToTheController) {
+  sim::Simulation sim;
+  cloud::CloudProvider provider(sim, Rng(5), fast_config());
+  const corpus::Corpus data = data_40mb();
+  const ExecutionPlan plan = slack_plan(data);
+  Rng noise(3);
+  ReschedulingOptions options;
+  options.epochs = 6;  // epoch period = deadline / 6 = 600 s
+  const DynamicReport report = execute_with_rescheduling(
+      provider, plan, cloud::pos_profile(), options, noise);
+  EXPECT_TRUE(report.elastic);
+  EXPECT_TRUE(report.replacements.empty());
+  EXPECT_EQ(report.execution.instance_count(), plan.instance_count());
+  EXPECT_GE(report.campaign.replans, 1u);
+  // The executor-shaped view mirrors the campaign's.
+  EXPECT_DOUBLE_EQ(report.execution.makespan.value(),
+                   report.campaign.execution.makespan.value());
+  EXPECT_EQ(report.execution.missed, report.campaign.execution.missed);
+}
+
+}  // namespace
+}  // namespace reshape::provision

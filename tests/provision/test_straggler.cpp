@@ -1,0 +1,150 @@
+#include "provision/straggler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reshape::provision {
+namespace {
+
+// --- robust estimator primitives ------------------------------------------
+
+TEST(RobustStats, MedianOfOddAndEvenSamples) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(RobustStats, MadIsMedianAbsoluteDeviation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 100.0};
+  const double med = median(xs);
+  EXPECT_DOUBLE_EQ(med, 3.0);
+  // |xs - 3| = {2, 1, 0, 1, 97} -> median 1.
+  EXPECT_DOUBLE_EQ(mad(xs, med), 1.0);
+}
+
+// --- detector edge cases (the ISSUE's required quartet) -------------------
+
+StragglerDetector fed(const std::vector<double>& rates,
+                      std::uint64_t seq = 1) {
+  StragglerDetector detector;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    detector.ingest({i, seq, rates[i]});
+  }
+  return detector;
+}
+
+TEST(StragglerDetector, UniformlySlowFleetFlagsNobody) {
+  // Every slot crawls at the same rate: MAD ~ 0 and the median is the
+  // fleet.  There is nobody better to copy work to, so no flags.
+  const StragglerDetector detector =
+      fed({2.0e6, 2.0e6, 2.0e6, 2.0e6, 2.0e6, 2.0e6});
+  EXPECT_TRUE(detector.flag(1).empty());
+}
+
+TEST(StragglerDetector, UniformlySlowWithTinyJitterStillFlagsNobody) {
+  const StragglerDetector detector =
+      fed({2.00e6, 1.99e6, 2.01e6, 2.00e6, 1.98e6, 2.02e6});
+  EXPECT_TRUE(detector.flag(1).empty());
+}
+
+TEST(StragglerDetector, SingleFastOutlierDoesNotDragFleetUnderTheBar) {
+  // One hot instance must not make the normal majority look slow.
+  const StragglerDetector detector =
+      fed({2.0e6, 2.0e6, 2.0e6, 2.0e6, 2.0e6, 20.0e6});
+  EXPECT_TRUE(detector.flag(1).empty());
+}
+
+TEST(StragglerDetector, GenuineStragglerIsFlagged) {
+  const StragglerDetector detector =
+      fed({10.0e6, 10.1e6, 9.9e6, 10.0e6, 10.2e6, 1.0e6});
+  const std::vector<std::uint64_t> flagged = detector.flag(1);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 5u);
+}
+
+TEST(StragglerDetector, FlagsComeInAscendingSlotOrder) {
+  StragglerDetector detector;
+  detector.ingest({7, 1, 1.0e6});
+  detector.ingest({2, 1, 1.1e6});
+  detector.ingest({0, 1, 10.0e6});
+  detector.ingest({1, 1, 10.1e6});
+  detector.ingest({3, 1, 9.9e6});
+  detector.ingest({4, 1, 10.0e6});
+  detector.ingest({5, 1, 10.2e6});
+  const std::vector<std::uint64_t> flagged = detector.flag(1);
+  ASSERT_EQ(flagged.size(), 2u);
+  EXPECT_EQ(flagged[0], 2u);
+  EXPECT_EQ(flagged[1], 7u);
+}
+
+TEST(StragglerDetector, OutOfEpochOrderReportsCannotRollASlotBackwards) {
+  StragglerDetector detector;
+  // The slot recovered in epoch 3; a straggling epoch-1 report arrives
+  // late and must be dropped, not resurrect the bad rate.
+  detector.ingest({0, 3, 10.0e6});
+  detector.ingest({0, 1, 0.5e6});
+  ASSERT_NE(detector.latest(0), nullptr);
+  EXPECT_EQ(detector.latest(0)->seq, 3u);
+  EXPECT_DOUBLE_EQ(detector.latest(0)->rate, 10.0e6);
+
+  detector.ingest({1, 3, 10.1e6});
+  detector.ingest({2, 3, 9.9e6});
+  detector.ingest({3, 3, 10.0e6});
+  EXPECT_TRUE(detector.flag(3).empty());
+}
+
+TEST(StragglerDetector, StaleSlotsNeitherFlagNorSkewTheMedian) {
+  StragglerDetector detector;
+  // Slot 9 last reported two epochs ago, slowly; with min_seq at the
+  // current epoch it neither gets flagged nor drags the median down.
+  detector.ingest({9, 1, 0.1e6});
+  detector.ingest({0, 3, 10.0e6});
+  detector.ingest({1, 3, 10.0e6});
+  detector.ingest({2, 3, 10.1e6});
+  detector.ingest({3, 3, 9.9e6});
+  EXPECT_TRUE(detector.flag(3).empty());
+}
+
+TEST(StragglerDetector, BelowMinimumPopulationNothingFlags) {
+  const StragglerDetector detector = fed({10.0e6, 0.1e6});
+  EXPECT_TRUE(detector.flag(1).empty());
+}
+
+TEST(StragglerDetector, ForgetDropsTheSlot) {
+  StragglerDetector detector = fed({10.0e6, 10.0e6, 10.0e6, 1.0e6});
+  EXPECT_EQ(detector.tracked(), 4u);
+  detector.forget(3);
+  EXPECT_EQ(detector.tracked(), 3u);
+  EXPECT_EQ(detector.latest(3), nullptr);
+  EXPECT_TRUE(detector.flag(1).empty());
+}
+
+// --- speculative race tie-break -------------------------------------------
+
+TEST(SpeculativeRace, EarlierFinishWinsRegardlessOfIdentity) {
+  const SpeculativeContender original{1, 0, Seconds(100.0)};
+  const SpeculativeContender hedge{2, 7, Seconds(90.0)};
+  EXPECT_EQ(&speculative_winner(original, hedge), &hedge);
+  EXPECT_EQ(&speculative_winner(hedge, original), &hedge);
+}
+
+TEST(SpeculativeRace, ExactTieResolvesByAscendingSeqThenSlot) {
+  // An exact finish-time tie must pick the same winner on every replay:
+  // the lower (seq, slot) — i.e. the original attempt, launched in the
+  // earlier epoch.
+  const SpeculativeContender original{1, 5, Seconds(100.0)};
+  const SpeculativeContender hedge{3, 2, Seconds(100.0)};
+  EXPECT_EQ(&speculative_winner(original, hedge), &original);
+  EXPECT_EQ(&speculative_winner(hedge, original), &original);
+
+  // Same epoch (both hedges of a wider race): ascending slot breaks it.
+  const SpeculativeContender a{2, 1, Seconds(100.0)};
+  const SpeculativeContender b{2, 4, Seconds(100.0)};
+  EXPECT_EQ(&speculative_winner(a, b), &a);
+  EXPECT_EQ(&speculative_winner(b, a), &a);
+}
+
+}  // namespace
+}  // namespace reshape::provision
