@@ -1,0 +1,136 @@
+// Shared self-scheduling churn workload for the engine benchmarks.
+//
+// Extracted from micro_sim so micro_obs can replay the identical event
+// stream when measuring recording overhead: every fired event schedules
+// one successor (until the schedule budget is spent) and every 8th fire
+// attempts to cancel a handle from a sliding window — sometimes live
+// (the O(1) cancel path), sometimes already fired (the rejected
+// stale-handle path).  Delays are log-uniform over ~1e-4..8 s so refs
+// land across ladder buckets and the far-future overflow rung.  Fire
+// logs are FNV-fingerprinted (id, timestamp, cancel outcomes), so two
+// drivers of the same engine — or two engines — can be checked for
+// byte-identical behaviour before any timing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/simulation.hpp"
+#include "sim/simulation_reference.hpp"
+
+namespace benchutil {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Order-sensitive word-at-a-time mix (one multiply per value).
+inline std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  h = (h ^ v) * kFnvPrime;
+  return h ^ (h >> 32);
+}
+
+inline std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Self-scheduling churn, templated so the identical event stream drives
+/// any engine exposing schedule_in/cancel.
+template <typename Sim, typename Handle>
+class Churn {
+ public:
+  Churn(Sim& sim, std::uint64_t target) : sim_(sim), target_(target) {
+    window_.reserve(kWindow);
+  }
+
+  void seed(std::uint64_t initial) {
+    for (std::uint64_t i = 0; i < initial && scheduled_ < target_; ++i) {
+      schedule_one();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t cancel_hits() const { return cancel_hits_; }
+
+ private:
+  static constexpr std::size_t kWindow = 1024;
+
+  void schedule_one() {
+    if (scheduled_ >= target_) return;
+    const std::uint64_t id = ++scheduled_;
+    const std::uint64_t r = splitmix(rng_);
+    // Log-uniform delay built straight from IEEE-754 bits (no libm call
+    // in the loop): 16 mantissa bits in [1, 2), exponent 2^-13..2^2 —
+    // the same value ldexp(1 + frac * 2^-16, e) would produce.
+    const std::uint64_t exp_bits = 1023u - 13u + (r >> 60);
+    const reshape::Seconds delay(
+        std::bit_cast<double>((exp_bits << 52) | ((r & 0xffffu) << 36)));
+    const Handle h = sim_.schedule_in(
+        delay, [this, id](auto& s) { on_fire(id, s.now()); });
+    if ((r & 3u) == 0) {  // a quarter of events become cancel candidates
+      if (window_.size() < kWindow) {
+        window_.push_back(h);
+      } else {
+        window_[window_pos_] = h;
+        window_pos_ = (window_pos_ + 1) % kWindow;
+      }
+    }
+  }
+
+  void on_fire(std::uint64_t id, reshape::Seconds at) {
+    ++fired_;
+    hash_ = fnv(hash_, id);
+    hash_ = fnv(hash_, std::bit_cast<std::uint64_t>(at.value()));
+    const std::uint64_t r = splitmix(rng_);
+    schedule_one();
+    if ((r & 7u) == 0 && !window_.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>((r >> 8) % window_.size());
+      const bool hit = sim_.cancel(window_[pick]);
+      hash_ = fnv(hash_, hit ? 0x9e37u : 0x517cu);
+      if (hit) ++cancel_hits_;
+    }
+  }
+
+  Sim& sim_;
+  std::uint64_t target_;
+  std::uint64_t rng_ = 0x0123456789ABCDEFULL;
+  std::uint64_t hash_ = kFnvOffset;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cancel_hits_ = 0;
+  std::vector<Handle> window_;
+  std::size_t window_pos_ = 0;
+};
+
+struct ChurnOut {
+  std::uint64_t hash = 0;
+  std::uint64_t fired = 0;
+};
+
+inline ChurnOut churn_ladder(std::uint64_t target) {
+  reshape::sim::Simulation sim;
+  sim.reserve(262144 + 2048);
+  Churn<reshape::sim::Simulation, reshape::sim::EventHandle> churn(sim,
+                                                                   target);
+  churn.seed(262144);
+  sim.run();
+  return ChurnOut{churn.hash(), churn.fired()};
+}
+
+inline ChurnOut churn_reference(std::uint64_t target) {
+  reshape::sim::SimulationReference sim;
+  Churn<reshape::sim::SimulationReference, reshape::sim::ReferenceEventHandle>
+      churn(sim, target);
+  churn.seed(262144);
+  sim.run();
+  return ChurnOut{churn.hash(), churn.fired()};
+}
+
+}  // namespace benchutil

@@ -20,6 +20,11 @@
 //                              kEpochWallCeiling.  Wired into the
 //                              bench-smoke CTest label and the CI
 //                              perf-smoke job.
+//   micro_controller --trace out.json / --metrics out.json
+//                              one extra untimed crash-storm campaign
+//                              with recording on, then a canonical
+//                              Chrome-trace export / controller.*
+//                              counter snapshot (needs RESHAPE_OBS=ON).
 
 #include <chrono>
 #include <cstdint>
@@ -29,6 +34,9 @@
 #include <vector>
 
 #include "corpus/distribution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "provision/controller.hpp"
 
 namespace {
@@ -165,11 +173,19 @@ Cell run_cell(const Storm& storm, const ExecutionPlan& plan,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string trace_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--trace out.json] "
+                   "[--metrics out.json]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -243,6 +259,39 @@ int main(int argc, char** argv) {
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("wrote BENCH_controller.json\n");
+  }
+
+  // Observability export: one extra untimed crash-storm campaign with
+  // recording on, after every timed section.
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    if (!obs::compiled_in()) {
+      std::fprintf(stderr,
+                   "--trace/--metrics need a build with RESHAPE_OBS=ON\n");
+      return 2;
+    }
+    obs::reset();
+    obs::set_enabled(true);
+    for (const Storm& storm : storm_grid()) {
+      if (std::strcmp(storm.name, "crash-storm") == 0) {
+        (void)run_cell(storm, plan, seeds.front());
+      }
+    }
+    obs::set_enabled(false);
+    if (!trace_path.empty()) {
+      if (!obs::trace().write_chrome_json(trace_path, /*canonical=*/true)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s (open in Perfetto)\n",
+                  obs::trace().event_count(), trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      if (!obs::metrics().write_json(metrics_path)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+    }
   }
 
   // Smoke gates: elastic must not hit fewer deadlines than static over

@@ -30,6 +30,10 @@
 //                       one extra untimed churn pass with recording on,
 //                       then a sim.* counter snapshot (needs
 //                       RESHAPE_OBS=ON).
+//   micro_sim --trace out.json
+//                       one extra untimed fault-storm pass with recording
+//                       on, then a canonical Chrome-trace export of the
+//                       instance lifecycle spans (needs RESHAPE_OBS=ON).
 
 #include <algorithm>
 #include <bit>
@@ -42,11 +46,13 @@
 #include <string>
 #include <vector>
 
+#include "churn_workload.hpp"
 #include "cloud/provider.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 #include "sim/simulation_reference.hpp"
 #include "sim/zoned.hpp"
@@ -54,31 +60,19 @@
 namespace {
 
 using namespace reshape;
+using benchutil::Churn;
+using benchutil::ChurnOut;
+using benchutil::churn_ladder;
+using benchutil::churn_reference;
+using benchutil::fnv;
+using benchutil::kFnvOffset;
+using benchutil::splitmix;
 
 // Recorded churn ratio (ladder/slab engine vs seed engine, events/sec,
 // measured on the 1M-event churn).  The smoke gate fails below 75% of
 // this, with an absolute floor of 4x (the acceptance criterion).
 constexpr double kRecordedChurnRatio = 5.3;
 constexpr double kFloorChurn = 4.0;
-
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-// Order-sensitive word-at-a-time mix (one multiply per value).  Both
-// engines hash through the same function, so the driver cost it adds to
-// the measured loop is identical on each side.
-std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
-  h = (h ^ v) * kFnvPrime;
-  return h ^ (h >> 32);
-}
-
-std::uint64_t splitmix(std::uint64_t& s) {
-  s += 0x9E3779B97F4A7C15ULL;
-  std::uint64_t z = s;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
 
 /// Best wall time of `reps` runs of fn() (best-of damps scheduler noise).
 template <typename F>
@@ -93,103 +87,8 @@ double time_best_of(int reps, F&& fn) {
   return best;
 }
 
-// ---------------------------------------------------------------- churn
-// Self-scheduling churn, templated so the identical event stream drives
-// both engines.  Every fired event schedules one successor (until the
-// schedule budget is spent) and every 8th fire attempts to cancel a
-// handle from a sliding window — sometimes live (O(1) cancel path),
-// sometimes already fired (the rejected-stale-handle path).  Delays are
-// log-uniform over ~1e-4..8 s so refs land across ladder buckets and the
-// far-future overflow rung.
-template <typename Sim, typename Handle>
-class Churn {
- public:
-  Churn(Sim& sim, std::uint64_t target) : sim_(sim), target_(target) {
-    window_.reserve(kWindow);
-  }
-
-  void seed(std::uint64_t initial) {
-    for (std::uint64_t i = 0; i < initial && scheduled_ < target_; ++i) {
-      schedule_one();
-    }
-  }
-
-  [[nodiscard]] std::uint64_t hash() const { return hash_; }
-  [[nodiscard]] std::uint64_t fired() const { return fired_; }
-  [[nodiscard]] std::uint64_t cancel_hits() const { return cancel_hits_; }
-
- private:
-  static constexpr std::size_t kWindow = 1024;
-
-  void schedule_one() {
-    if (scheduled_ >= target_) return;
-    const std::uint64_t id = ++scheduled_;
-    const std::uint64_t r = splitmix(rng_);
-    // Log-uniform delay built straight from IEEE-754 bits (no libm call
-    // in the loop): 16 mantissa bits in [1, 2), exponent 2^-13..2^2 —
-    // the same value ldexp(1 + frac * 2^-16, e) would produce.
-    const std::uint64_t exp_bits = 1023u - 13u + (r >> 60);
-    const Seconds delay(
-        std::bit_cast<double>((exp_bits << 52) | ((r & 0xffffu) << 36)));
-    const Handle h =
-        sim_.schedule_in(delay, [this, id](auto& s) { on_fire(id, s.now()); });
-    if ((r & 3u) == 0) {  // a quarter of events become cancel candidates
-      if (window_.size() < kWindow) {
-        window_.push_back(h);
-      } else {
-        window_[window_pos_] = h;
-        window_pos_ = (window_pos_ + 1) % kWindow;
-      }
-    }
-  }
-
-  void on_fire(std::uint64_t id, Seconds at) {
-    ++fired_;
-    hash_ = fnv(hash_, id);
-    hash_ = fnv(hash_, std::bit_cast<std::uint64_t>(at.value()));
-    const std::uint64_t r = splitmix(rng_);
-    schedule_one();
-    if ((r & 7u) == 0 && !window_.empty()) {
-      const std::size_t pick =
-          static_cast<std::size_t>((r >> 8) % window_.size());
-      const bool hit = sim_.cancel(window_[pick]);
-      hash_ = fnv(hash_, hit ? 0x9e37u : 0x517cu);
-      if (hit) ++cancel_hits_;
-    }
-  }
-
-  Sim& sim_;
-  std::uint64_t target_;
-  std::uint64_t rng_ = 0x0123456789ABCDEFULL;
-  std::uint64_t hash_ = kFnvOffset;
-  std::uint64_t scheduled_ = 0;
-  std::uint64_t fired_ = 0;
-  std::uint64_t cancel_hits_ = 0;
-  std::vector<Handle> window_;
-  std::size_t window_pos_ = 0;
-};
-
-struct ChurnOut {
-  std::uint64_t hash = 0;
-  std::uint64_t fired = 0;
-};
-
-ChurnOut churn_ladder(std::uint64_t target) {
-  sim::Simulation sim;
-  sim.reserve(262144 + 2048);
-  Churn<sim::Simulation, sim::EventHandle> churn(sim, target);
-  churn.seed(262144);
-  sim.run();
-  return ChurnOut{churn.hash(), churn.fired()};
-}
-
-ChurnOut churn_reference(std::uint64_t target) {
-  sim::SimulationReference sim;
-  Churn<sim::SimulationReference, sim::ReferenceEventHandle> churn(sim, target);
-  churn.seed(262144);
-  sim.run();
-  return ChurnOut{churn.hash(), churn.fired()};
-}
+// The churn workload itself lives in churn_workload.hpp (shared with
+// micro_obs, which replays it to price recording overhead).
 
 // ---------------------------------------------------------- fault storm
 // A seeded lifecycle campaign: staggered launches under an aggressive
@@ -295,14 +194,18 @@ struct Row {
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string metrics_path;
+  std::string metrics_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--metrics out.json]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--metrics out.json] "
+                   "[--trace out.json]\n",
                    argv[0]);
       return 2;
     }
@@ -429,20 +332,36 @@ int main(int argc, char** argv) {
 
   // Observability export: one extra untimed pass with recording on, after
   // every timed section.
-  if (!metrics_path.empty()) {
+  if (!metrics_path.empty() || !trace_path.empty()) {
     if (!obs::compiled_in()) {
-      std::fprintf(stderr, "--metrics needs a build with RESHAPE_OBS=ON\n");
+      std::fprintf(stderr,
+                   "--metrics/--trace need a build with RESHAPE_OBS=ON\n");
       return 2;
     }
     obs::reset();
     obs::set_enabled(true);
     (void)churn_ladder(100000);
-    obs::set_enabled(false);
-    if (!obs::metrics().write_json(metrics_path)) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
-      return 1;
+    if (!trace_path.empty()) {
+      // The churn records only counters; the fault storm exercises the
+      // instance lifecycle spans the trace is for.
+      (void)run_storm(sim::Simulation::Engine::kLadder, 2000);
     }
-    std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+    obs::set_enabled(false);
+    if (!metrics_path.empty()) {
+      if (!obs::metrics().write_json(metrics_path)) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      std::printf("metrics snapshot -> %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      if (!obs::trace().write_chrome_json(trace_path, /*canonical=*/true)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace: %zu events -> %s (open in Perfetto)\n",
+                  obs::trace().event_count(), trace_path.c_str());
+    }
   }
 
   if (!all_identical) return 2;

@@ -28,6 +28,21 @@ Seconds CloudProvider::draw_attach_latency() {
   return Seconds(std::max(1.0, drawn));
 }
 
+std::vector<obs::profile::InstanceCostRecord> CloudProvider::cost_records(
+    Seconds now) const {
+  std::vector<obs::profile::InstanceCostRecord> records;
+  records.reserve(instances_.size());
+  for (const Instance& inst : instances_) {
+    obs::profile::InstanceCostRecord record;
+    record.instance = inst.id().value;
+    record.dollars = billing_.cost(inst.id(), now).amount();
+    record.running_s = billing_.running_time(inst.id(), now).value();
+    record.failed = inst.has_failed();
+    records.push_back(record);
+  }
+  return records;
+}
+
 InstanceId CloudProvider::launch(InstanceType type, AvailabilityZone az,
                                  std::function<void(Instance&)> on_running) {
   const AzOutageEpisode* outage = arm_zone_outage(az);

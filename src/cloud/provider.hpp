@@ -21,6 +21,7 @@
 #include "cloud/s3.hpp"
 #include "cloud/types.hpp"
 #include "common/rng.hpp"
+#include "obs/profile/cost.hpp"
 #include "sim/simulation.hpp"
 
 namespace reshape::cloud {
@@ -53,6 +54,11 @@ class CloudProvider {
   [[nodiscard]] sim::Simulation& sim() { return sim_; }
   [[nodiscard]] BillingMeter& billing() { return billing_; }
   [[nodiscard]] const BillingMeter& billing() const { return billing_; }
+
+  /// Every instance's bill (charged up to `now`) as plain data for the
+  /// obs cost attributor, in ascending instance-id order.
+  [[nodiscard]] std::vector<obs::profile::InstanceCostRecord> cost_records(
+      Seconds now) const;
   [[nodiscard]] ObjectStore& s3() { return s3_; }
   [[nodiscard]] const ProviderConfig& config() const { return config_; }
 

@@ -109,7 +109,17 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
   const std::lock_guard lock(mu_);
   const auto it = histograms_.find(name);
-  if (it != histograms_.end()) return *it->second;
+  if (it != histograms_.end()) {
+    // Returning the existing histogram while silently dropping different
+    // bounds would hand the caller surprising buckets; fail loudly
+    // instead so the mismatched registration site gets fixed.
+    if (it->second->bounds() != bounds) {
+      throw std::invalid_argument(
+          "histogram '" + std::string(name) +
+          "' re-registered with different bucket bounds");
+    }
+    return *it->second;
+  }
   return *histograms_
               .emplace(std::string(name),
                        std::make_unique<Histogram>(std::move(bounds)))

@@ -101,7 +101,9 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   /// First registration fixes the bounds; later calls with the same name
-  /// return the existing histogram (bounds argument ignored).
+  /// return the existing histogram.  Re-registering with *different*
+  /// bounds throws std::invalid_argument — a silent mismatch would hand
+  /// the caller a histogram with surprising buckets.
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
 
   /// Value of a counter, or 0 when it was never registered.

@@ -1,0 +1,103 @@
+#include "obs/profile/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace reshape::obs::profile {
+
+namespace {
+
+enum class Bucket { kProductive, kHedgeLost, kCrashed };
+
+[[nodiscard]] Bucket bucket_for(const std::string& name) {
+  if (name == "attempt#crashed") return Bucket::kCrashed;
+  if (name.size() >= 5 && name.compare(name.size() - 5, 5, "-lost") == 0) {
+    return Bucket::kHedgeLost;
+  }
+  return Bucket::kProductive;  // attempt / attempt#hedge
+}
+
+}  // namespace
+
+CostAttribution attribute_costs(
+    const TraceIndex& index, const std::vector<InstanceCostRecord>& records) {
+  CostAttribution out;
+
+  std::map<std::uint64_t, InstanceCost> instances;
+  std::map<std::uint64_t, double> rates;     // $/second while running
+  std::map<std::uint64_t, double> covered;   // attempt seconds
+  for (const InstanceCostRecord& r : records) {
+    InstanceCost& cost = instances[r.instance];
+    cost.instance = r.instance;
+    cost.dollars = r.dollars;
+    cost.failed = r.failed;
+    out.total += r.dollars;
+    if (r.failed) {
+      ++out.failed_instances;
+      if (r.dollars == 0.0) ++out.free_failed_boots;
+    }
+    rates[r.instance] = r.running_s > 0.0 ? r.dollars / r.running_s : 0.0;
+  }
+
+  std::map<std::uint32_t, UnitCost> units;
+  EventQuery attempts;
+  attempts.cat = "controller";
+  for (const Span* span : index.query_spans(attempts)) {
+    if (span->name.compare(0, 7, "attempt") != 0) continue;
+    const auto instance = arg_number(span->args, "instance");
+    if (!instance) continue;
+    const auto id = static_cast<std::uint64_t>(*instance);
+    const auto rate_it = rates.find(id);
+    if (rate_it == rates.end()) continue;
+    const double seconds =
+        static_cast<double>(span->duration_us()) / 1e6;
+    const double dollars = seconds * rate_it->second;
+    covered[id] += seconds;
+
+    InstanceCost& inst = instances[id];
+    UnitCost* unit = nullptr;
+    if (const auto u = arg_number(span->args, "unit")) {
+      unit = &units[static_cast<std::uint32_t>(*u)];
+      unit->unit = static_cast<std::uint32_t>(*u);
+      unit->dollars += dollars;
+    }
+    switch (bucket_for(span->name)) {
+      case Bucket::kProductive:
+        out.productive += dollars;
+        inst.productive += dollars;
+        if (unit != nullptr) unit->productive += dollars;
+        break;
+      case Bucket::kHedgeLost:
+        out.hedge_lost += dollars;
+        inst.hedge_lost += dollars;
+        if (unit != nullptr) unit->hedge_lost += dollars;
+        break;
+      case Bucket::kCrashed:
+        out.crashed += dollars;
+        inst.crashed += dollars;
+        if (unit != nullptr) unit->crashed += dollars;
+        break;
+    }
+  }
+
+  for (const InstanceCostRecord& r : records) {
+    InstanceCost& inst = instances[r.instance];
+    const double covered_s =
+        std::min(covered.count(r.instance) != 0 ? covered[r.instance] : 0.0,
+                 r.running_s);
+    const double idle =
+        std::max(0.0, (r.running_s - covered_s) * rates[r.instance]);
+    inst.idle = idle;
+    out.idle += idle;
+    if (r.failed) out.idle_failed += idle;
+  }
+
+  out.units.reserve(units.size());
+  for (auto& [id, unit] : units) out.units.push_back(unit);
+  out.instances.reserve(instances.size());
+  for (auto& [id, inst] : instances) out.instances.push_back(inst);
+  return out;
+}
+
+}  // namespace reshape::obs::profile

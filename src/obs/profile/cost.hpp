@@ -1,0 +1,78 @@
+// Cost attribution: joining the billing meter with the trace.
+//
+// The billing meter knows what each instance cost; the trace knows what
+// each instance spent its running time on (attempt spans carry an
+// `instance` arg).  The attributor prices every attempt second at the
+// instance's effective rate (dollars / running seconds, so ceil-of-hour
+// rounding is spread over the hours it bought) and splits each
+// instance's bill into buckets that must sum to the total:
+//
+//   productive — attempts that resolved a unit (attempt, attempt#hedge)
+//   hedge_lost — cancelled losers of a speculative race (*-lost)
+//   crashed    — attempts cut short by a failure (attempt#crashed)
+//   idle       — running time no attempt covered (boot, drain, tails)
+//
+// Everything is a pure function of the trace and the cost records, so
+// two runs of the same seeded campaign attribute identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profile/trace_index.hpp"
+
+namespace reshape::obs::profile {
+
+/// One instance's bill, bridged from the provider's billing meter as
+/// plain data (obs cannot see cloud types).
+struct InstanceCostRecord {
+  std::uint64_t instance = 0;
+  double dollars = 0.0;
+  double running_s = 0.0;
+  bool failed = false;
+};
+
+/// One unit's attributed spend.
+struct UnitCost {
+  std::uint32_t unit = 0;
+  double dollars = 0.0;       // all attempt seconds priced
+  double productive = 0.0;    // winning attempts
+  double hedge_lost = 0.0;    // cancelled losers
+  double crashed = 0.0;       // failed attempts
+};
+
+/// One instance's bucket split (dollars; buckets sum to `dollars`).
+struct InstanceCost {
+  std::uint64_t instance = 0;
+  double dollars = 0.0;
+  double productive = 0.0;
+  double hedge_lost = 0.0;
+  double crashed = 0.0;
+  double idle = 0.0;
+  bool failed = false;
+};
+
+struct CostAttribution {
+  double total = 0.0;
+  double productive = 0.0;
+  double hedge_lost = 0.0;
+  double crashed = 0.0;
+  double idle = 0.0;
+  /// Idle dollars on instances that failed (the waste a failed boot or
+  /// mid-work crash strands, beyond the crashed attempt itself).
+  double idle_failed = 0.0;
+  std::size_t failed_instances = 0;
+  /// Instances billed nothing that still failed: boots that never
+  /// reached the running state.
+  std::size_t free_failed_boots = 0;
+  std::vector<UnitCost> units;          // ascending unit id
+  std::vector<InstanceCost> instances;  // ascending instance id
+};
+
+/// Joins attempt spans (any pid; matched by the `instance` arg) with the
+/// cost records.
+[[nodiscard]] CostAttribution attribute_costs(
+    const TraceIndex& index, const std::vector<InstanceCostRecord>& records);
+
+}  // namespace reshape::obs::profile

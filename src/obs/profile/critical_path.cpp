@@ -1,0 +1,233 @@
+#include "obs/profile/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace reshape::obs::profile {
+
+std::string_view to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kAcquisition: return "acquisition";
+    case Phase::kStaging: return "staging";
+    case Phase::kExec: return "exec";
+    case Phase::kRetrieval: return "retrieval";
+    case Phase::kMerge: return "merge";
+    case Phase::kRecovery: return "recovery";
+    case Phase::kStranded: return "stranded";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(UnitResolution resolution) {
+  switch (resolution) {
+    case UnitResolution::kDone: return "done";
+    case UnitResolution::kShed: return "shed";
+    case UnitResolution::kAbandoned: return "abandoned";
+    case UnitResolution::kUnresolved: return "unresolved";
+  }
+  return "unknown";
+}
+
+std::int64_t UnitProfile::total_us() const {
+  std::int64_t total = 0;
+  for (const std::int64_t v : phase_us) total += v;
+  return total;
+}
+
+namespace {
+
+constexpr std::string_view kAttemptPrefix = "attempt";
+
+[[nodiscard]] bool is_attempt(const Span& span) {
+  return span.name.compare(0, kAttemptPrefix.size(), kAttemptPrefix) == 0;
+}
+
+[[nodiscard]] bool is_lost(const Span& span) {
+  return span.name.size() >= 5 &&
+         span.name.compare(span.name.size() - 5, 5, "-lost") == 0;
+}
+
+/// One phase-attributed slice of a unit's timeline.
+struct Piece {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  Phase phase = Phase::kExec;
+};
+
+/// Splits one covering span into phase pieces.  Attempt spans carry
+/// their actual staging/exec split as args; executor-style spans carry
+/// the phase in their name.
+void append_pieces(const Span& span, std::vector<Piece>& out) {
+  if (is_attempt(span)) {
+    std::int64_t staging_us = 0;
+    if (const auto staging_s = arg_number(span.args, "staging_s")) {
+      staging_us = std::llround(*staging_s * 1e6);
+    }
+    staging_us = std::clamp<std::int64_t>(staging_us, 0, span.duration_us());
+    if (staging_us > 0) {
+      out.push_back({span.start_us, span.start_us + staging_us,
+                     Phase::kStaging});
+    }
+    if (span.start_us + staging_us < span.end_us) {
+      out.push_back({span.start_us + staging_us, span.end_us, Phase::kExec});
+    }
+    return;
+  }
+  Phase phase;
+  if (span.name == "staging") {
+    phase = Phase::kStaging;
+  } else if (span.name == "exec") {
+    phase = Phase::kExec;
+  } else if (span.name == "retrieval") {
+    phase = Phase::kRetrieval;
+  } else if (span.name == "merge" || span.name == "merge-wave") {
+    phase = Phase::kMerge;
+  } else if (span.name == "recovery") {
+    phase = Phase::kRecovery;
+  } else {
+    return;  // not a unit work span
+  }
+  if (span.duration_us() > 0) {
+    out.push_back({span.start_us, span.end_us, phase});
+  }
+}
+
+bool piece_less(const Piece& a, const Piece& b) {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.end != b.end) return a.end < b.end;
+  return static_cast<int>(a.phase) < static_cast<int>(b.phase);
+}
+
+/// Sweeps one unit track.  Returns nullopt when the track holds no unit
+/// work at all (e.g. the controller's campaign-level tid-0 instants).
+std::optional<UnitProfile> sweep_track(const Track& track,
+                                       std::int64_t begin_us,
+                                       std::int64_t trace_end_us) {
+  UnitProfile profile;
+  profile.unit = track.key.tid;
+
+  std::vector<Piece> pieces;
+  for (const Span& span : track.spans) {
+    if (is_attempt(span)) {
+      ++profile.attempts;
+      if (span.name == "attempt#crashed") ++profile.crashes;
+      if (span.name.compare(0, 13, "attempt#hedge") == 0) ++profile.hedges;
+      if (is_lost(span)) ++profile.hedge_losses;
+    }
+    append_pieces(span, pieces);
+  }
+
+  bool resolved = false;
+  for (const Instant& instant : track.instants) {
+    UnitResolution kind;
+    if (instant.name == "unit-done") {
+      kind = UnitResolution::kDone;
+    } else if (instant.name == "unit-shed") {
+      kind = UnitResolution::kShed;
+    } else if (instant.name == "unit-abandoned") {
+      kind = UnitResolution::kAbandoned;
+    } else {
+      continue;
+    }
+    if (!resolved || instant.ts_us < profile.resolved_at_us) {
+      profile.resolution = kind;
+      profile.resolved_at_us = instant.ts_us;
+      resolved = true;
+    }
+  }
+  if (!resolved) {
+    if (pieces.empty()) return std::nullopt;  // not a unit track
+    profile.resolution = UnitResolution::kUnresolved;
+    profile.resolved_at_us = trace_end_us;
+  }
+
+  const std::int64_t end = profile.resolved_at_us;
+  std::sort(pieces.begin(), pieces.end(), piece_less);
+  std::int64_t first_attempt = std::numeric_limits<std::int64_t>::max();
+  std::int64_t last_cover = std::numeric_limits<std::int64_t>::min();
+  for (const Piece& p : pieces) {
+    first_attempt = std::min(first_attempt, p.start);
+    last_cover = std::max(last_cover, p.end);
+  }
+
+  // Elementary segments between consecutive boundaries: inside one
+  // segment the covering set is constant.
+  std::vector<std::int64_t> bounds{begin_us, end};
+  for (const Piece& p : pieces) {
+    if (p.start > begin_us && p.start < end) bounds.push_back(p.start);
+    if (p.end > begin_us && p.end < end) bounds.push_back(p.end);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const std::int64_t a = bounds[i];
+    const std::int64_t b = bounds[i + 1];
+    if (b <= a) continue;
+    // Pieces are start-sorted: the first cover found owns the segment.
+    const Piece* owner = nullptr;
+    std::size_t covers = 0;
+    for (const Piece& p : pieces) {
+      if (p.start >= b) break;
+      if (p.start <= a && p.end >= b) {
+        ++covers;
+        if (owner == nullptr) owner = &p;
+      }
+    }
+    if (owner != nullptr) {
+      profile.phase_us[static_cast<std::size_t>(owner->phase)] += b - a;
+      if (covers > 1) {
+        profile.hedge_duplicate_us +=
+            static_cast<std::int64_t>(covers - 1) * (b - a);
+      }
+      continue;
+    }
+    // A gap.  Before any attempt: waiting on acquisition.  Between
+    // attempts: recovering from a failure.  After the last cover of a
+    // unit that never completed: stranded.
+    Phase phase = Phase::kRecovery;
+    if (a < first_attempt) {
+      phase = Phase::kAcquisition;
+    } else if (a >= last_cover &&
+               profile.resolution != UnitResolution::kDone) {
+      phase = Phase::kStranded;
+    }
+    profile.phase_us[static_cast<std::size_t>(phase)] += b - a;
+  }
+
+  std::size_t best = 0;
+  for (std::size_t p = 1; p < kPhaseCount; ++p) {
+    if (profile.phase_us[p] > profile.phase_us[best]) best = p;
+  }
+  profile.blame = static_cast<Phase>(best);
+  return profile;
+}
+
+}  // namespace
+
+CriticalPathReport extract_critical_path(const TraceIndex& index,
+                                         const CriticalPathOptions& options) {
+  CriticalPathReport report;
+  report.begin_us = options.begin_us.value_or(index.begin_us());
+  report.end_us = report.begin_us;
+  for (const Track& track : index.tracks()) {
+    if (track.key.pid != options.pid) continue;
+    auto profile = sweep_track(track, report.begin_us, index.end_us());
+    if (!profile) continue;
+    report.end_us = std::max(report.end_us, profile->resolved_at_us);
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      report.phase_us[p] += profile->phase_us[p];
+    }
+    report.hedge_duplicate_us += profile->hedge_duplicate_us;
+    report.units.push_back(std::move(*profile));
+  }
+  std::size_t best = 0;
+  for (std::size_t p = 1; p < kPhaseCount; ++p) {
+    if (report.phase_us[p] > report.phase_us[best]) best = p;
+  }
+  report.dominant = static_cast<Phase>(best);
+  return report;
+}
+
+}  // namespace reshape::obs::profile

@@ -1,0 +1,94 @@
+// Critical-path extraction: where did each unit's wall time go?
+//
+// A campaign unit's life runs acquisition -> staging -> exec ->
+// retrieval -> merge, with recovery gaps after crashes and a stranded
+// tail when it is shed or abandoned.  The extractor sweeps each unit's
+// executor track from the campaign start to the unit's resolution and
+// attributes every microsecond of that timeline to exactly one phase:
+//
+//  - attempt spans cover their extent; the staging_s/exec_s args (or a
+//    span's literal staging/exec/retrieval/merge name) decide the phase;
+//  - a gap before the first attempt is Acquisition (waiting for a boot);
+//  - a later gap is Recovery (crashed, waiting to be re-dispatched);
+//  - the tail after the last attempt of a shed/abandoned/unresolved
+//    unit is Stranded.
+//
+// When several attempts cover the same instant (a hedge race), the
+// earliest-starting span owns the timeline; the extra cover is tallied
+// as hedge_duplicate_us — time bought twice, not progress.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "obs/profile/trace_index.hpp"
+
+namespace reshape::obs::profile {
+
+enum class Phase : std::uint8_t {
+  kAcquisition = 0,
+  kStaging,
+  kExec,
+  kRetrieval,
+  kMerge,
+  kRecovery,
+  kStranded,
+};
+inline constexpr std::size_t kPhaseCount = 7;
+
+[[nodiscard]] std::string_view to_string(Phase phase);
+
+enum class UnitResolution : std::uint8_t {
+  kDone = 0,
+  kShed,
+  kAbandoned,
+  kUnresolved,
+};
+
+[[nodiscard]] std::string_view to_string(UnitResolution resolution);
+
+/// One unit's timeline, fully attributed.
+struct UnitProfile {
+  std::uint32_t unit = 0;
+  UnitResolution resolution = UnitResolution::kUnresolved;
+  std::int64_t resolved_at_us = 0;
+  /// Timeline blame per phase; the buckets partition
+  /// [campaign begin, resolved_at_us).
+  std::array<std::int64_t, kPhaseCount> phase_us{};
+  /// Time covered by more than one attempt at once (hedge races): the
+  /// duplicate cover, excluded from phase_us.
+  std::int64_t hedge_duplicate_us = 0;
+  std::size_t attempts = 0;      // attempt-family spans
+  std::size_t crashes = 0;       // attempt#crashed
+  std::size_t hedges = 0;        // attempt#hedge*
+  std::size_t hedge_losses = 0;  // cancelled losers (*-lost)
+  Phase blame = Phase::kAcquisition;  // largest bucket
+
+  [[nodiscard]] std::int64_t total_us() const;
+};
+
+struct CriticalPathReport {
+  std::int64_t begin_us = 0;  // campaign start used for the sweep
+  std::int64_t end_us = 0;    // latest resolution
+  std::vector<UnitProfile> units;  // ascending unit id
+  std::array<std::int64_t, kPhaseCount> phase_us{};  // summed over units
+  std::int64_t hedge_duplicate_us = 0;
+  Phase dominant = Phase::kAcquisition;  // largest summed bucket
+};
+
+struct CriticalPathOptions {
+  /// Track group holding the per-unit tracks (tid = unit index).
+  std::uint32_t pid = kPidExecutor;
+  /// Campaign start; defaults to the trace's earliest event.
+  std::optional<std::int64_t> begin_us;
+};
+
+/// Sweeps every (pid, unit) track and attributes each unit's timeline.
+/// Deterministic: the result is a pure function of the indexed events.
+[[nodiscard]] CriticalPathReport extract_critical_path(
+    const TraceIndex& index, const CriticalPathOptions& options = {});
+
+}  // namespace reshape::obs::profile

@@ -1,0 +1,72 @@
+// The campaign doctor: a post-mortem that explains every missed
+// deadline.
+//
+// diagnose() fuses the three profiler views — critical path (where the
+// time went), cost attribution (where the dollars went) and the
+// controller's decision instants (what the controller chose to do about
+// it) — into one report.  Each unit that missed gets a one-line verdict
+// naming its dominant phase; the campaign gets a dominant phase and the
+// degradation decision, if one was taken.
+//
+// Rendering is deterministic: fixed-precision numbers, sorted orders,
+// no clocks, no locale.  Two runs of the same seeded campaign produce
+// byte-identical reports, so CI can double-run and diff.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/profile/cost.hpp"
+#include "obs/profile/critical_path.hpp"
+#include "obs/profile/trace_index.hpp"
+
+namespace reshape::obs::profile {
+
+/// One controller decision instant, flattened for display.
+struct Decision {
+  std::int64_t ts_us = 0;
+  std::string name;           // e.g. "degrade", "hedge-launched"
+  std::uint32_t tid = 0;      // unit track it fired on (0 = campaign)
+  std::string detail;         // "key=value ..." in recorded arg order
+};
+
+/// Why one unit missed its deadline.
+struct MissExplanation {
+  std::uint32_t unit = 0;
+  UnitResolution resolution = UnitResolution::kUnresolved;
+  Phase blame = Phase::kAcquisition;
+  std::int64_t blame_us = 0;
+  std::int64_t total_us = 0;
+  std::string verdict;  // rendered one-liner
+};
+
+struct DoctorOptions {
+  /// Campaign deadline (trace microseconds); done-late units also miss.
+  std::optional<std::int64_t> deadline_us;
+  CriticalPathOptions path;
+};
+
+struct DoctorReport {
+  CriticalPathReport path;
+  CostAttribution cost;
+  std::vector<Decision> decisions;  // (ts, name, tid) order
+  std::vector<MissExplanation> misses;  // ascending unit id
+  std::optional<std::int64_t> deadline_us;
+  std::string dominant_phase;  // to_string(path.dominant)
+  std::string degradation;     // policy of the first degrade decision
+  std::size_t done = 0;
+  std::size_t shed = 0;
+  std::size_t abandoned = 0;
+  std::size_t unresolved = 0;
+
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+[[nodiscard]] DoctorReport diagnose(
+    const TraceIndex& index, const std::vector<InstanceCostRecord>& records,
+    const DoctorOptions& options = {});
+
+}  // namespace reshape::obs::profile

@@ -1,0 +1,239 @@
+#include "obs/profile/trace_index.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace reshape::obs::profile {
+
+namespace {
+
+const TraceArg* find_arg(const std::vector<TraceArg>& args,
+                         std::string_view key) {
+  for (const TraceArg& a : args) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+/// Reverses the escaping trace.cpp's quoted() applied.
+std::string unescape(std::string_view json) {
+  // Strip the quotes.
+  if (json.size() >= 2 && json.front() == '"' && json.back() == '"') {
+    json = json.substr(1, json.size() - 2);
+  }
+  std::string out;
+  out.reserve(json.size());
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] != '\\' || i + 1 >= json.size()) {
+      out.push_back(json[i]);
+      continue;
+    }
+    const char next = json[++i];
+    switch (next) {
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 < json.size()) {
+          const std::string hex(json.substr(i + 1, 4));
+          out.push_back(static_cast<char>(
+              std::strtol(hex.c_str(), nullptr, 16)));
+          i += 4;
+        }
+        break;
+      }
+      default: out.push_back(next); break;  // '"' and '\\'
+    }
+  }
+  return out;
+}
+
+/// Content order used inside one track so the index is independent of
+/// the recorder's (possibly cross-thread) insertion order.
+bool span_less(const Span& a, const Span& b) {
+  if (a.start_us != b.start_us) return a.start_us < b.start_us;
+  if (a.end_us != b.end_us) return a.end_us > b.end_us;  // longer first
+  if (a.cat != b.cat) return a.cat < b.cat;
+  return a.name < b.name;
+}
+
+bool instant_less(const Instant& a, const Instant& b) {
+  if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+  if (a.cat != b.cat) return a.cat < b.cat;
+  return a.name < b.name;
+}
+
+}  // namespace
+
+std::optional<std::string> arg_string(const std::vector<TraceArg>& args,
+                                      std::string_view key) {
+  const TraceArg* a = find_arg(args, key);
+  if (a == nullptr || a->json.empty() || a->json.front() != '"') {
+    return std::nullopt;
+  }
+  return unescape(a->json);
+}
+
+std::optional<double> arg_number(const std::vector<TraceArg>& args,
+                                 std::string_view key) {
+  const TraceArg* a = find_arg(args, key);
+  if (a == nullptr || a->json.empty()) return std::nullopt;
+  const char c = a->json.front();
+  if (c == '"' || c == 't' || c == 'f') return std::nullopt;
+  return std::strtod(a->json.c_str(), nullptr);
+}
+
+std::optional<bool> arg_bool(const std::vector<TraceArg>& args,
+                             std::string_view key) {
+  const TraceArg* a = find_arg(args, key);
+  if (a == nullptr) return std::nullopt;
+  if (a->json == "true") return true;
+  if (a->json == "false") return false;
+  return std::nullopt;
+}
+
+TraceIndex::TraceIndex(const std::vector<TraceEvent>& events) {
+  std::map<TrackKey, Track> by_key;
+  bool any = false;
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max();
+  std::int64_t hi = std::numeric_limits<std::int64_t>::min();
+
+  for (const TraceEvent& e : events) {
+    const TrackKey key{e.pid, e.tid};
+    if (e.ph == 'M') {
+      if (e.name == "thread_name") {
+        if (const auto name = arg_string(e.args, "name")) {
+          by_key[key].name = *name;
+          by_key[key].key = key;
+        }
+      }
+      continue;
+    }
+    Track& track = by_key[key];
+    track.key = key;
+    any = true;
+    lo = std::min(lo, e.ts_us);
+    if (e.ph == 'X') {
+      Span span;
+      span.pid = e.pid;
+      span.tid = e.tid;
+      span.start_us = e.ts_us;
+      span.end_us = e.ts_us + e.dur_us;
+      span.cat = e.cat;
+      span.name = e.name;
+      span.args = e.args;
+      hi = std::max(hi, span.end_us);
+      track.spans.push_back(std::move(span));
+      ++span_count_;
+    } else if (e.ph == 'i') {
+      Instant instant;
+      instant.pid = e.pid;
+      instant.tid = e.tid;
+      instant.ts_us = e.ts_us;
+      instant.cat = e.cat;
+      instant.name = e.name;
+      instant.args = e.args;
+      hi = std::max(hi, instant.ts_us);
+      track.instants.push_back(std::move(instant));
+      ++instant_count_;
+    }
+  }
+  if (any) {
+    begin_us_ = lo;
+    end_us_ = hi;
+  }
+
+  tracks_.reserve(by_key.size());
+  for (auto& [key, track] : by_key) {
+    std::stable_sort(track.spans.begin(), track.spans.end(), span_less);
+    std::stable_sort(track.instants.begin(), track.instants.end(),
+                     instant_less);
+    // Parent inference: walk spans in start order keeping a stack of the
+    // still-open enclosing spans.  Ties at the same start sorted
+    // longest-first, so an equal-start child nests under its parent.
+    std::vector<std::int32_t> stack;
+    for (std::size_t i = 0; i < track.spans.size(); ++i) {
+      Span& span = track.spans[i];
+      // A stacked span whose end precedes this span's end cannot enclose
+      // it: it either closed already or only partially overlaps.
+      while (!stack.empty() &&
+             track.spans[static_cast<std::size_t>(stack.back())].end_us <
+                 span.end_us) {
+        stack.pop_back();
+      }
+      span.parent = stack.empty() ? -1 : stack.back();
+      span.depth = static_cast<std::uint32_t>(stack.size());
+      stack.push_back(static_cast<std::int32_t>(i));
+    }
+    tracks_.push_back(std::move(track));
+  }
+}
+
+const Track* TraceIndex::track(std::uint32_t pid, std::uint32_t tid) const {
+  const TrackKey key{pid, tid};
+  const auto it = std::lower_bound(
+      tracks_.begin(), tracks_.end(), key,
+      [](const Track& t, const TrackKey& k) { return t.key < k; });
+  if (it == tracks_.end() || !(it->key == key)) return nullptr;
+  return &*it;
+}
+
+std::vector<std::uint32_t> TraceIndex::tids(std::uint32_t pid) const {
+  std::vector<std::uint32_t> out;
+  for (const Track& t : tracks_) {
+    if (t.key.pid == pid) out.push_back(t.key.tid);
+  }
+  return out;
+}
+
+namespace {
+
+bool matches(const EventQuery& q, std::uint32_t pid, std::uint32_t tid,
+             const std::string& cat, const std::string& name) {
+  if (q.pid && *q.pid != pid) return false;
+  if (q.tid && *q.tid != tid) return false;
+  if (!q.cat.empty() && q.cat != cat) return false;
+  if (!q.name.empty() && q.name != name) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<const Span*> TraceIndex::query_spans(
+    const EventQuery& query) const {
+  std::vector<const Span*> out;
+  for (const Track& t : tracks_) {
+    if (query.pid && *query.pid != t.key.pid) continue;
+    if (query.tid && *query.tid != t.key.tid) continue;
+    for (const Span& s : t.spans) {
+      if (!matches(query, s.pid, s.tid, s.cat, s.name)) continue;
+      // Overlap with [from, to): a zero-width span overlaps iff its
+      // start lies inside the window.
+      if (s.end_us < query.from_us ||
+          (s.end_us == query.from_us && s.duration_us() > 0)) {
+        continue;
+      }
+      if (s.start_us >= query.to_us) continue;
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+std::vector<const Instant*> TraceIndex::query_instants(
+    const EventQuery& query) const {
+  std::vector<const Instant*> out;
+  for (const Track& t : tracks_) {
+    if (query.pid && *query.pid != t.key.pid) continue;
+    if (query.tid && *query.tid != t.key.tid) continue;
+    for (const Instant& i : t.instants) {
+      if (!matches(query, i.pid, i.tid, i.cat, i.name)) continue;
+      if (i.ts_us < query.from_us || i.ts_us >= query.to_us) continue;
+      out.push_back(&i);
+    }
+  }
+  return out;
+}
+
+}  // namespace reshape::obs::profile

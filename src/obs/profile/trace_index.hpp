@@ -1,0 +1,138 @@
+// In-memory analysis index over a recorded trace.
+//
+// The flight-recorder pipeline is: TraceRecorder captures raw events on
+// the hot path; TraceIndex ingests a snapshot of those events — no JSON
+// round trip — into per-track interval stores; the critical-path
+// extractor, cost attributor and campaign doctor query the index.
+//
+// Ingestion groups events by (pid, tid) track, separates complete spans
+// from instants, orders each store by (timestamp, content) — a total
+// order independent of cross-thread arrival interleavings, so an index
+// built from a zone-sharded parallel run is deterministic — and infers
+// parent/child nesting per track with a containment stack (a span is the
+// child of the nearest still-open span that encloses it).
+//
+// The index borrows nothing from layers above obs: it sees only
+// TraceEvent data, so it stays at the bottom of the dependency stack and
+// any producer (executor, controller, MapReduce, tests) can be profiled.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace reshape::obs::profile {
+
+/// Decoded argument access on a pre-rendered TraceArg list.  Arg values
+/// were rendered to JSON literals at record time; these helpers decode
+/// them back without a document parser.
+[[nodiscard]] std::optional<std::string> arg_string(
+    const std::vector<TraceArg>& args, std::string_view key);
+[[nodiscard]] std::optional<double> arg_number(
+    const std::vector<TraceArg>& args, std::string_view key);
+[[nodiscard]] std::optional<bool> arg_bool(const std::vector<TraceArg>& args,
+                                           std::string_view key);
+
+/// One complete ('X') span, indexed.  `parent` is the index of the
+/// enclosing span in the same track's span vector (-1 for roots).
+struct Span {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+  std::string cat;
+  std::string name;
+  std::vector<TraceArg> args;
+  std::int32_t parent = -1;
+  std::uint32_t depth = 0;
+
+  [[nodiscard]] std::int64_t duration_us() const { return end_us - start_us; }
+};
+
+/// One instant ('i') event, indexed.
+struct Instant {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  std::int64_t ts_us = 0;
+  std::string cat;
+  std::string name;
+  std::vector<TraceArg> args;
+};
+
+struct TrackKey {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  friend bool operator==(const TrackKey&, const TrackKey&) = default;
+  friend auto operator<=>(const TrackKey&, const TrackKey&) = default;
+};
+
+/// One (pid, tid) track: spans sorted by (start, content), instants
+/// sorted by (ts, content).
+struct Track {
+  TrackKey key;
+  std::string name;  // from thread_name metadata, if recorded
+  std::vector<Span> spans;
+  std::vector<Instant> instants;
+};
+
+/// Query filter: unset fields match everything.  The window matches by
+/// overlap for spans and by containment for instants.
+struct EventQuery {
+  std::optional<std::uint32_t> pid;
+  std::optional<std::uint32_t> tid;
+  std::string cat;   // empty = any
+  std::string name;  // empty = any
+  std::int64_t from_us = std::numeric_limits<std::int64_t>::min();
+  std::int64_t to_us = std::numeric_limits<std::int64_t>::max();
+};
+
+class TraceIndex {
+ public:
+  /// Builds the index from raw events (metadata events feed track names;
+  /// wall-clock tracks are indexed like any other pid).
+  explicit TraceIndex(const std::vector<TraceEvent>& events);
+
+  /// Convenience: snapshot a recorder (one lock, one vector copy) and
+  /// index it.
+  [[nodiscard]] static TraceIndex from_recorder(const TraceRecorder& rec) {
+    return TraceIndex(rec.snapshot());
+  }
+
+  /// All tracks in ascending (pid, tid) order.
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+
+  /// The track for (pid, tid), or nullptr.
+  [[nodiscard]] const Track* track(std::uint32_t pid, std::uint32_t tid) const;
+
+  /// Ascending tids present under one pid.
+  [[nodiscard]] std::vector<std::uint32_t> tids(std::uint32_t pid) const;
+
+  /// Matching spans/instants in deterministic (track, time, content)
+  /// order.  Pointers stay valid for the index's lifetime.
+  [[nodiscard]] std::vector<const Span*> query_spans(
+      const EventQuery& query) const;
+  [[nodiscard]] std::vector<const Instant*> query_instants(
+      const EventQuery& query) const;
+
+  /// Trace extent: earliest event timestamp / latest span end or instant.
+  /// Zero-width [0, 0) for an empty trace.
+  [[nodiscard]] std::int64_t begin_us() const { return begin_us_; }
+  [[nodiscard]] std::int64_t end_us() const { return end_us_; }
+
+  [[nodiscard]] std::size_t span_count() const { return span_count_; }
+  [[nodiscard]] std::size_t instant_count() const { return instant_count_; }
+
+ private:
+  std::vector<Track> tracks_;  // sorted by key
+  std::int64_t begin_us_ = 0;
+  std::int64_t end_us_ = 0;
+  std::size_t span_count_ = 0;
+  std::size_t instant_count_ = 0;
+};
+
+}  // namespace reshape::obs::profile

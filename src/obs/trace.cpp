@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <utility>
@@ -166,10 +167,45 @@ std::size_t TraceRecorder::event_count() const {
   return events_.size();
 }
 
-std::string TraceRecorder::to_chrome_json() const {
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
   const std::lock_guard lock(mu_);
+  return events_;
+}
+
+namespace {
+
+/// Content ordering for canonical export: timestamp first, then track and
+/// the rendered payload.  Two events that compare equal are byte-identical
+/// in the output, so any arrival interleaving of them renders the same.
+bool content_less(const TraceEvent& a, const TraceEvent& b) {
+  if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+  if (a.pid != b.pid) return a.pid < b.pid;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  if (a.ph != b.ph) return a.ph < b.ph;
+  if (a.dur_us != b.dur_us) return a.dur_us < b.dur_us;
+  if (a.cat != b.cat) return a.cat < b.cat;
+  if (a.name != b.name) return a.name < b.name;
+  const std::size_t n = std::min(a.args.size(), b.args.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.args[i].key != b.args[i].key) return a.args[i].key < b.args[i].key;
+    if (a.args[i].json != b.args[i].json) {
+      return a.args[i].json < b.args[i].json;
+    }
+  }
+  return a.args.size() < b.args.size();
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_chrome_json(bool canonical) const {
+  // Snapshot under the lock, render outside it: a hot-path writer blocks
+  // for one vector copy, never for the (much larger) JSON render.
+  std::vector<TraceEvent> events = snapshot();
+  if (canonical) {
+    std::stable_sort(events.begin(), events.end(), content_less);
+  }
   std::string out;
-  out.reserve(events_.size() * 96 + 512);
+  out.reserve(events.size() * 96 + 512);
   out += "{\"traceEvents\":[\n";
 
   // Named track groups first (metadata), then the recorded events in
@@ -189,7 +225,7 @@ std::string TraceRecorder::to_chrome_json() const {
            name + "\"}}";
   }
 
-  for (const TraceEvent& e : events_) {
+  for (const TraceEvent& e : events) {
     out += ",\n{\"ph\":\"";
     out.push_back(e.ph);
     out += "\",\"pid\":" + std::to_string(e.pid) +
@@ -221,8 +257,9 @@ std::string TraceRecorder::to_chrome_json() const {
   return out;
 }
 
-bool TraceRecorder::write_chrome_json(const std::string& path) const {
-  const std::string json = to_chrome_json();
+bool TraceRecorder::write_chrome_json(const std::string& path,
+                                      bool canonical) const {
+  const std::string json = to_chrome_json(canonical);
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fwrite(json.data(), 1, json.size(), f);

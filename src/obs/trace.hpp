@@ -109,12 +109,24 @@ class TraceRecorder {
 
   [[nodiscard]] std::size_t event_count() const;
 
-  /// Renders the whole trace as Chrome trace-event JSON.
-  [[nodiscard]] std::string to_chrome_json() const;
+  /// Copies the recorded events out (taken under the lock, no JSON round
+  /// trip).  This is the ingestion point for the in-memory profiler
+  /// (obs::profile::TraceIndex) and the only moment export holds `mu_`:
+  /// rendering happens on the copy, so hot-path writers never stall
+  /// behind a multi-megabyte JSON render.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Renders the whole trace as Chrome trace-event JSON.  With
+  /// `canonical` the events are ordered by content (timestamp, track,
+  /// phase, name, args) instead of insertion order, which makes the
+  /// exported bytes independent of cross-thread arrival order — the form
+  /// a zone-sharded parallel run exports reproducibly.
+  [[nodiscard]] std::string to_chrome_json(bool canonical = false) const;
 
   /// Writes the JSON to `path`; returns false if the file could not be
   /// opened.
-  bool write_chrome_json(const std::string& path) const;
+  bool write_chrome_json(const std::string& path,
+                         bool canonical = false) const;
 
   /// Drops every recorded event (wall capture state is kept).
   void clear();

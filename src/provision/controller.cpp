@@ -179,6 +179,28 @@ class ElasticController {
     return static_cast<std::uint32_t>(unit.index);
   }
 
+  /// Records a resolved attempt as a complete span with its *actual*
+  /// duration and staging/exec split.  Attempts are traced at resolution
+  /// (completion, crash, race loss) rather than launch, so a truncated
+  /// attempt never shows its planned length in the flight recorder.
+  void record_attempt(const Unit& unit, const Member& member,
+                      std::string_view name, Seconds end) {
+    if (!obs::enabled()) return;
+    const Seconds elapsed = end - member.work_begun;
+    const double staging_s = std::min(elapsed, member.cur_staging).value();
+    const double exec_s =
+        std::clamp((elapsed - member.cur_staging).value(), 0.0,
+                   member.cur_exec.value());
+    obs::trace().complete(
+        obs::kPidExecutor, trace_tid(unit), "controller", name,
+        member.work_begun.value(), elapsed.value(),
+        {obs::arg("unit", unit.index), obs::arg("slot", member.slot),
+         obs::arg("instance", member.id.value),
+         obs::arg("bytes", member.attempt_bytes.count()),
+         obs::arg("staging_s", staging_s), obs::arg("exec_s", exec_s),
+         obs::arg("hedge", member.speculative)});
+  }
+
   // -- fleet ----------------------------------------------------------------
 
   [[nodiscard]] std::size_t live_members() const {
@@ -320,6 +342,12 @@ class ElasticController {
 
   void release(Member& member) {
     if (member.state == Member::State::kWorking) {
+      if (member.unit != kNoUnit) {
+        record_attempt(*units_[member.unit], member,
+                       member.speculative ? "attempt#hedge-lost"
+                                          : "attempt#lost",
+                       provider_.sim().now());
+      }
       provider_.sim().cancel(member.completion);
     }
     member.state = Member::State::kGone;
@@ -452,15 +480,6 @@ class ElasticController {
         staging + exec, [this, slot = member.slot](sim::Simulation&) {
           on_complete(*members_[slot]);
         });
-    if (obs::enabled()) {
-      obs::trace().complete(obs::kPidExecutor, trace_tid(unit), "controller",
-                            member.speculative ? "attempt#hedge" : "attempt",
-                            now.value(), (staging + exec).value(),
-                            {obs::arg("unit", unit.index),
-                             obs::arg("slot", member.slot),
-                             obs::arg("instance", member.id.value),
-                             obs::arg("bytes", member.attempt_bytes.count())});
-    }
   }
 
   void drop_contender(Unit& unit, std::size_t slot) {
@@ -488,6 +507,15 @@ class ElasticController {
     unit.done = true;
     unit.finished_at = provider_.sim().now();
     unit.remaining = Bytes(0);
+    record_attempt(unit, member,
+                   member.speculative ? "attempt#hedge" : "attempt",
+                   unit.finished_at);
+    if (obs::enabled()) {
+      obs::trace().instant(obs::kPidExecutor, trace_tid(unit), "controller",
+                           "unit-done", unit.finished_at.value(),
+                           {obs::arg("unit", unit.index),
+                            obs::arg("attempts", unit.attempt)});
+    }
 
     bank_.observe(member.attempt_bytes, member.cur_staging + member.cur_exec);
 
@@ -527,6 +555,10 @@ class ElasticController {
     for (const std::size_t loser_slot : losers) {
       Member& loser = *members_[loser_slot];
       if (loser.state == Member::State::kWorking) {
+        record_attempt(unit, loser,
+                       loser.speculative ? "attempt#hedge-lost"
+                                         : "attempt#lost",
+                       unit.finished_at);
         provider_.sim().cancel(loser.completion);
       }
       loser.unit = kNoUnit;
@@ -576,6 +608,7 @@ class ElasticController {
     unit.staging_total += std::min(elapsed, member.cur_staging);
     unit.exec_total += std::min(
         std::max(Seconds(0.0), elapsed - member.cur_staging), member.cur_exec);
+    record_attempt(unit, member, "attempt#crashed", now);
 
     if (unit.racing) {
       // Race semantics: contenders read divergent copies, so no prefix is
@@ -631,6 +664,12 @@ class ElasticController {
                       "unit digest mismatch at completion");
       unit.done = true;
       unit.finished_at = now;
+      if (obs::enabled()) {
+        obs::trace().instant(obs::kPidExecutor, trace_tid(unit), "controller",
+                             "unit-done", now.value(),
+                             {obs::arg("unit", unit.index),
+                              obs::arg("attempts", unit.attempt)});
+      }
       maybe_finish();
       return;
     }
@@ -800,6 +839,18 @@ class ElasticController {
     decision.flagged = detector_.flag(epoch_seq_);
     m_flagged_.add(decision.flagged.size());
     stragglers_flagged_ += decision.flagged.size();
+    if (obs::enabled()) {
+      for (const std::uint64_t slot : decision.flagged) {
+        const Member& m = *members_[static_cast<std::size_t>(slot)];
+        if (m.state != Member::State::kWorking) continue;
+        obs::trace().instant(obs::kPidExecutor, trace_tid(*units_[m.unit]),
+                             "controller", "straggler-flagged",
+                             decision.at.value(),
+                             {obs::arg("slot", slot),
+                              obs::arg("unit", units_[m.unit]->index),
+                              obs::arg("epoch", decision.seq)});
+      }
+    }
 
     // Hedge each flagged slot with one speculative duplicate.
     if (options_.hedge_stragglers) {
@@ -874,6 +925,14 @@ class ElasticController {
     if (infeasible) {
       decision.degraded = true;
       degraded_ = true;
+      if (obs::enabled()) {
+        obs::trace().instant(
+            obs::kPidExecutor, 0, "controller", "degrade",
+            decision.at.value(),
+            {obs::arg("policy", to_string(options_.degrade)),
+             obs::arg("epoch", decision.seq),
+             obs::arg("backlog_bytes", backlog.count())});
+      }
       switch (options_.degrade) {
         case DegradePolicy::kShedLowestValue:
           shed_until_feasible(decision, predictor, fresh_capacity);
@@ -931,6 +990,13 @@ class ElasticController {
         unit->error =
             "fleet lost and acquisition budget exhausted; unit stranded";
         m_abandoned_.add(1);
+        if (obs::enabled()) {
+          obs::trace().instant(obs::kPidExecutor, trace_tid(*unit),
+                               "controller", "unit-abandoned",
+                               decision.at.value(),
+                               {obs::arg("unit", unit->index),
+                                obs::arg("bytes", unit->remaining.count())});
+        }
       }
       maybe_finish();
       return;

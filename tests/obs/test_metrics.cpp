@@ -93,13 +93,32 @@ TEST(MetricsRegistryTest, LookupIsStableAndCreateOnFirstUse) {
   EXPECT_EQ(reg.counter_value("never-created"), 0u);
 }
 
-TEST(MetricsRegistryTest, HistogramBoundsFixedByFirstCall) {
+TEST(MetricsRegistryTest, HistogramReRegistrationWithSameBoundsIsStable) {
   MetricsRegistry reg;
   Histogram& h = reg.histogram("h", {1.0, 2.0});
-  // A later lookup with different bounds returns the existing instrument.
-  Histogram& again = reg.histogram("h", {5.0, 6.0});
+  Histogram& again = reg.histogram("h", {1.0, 2.0});
   EXPECT_EQ(&h, &again);
   EXPECT_EQ(again.snapshot().bounds, (std::vector<double>{1.0, 2.0}));
+}
+
+// Regression: a histogram lookup with mismatched bounds used to silently
+// return the existing instrument, handing the caller surprising buckets.
+// It must fail loudly so the bad registration site gets fixed.
+TEST(MetricsRegistryTest, HistogramReRegistrationWithDifferentBoundsThrows) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0});
+  h.observe(1.5);
+  EXPECT_THROW(reg.histogram("h", {5.0, 6.0}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("h", {1.0}), std::invalid_argument);
+  // The failed lookups left the instrument untouched.
+  EXPECT_EQ(reg.histogram("h", {1.0, 2.0}).snapshot().count, 1u);
+}
+
+TEST(MetricsRegistryTest, MergeWithMismatchedHistogramBoundsThrows) {
+  MetricsRegistry a, b;
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+  b.histogram("h", {3.0, 4.0}).observe(3.5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 TEST(MetricsRegistryTest, JsonSnapshotIsSortedAndParses) {

@@ -1,0 +1,370 @@
+// Unit tests for the trace analysis pipeline: TraceIndex ingestion
+// (grouping, ordering, nesting, queries, arg decoding), the
+// critical-path extractor's phase attribution, and cost attribution —
+// all on hand-built recorders, so they stay meaningful in a
+// -DRESHAPE_OBS=OFF build (the TraceRecorder type always exists; only
+// the global recording sites compile out).
+
+#include "obs/profile/trace_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profile/cost.hpp"
+#include "obs/profile/critical_path.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+
+namespace reshape::obs::profile {
+namespace {
+
+TEST(ArgDecodersTest, DecodeRenderedLiterals) {
+  TraceRecorder rec;
+  rec.complete(kPidExecutor, 0, "c", "n", 0.0, 1.0,
+               {arg("str", "a\"b\\c\nd"), arg("int", std::int64_t{-42}),
+                arg("real", 2.5), arg("flag", true), arg("off", false),
+                arg("count", std::uint64_t{7})});
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  const Track* track = index.track(kPidExecutor, 0);
+  ASSERT_NE(track, nullptr);
+  ASSERT_EQ(track->spans.size(), 1u);
+  const auto& args = track->spans[0].args;
+
+  // Strings decode back through the JSON escaping applied at record time.
+  EXPECT_EQ(arg_string(args, "str"), "a\"b\\c\nd");
+  EXPECT_EQ(arg_number(args, "int"), -42.0);
+  EXPECT_EQ(arg_number(args, "real"), 2.5);
+  EXPECT_EQ(arg_number(args, "count"), 7.0);
+  EXPECT_EQ(arg_bool(args, "flag"), true);
+  EXPECT_EQ(arg_bool(args, "off"), false);
+  // Missing keys and type mismatches are nullopt, not defaults.
+  EXPECT_FALSE(arg_string(args, "absent").has_value());
+  EXPECT_FALSE(arg_number(args, "str").has_value());
+  EXPECT_FALSE(arg_bool(args, "int").has_value());
+}
+
+TEST(TraceIndexTest, GroupsTracksAndAppliesThreadNames) {
+  TraceRecorder rec;
+  rec.thread_name(kPidExecutor, 2, "unit-2");
+  rec.complete(kPidExecutor, 2, "executor", "exec", 1.0, 2.0);
+  rec.complete(kPidCloud, 9, "instance", "boot", 0.0, 1.0);
+  rec.instant(kPidExecutor, 2, "controller", "crash", 3.5);
+  rec.instant(kPidExecutor, 0, "controller", "epoch", 5.0);
+
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  EXPECT_EQ(index.span_count(), 2u);
+  EXPECT_EQ(index.instant_count(), 2u);
+  // Tracks come out in ascending (pid, tid) order.
+  ASSERT_EQ(index.tracks().size(), 3u);
+  EXPECT_EQ(index.tracks()[0].key, (TrackKey{kPidCloud, 9}));
+  EXPECT_EQ(index.tracks()[1].key, (TrackKey{kPidExecutor, 0}));
+  EXPECT_EQ(index.tracks()[2].key, (TrackKey{kPidExecutor, 2}));
+  EXPECT_EQ(index.tracks()[2].name, "unit-2");
+  EXPECT_EQ(index.tids(kPidExecutor),
+            (std::vector<std::uint32_t>{0u, 2u}));
+  EXPECT_EQ(index.track(kPidExecutor, 7), nullptr);
+  // Extent spans earliest event to latest end (instant at 5.0s).
+  EXPECT_EQ(index.begin_us(), 0);
+  EXPECT_EQ(index.end_us(), 5'000'000);
+}
+
+TEST(TraceIndexTest, OrderIndependentOfArrivalInterleaving) {
+  TraceRecorder a, b;
+  a.complete(kPidExecutor, 0, "c", "first", 0.0, 1.0);
+  a.complete(kPidExecutor, 0, "c", "second", 2.0, 1.0);
+  b.complete(kPidExecutor, 0, "c", "second", 2.0, 1.0);
+  b.complete(kPidExecutor, 0, "c", "first", 0.0, 1.0);
+  const TraceIndex ia = TraceIndex::from_recorder(a);
+  const TraceIndex ib = TraceIndex::from_recorder(b);
+  ASSERT_EQ(ia.track(kPidExecutor, 0)->spans.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(ia.track(kPidExecutor, 0)->spans[i].name,
+              ib.track(kPidExecutor, 0)->spans[i].name);
+  }
+  EXPECT_EQ(ia.track(kPidExecutor, 0)->spans[0].name, "first");
+}
+
+TEST(TraceIndexTest, InfersParentNesting) {
+  TraceRecorder rec;
+  // outer [0,100], mid [10,50], inner [20,30], sibling [60,90],
+  // root2 [200,300].
+  rec.complete(kPidExecutor, 1, "c", "outer", 0.0, 100.0);
+  rec.complete(kPidExecutor, 1, "c", "mid", 10.0, 40.0);
+  rec.complete(kPidExecutor, 1, "c", "inner", 20.0, 10.0);
+  rec.complete(kPidExecutor, 1, "c", "sibling", 60.0, 30.0);
+  rec.complete(kPidExecutor, 1, "c", "root2", 200.0, 100.0);
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  const Track* track = index.track(kPidExecutor, 1);
+  ASSERT_NE(track, nullptr);
+  ASSERT_EQ(track->spans.size(), 5u);
+  // Spans are start-sorted: outer, mid, inner, sibling, root2.
+  EXPECT_EQ(track->spans[0].name, "outer");
+  EXPECT_EQ(track->spans[0].parent, -1);
+  EXPECT_EQ(track->spans[0].depth, 0u);
+  EXPECT_EQ(track->spans[1].name, "mid");
+  EXPECT_EQ(track->spans[1].parent, 0);
+  EXPECT_EQ(track->spans[1].depth, 1u);
+  EXPECT_EQ(track->spans[2].name, "inner");
+  EXPECT_EQ(track->spans[2].parent, 1);
+  EXPECT_EQ(track->spans[2].depth, 2u);
+  // sibling nests under outer, not under the closed mid.
+  EXPECT_EQ(track->spans[3].name, "sibling");
+  EXPECT_EQ(track->spans[3].parent, 0);
+  EXPECT_EQ(track->spans[3].depth, 1u);
+  EXPECT_EQ(track->spans[4].name, "root2");
+  EXPECT_EQ(track->spans[4].parent, -1);
+  EXPECT_EQ(track->spans[4].depth, 0u);
+}
+
+TEST(TraceIndexTest, QueryFiltersAndWindowSemantics) {
+  TraceRecorder rec;
+  rec.complete(kPidExecutor, 0, "executor", "exec", 10.0, 10.0);  // [10,20]
+  rec.complete(kPidExecutor, 1, "controller", "attempt", 15.0, 10.0);
+  rec.instant(kPidExecutor, 0, "controller", "crash", 20.0);
+  rec.instant(kPidCloud, 0, "instance", "failed", 20.0);
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+
+  EventQuery q;
+  q.pid = kPidExecutor;
+  EXPECT_EQ(index.query_spans(q).size(), 2u);
+  q.cat = "controller";
+  ASSERT_EQ(index.query_spans(q).size(), 1u);
+  EXPECT_EQ(index.query_spans(q)[0]->name, "attempt");
+  EXPECT_EQ(index.query_instants(q).size(), 1u);
+
+  // Spans match by overlap with [from, to): a span ending exactly at
+  // `from` is out, one starting at `to` is out, any overlap is in.
+  EventQuery window;
+  window.from_us = 20'000'000;
+  window.to_us = 25'000'000;
+  ASSERT_EQ(index.query_spans(window).size(), 1u);
+  EXPECT_EQ(index.query_spans(window)[0]->name, "attempt");
+  window.from_us = 0;
+  window.to_us = 10'000'000;  // exec starts exactly at to: excluded
+  EXPECT_EQ(index.query_spans(window).size(), 0u);
+
+  // Instants match by containment in [from, to).
+  EventQuery iq;
+  iq.from_us = 20'000'000;
+  iq.to_us = 20'000'001;
+  EXPECT_EQ(index.query_instants(iq).size(), 2u);
+  iq.to_us = 20'000'000;
+  EXPECT_EQ(index.query_instants(iq).size(), 0u);
+}
+
+// -- critical path ---------------------------------------------------------
+
+TEST(CriticalPathTest, AttributesAcquisitionStagingExec) {
+  TraceRecorder rec;
+  // Unit 0: boots wait until t=100, then one attempt 100..200 with a
+  // 30 s staging prefix; resolved done at 200.
+  rec.complete(kPidExecutor, 0, "controller", "attempt", 100.0, 100.0,
+               {arg("unit", std::uint64_t{0}), arg("staging_s", 30.0),
+                arg("exec_s", 70.0)});
+  rec.instant(kPidExecutor, 0, "controller", "unit-done", 200.0,
+              {arg("unit", std::uint64_t{0})});
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  CriticalPathOptions options;
+  options.begin_us = 0;
+  const CriticalPathReport report = extract_critical_path(index, options);
+  ASSERT_EQ(report.units.size(), 1u);
+  const UnitProfile& unit = report.units[0];
+  EXPECT_EQ(unit.resolution, UnitResolution::kDone);
+  EXPECT_EQ(unit.resolved_at_us, 200'000'000);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kAcquisition)],
+            100'000'000);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kStaging)],
+            30'000'000);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kExec)],
+            70'000'000);
+  // The buckets partition [begin, resolved_at).
+  EXPECT_EQ(unit.total_us(), 200'000'000);
+  EXPECT_EQ(unit.blame, Phase::kAcquisition);
+  EXPECT_EQ(report.dominant, Phase::kAcquisition);
+  EXPECT_EQ(report.end_us, 200'000'000);
+}
+
+TEST(CriticalPathTest, GapBetweenAttemptsIsRecovery) {
+  TraceRecorder rec;
+  // Crash at 150, redispatch at 180, done at 280.
+  rec.complete(kPidExecutor, 3, "controller", "attempt#crashed", 100.0, 50.0,
+               {arg("unit", std::uint64_t{3}), arg("staging_s", 0.0),
+                arg("exec_s", 50.0)});
+  rec.complete(kPidExecutor, 3, "controller", "attempt", 180.0, 100.0,
+               {arg("unit", std::uint64_t{3}), arg("staging_s", 0.0),
+                arg("exec_s", 100.0)});
+  rec.instant(kPidExecutor, 3, "controller", "unit-done", 280.0);
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  CriticalPathOptions options;
+  options.begin_us = 0;
+  const CriticalPathReport report = extract_critical_path(index, options);
+  ASSERT_EQ(report.units.size(), 1u);
+  const UnitProfile& unit = report.units[0];
+  EXPECT_EQ(unit.attempts, 2u);
+  EXPECT_EQ(unit.crashes, 1u);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kAcquisition)],
+            100'000'000);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kRecovery)],
+            30'000'000);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kExec)],
+            150'000'000);
+  EXPECT_EQ(unit.blame, Phase::kExec);
+}
+
+TEST(CriticalPathTest, HedgeRaceCountsDuplicateCoverOnce) {
+  TraceRecorder rec;
+  // Primary attempt 100..200 wins; hedge 120..160 loses.  The overlap
+  // [120,160) is owned once (by the earlier-starting primary) and the
+  // extra cover lands in hedge_duplicate_us, not the phase buckets.
+  rec.complete(kPidExecutor, 1, "controller", "attempt", 100.0, 100.0,
+               {arg("unit", std::uint64_t{1}), arg("staging_s", 0.0),
+                arg("exec_s", 100.0)});
+  rec.complete(kPidExecutor, 1, "controller", "attempt#hedge-lost", 120.0,
+               40.0,
+               {arg("unit", std::uint64_t{1}), arg("staging_s", 0.0),
+                arg("exec_s", 40.0), arg("hedge", true)});
+  rec.instant(kPidExecutor, 1, "controller", "unit-done", 200.0);
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  CriticalPathOptions options;
+  options.begin_us = 100'000'000;
+  const CriticalPathReport report = extract_critical_path(index, options);
+  ASSERT_EQ(report.units.size(), 1u);
+  const UnitProfile& unit = report.units[0];
+  EXPECT_EQ(unit.hedges, 1u);
+  EXPECT_EQ(unit.hedge_losses, 1u);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kExec)],
+            100'000'000);
+  EXPECT_EQ(unit.hedge_duplicate_us, 40'000'000);
+  EXPECT_EQ(unit.total_us(), 100'000'000);
+}
+
+TEST(CriticalPathTest, ShedWithoutAttemptsIsAllAcquisition) {
+  TraceRecorder rec;
+  rec.instant(kPidExecutor, 0, "controller", "unit-shed", 60.0,
+              {arg("unit", std::uint64_t{0})});
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  CriticalPathOptions options;
+  options.begin_us = 0;
+  const CriticalPathReport report = extract_critical_path(index, options);
+  ASSERT_EQ(report.units.size(), 1u);
+  EXPECT_EQ(report.units[0].resolution, UnitResolution::kShed);
+  EXPECT_EQ(report.units[0].attempts, 0u);
+  EXPECT_EQ(
+      report.units[0].phase_us[static_cast<std::size_t>(Phase::kAcquisition)],
+      60'000'000);
+  EXPECT_EQ(report.units[0].total_us(), 60'000'000);
+  EXPECT_EQ(report.dominant, Phase::kAcquisition);
+}
+
+TEST(CriticalPathTest, TailAfterLastAttemptOfAbandonedUnitIsStranded) {
+  TraceRecorder rec;
+  rec.complete(kPidExecutor, 2, "controller", "attempt#crashed", 10.0, 10.0,
+               {arg("unit", std::uint64_t{2}), arg("staging_s", 0.0),
+                arg("exec_s", 10.0)});
+  rec.instant(kPidExecutor, 2, "controller", "unit-abandoned", 100.0);
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  CriticalPathOptions options;
+  options.begin_us = 0;
+  const CriticalPathReport report = extract_critical_path(index, options);
+  ASSERT_EQ(report.units.size(), 1u);
+  const UnitProfile& unit = report.units[0];
+  EXPECT_EQ(unit.resolution, UnitResolution::kAbandoned);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kAcquisition)],
+            10'000'000);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kExec)],
+            10'000'000);
+  EXPECT_EQ(unit.phase_us[static_cast<std::size_t>(Phase::kStranded)],
+            80'000'000);
+  EXPECT_EQ(unit.blame, Phase::kStranded);
+}
+
+TEST(CriticalPathTest, CampaignLevelInstantTrackIsNotAUnit) {
+  TraceRecorder rec;
+  // tid 0 carries only campaign-level instants (epoch, degrade): no unit
+  // work, no resolution — it must not be swept as a unit.
+  rec.instant(kPidExecutor, 0, "controller", "epoch", 300.0);
+  rec.instant(kPidExecutor, 0, "controller", "degrade", 300.0,
+              {arg("policy", "shed-lowest-value")});
+  rec.complete(kPidExecutor, 1, "controller", "attempt", 0.0, 10.0,
+               {arg("unit", std::uint64_t{1}), arg("staging_s", 0.0),
+                arg("exec_s", 10.0)});
+  rec.instant(kPidExecutor, 1, "controller", "unit-done", 10.0);
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  const CriticalPathReport report = extract_critical_path(index);
+  ASSERT_EQ(report.units.size(), 1u);
+  EXPECT_EQ(report.units[0].unit, 1u);
+}
+
+// -- cost attribution ------------------------------------------------------
+
+TEST(CostAttributionTest, BucketsSumToInstanceBills) {
+  TraceRecorder rec;
+  // Instance 1: 1800 s of a 3600 s bill covered by a winning attempt.
+  rec.complete(kPidExecutor, 0, "controller", "attempt", 0.0, 1800.0,
+               {arg("unit", std::uint64_t{0}),
+                arg("instance", std::uint64_t{1})});
+  // Instance 2 (failed): 900 s of 1800 s covered by a crashed attempt.
+  rec.complete(kPidExecutor, 1, "controller", "attempt#crashed", 0.0, 900.0,
+               {arg("unit", std::uint64_t{1}),
+                arg("instance", std::uint64_t{2})});
+  // Instance 4: a cancelled hedge loser.
+  rec.complete(kPidExecutor, 0, "controller", "attempt#hedge-lost", 0.0,
+               600.0,
+               {arg("unit", std::uint64_t{0}),
+                arg("instance", std::uint64_t{4})});
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+
+  const std::vector<InstanceCostRecord> records = {
+      {1, 1.00, 3600.0, false},
+      {2, 0.50, 1800.0, true},
+      {3, 0.00, 0.0, true},  // boot that never reached running
+      {4, 0.30, 600.0, false},
+  };
+  const CostAttribution cost = attribute_costs(index, records);
+  EXPECT_DOUBLE_EQ(cost.total, 1.80);
+  EXPECT_DOUBLE_EQ(cost.productive, 0.50);
+  EXPECT_DOUBLE_EQ(cost.crashed, 0.25);
+  EXPECT_DOUBLE_EQ(cost.hedge_lost, 0.30);
+  EXPECT_DOUBLE_EQ(cost.idle, 0.75);
+  EXPECT_DOUBLE_EQ(cost.idle_failed, 0.25);
+  EXPECT_DOUBLE_EQ(
+      cost.productive + cost.crashed + cost.hedge_lost + cost.idle,
+      cost.total);
+  EXPECT_EQ(cost.failed_instances, 2u);
+  EXPECT_EQ(cost.free_failed_boots, 1u);
+
+  ASSERT_EQ(cost.units.size(), 2u);
+  EXPECT_EQ(cost.units[0].unit, 0u);
+  EXPECT_DOUBLE_EQ(cost.units[0].productive, 0.50);
+  EXPECT_DOUBLE_EQ(cost.units[0].hedge_lost, 0.30);
+  EXPECT_DOUBLE_EQ(cost.units[0].dollars, 0.80);
+  EXPECT_EQ(cost.units[1].unit, 1u);
+  EXPECT_DOUBLE_EQ(cost.units[1].crashed, 0.25);
+
+  ASSERT_EQ(cost.instances.size(), 4u);
+  for (const InstanceCost& inst : cost.instances) {
+    EXPECT_DOUBLE_EQ(
+        inst.productive + inst.hedge_lost + inst.crashed + inst.idle,
+        inst.dollars)
+        << "instance " << inst.instance;
+  }
+}
+
+TEST(CostAttributionTest, AttemptOnUnknownInstanceIsIgnored) {
+  TraceRecorder rec;
+  rec.complete(kPidExecutor, 0, "controller", "attempt", 0.0, 100.0,
+               {arg("unit", std::uint64_t{0}),
+                arg("instance", std::uint64_t{99})});
+  const TraceIndex index = TraceIndex::from_recorder(rec);
+  const CostAttribution cost = attribute_costs(index, {});
+  EXPECT_DOUBLE_EQ(cost.total, 0.0);
+  EXPECT_DOUBLE_EQ(cost.productive, 0.0);
+  EXPECT_TRUE(cost.units.empty());
+  EXPECT_TRUE(cost.instances.empty());
+}
+
+}  // namespace
+}  // namespace reshape::obs::profile
