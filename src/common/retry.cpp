@@ -18,6 +18,17 @@ RetryPolicy RetryPolicy::for_acquisition() {
   return policy;
 }
 
+RetryPolicy RetryPolicy::for_admission() {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = Seconds(0.010);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = Seconds(0.050);
+  policy.jitter = 0.25;
+  policy.attempt_timeout = Seconds(0.0);
+  return policy;
+}
+
 void RetryPolicy::validate() const {
   RESHAPE_REQUIRE(max_attempts >= 1, "retry budget needs at least one attempt");
   RESHAPE_REQUIRE(initial_backoff.value() >= 0.0,

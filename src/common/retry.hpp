@@ -39,6 +39,14 @@ struct RetryPolicy {
   /// probability under 2% (see expected_attempts / exhaustion_probability).
   [[nodiscard]] static RetryPolicy for_acquisition();
 
+  /// Preset for plan-server admission rejections: a refused tenant should
+  /// come back quickly (the queue drains in milliseconds, not minutes),
+  /// but not instantly and not forever — a short capped schedule with a
+  /// small attempt budget, so a genuinely saturated server sheds the
+  /// retries themselves fast (at a 50% rejection rate fewer than 7% of
+  /// clients exhaust the budget; see the closed-form tests).
+  [[nodiscard]] static RetryPolicy for_admission();
+
   /// Throws when the parameters are out of range.
   void validate() const;
 

@@ -80,6 +80,11 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  const std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::note_enqueued_locked(std::size_t n) {
   if (!obs::enabled()) return;
   if (task_counter_ == nullptr) {

@@ -36,6 +36,11 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker — the saturation
+  /// signal the planning server's bench and doctor read (a persistently
+  /// non-zero depth means submissions outpace the workers).
+  [[nodiscard]] std::size_t queue_depth() const;
+
   /// Enqueues a task and returns a future for its result.  Exceptions
   /// thrown by the task propagate through the future.
   template <typename F>
@@ -74,7 +79,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;  // const queue_depth() locks it
   std::condition_variable wake_;
   bool stopping_ = false;
 

@@ -53,6 +53,13 @@ class ThroughputBank {
 
   [[nodiscard]] std::size_t count() const { return volumes_.size(); }
 
+  /// The banked observations, in ingest order.  The planning server's
+  /// model store replays these through a fresh bank in sorted order so a
+  /// refit is a pure function of the observation multiset — and the
+  /// concurrency tests read them back to prove nothing was torn or lost.
+  [[nodiscard]] std::span<const double> volumes() const { return volumes_; }
+  [[nodiscard]] std::span<const double> times() const { return times_; }
+
   /// Mean observed throughput over all banked attempts (bytes/s); zero
   /// rate when nothing was banked.
   [[nodiscard]] Rate mean_throughput() const;

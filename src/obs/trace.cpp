@@ -281,10 +281,21 @@ WallSpan::WallSpan(std::string_view cat, std::string_view name) {
   start_ = std::chrono::steady_clock::now();
 }
 
+WallSpan::WallSpan(std::string_view cat, std::string_view name,
+                   std::vector<TraceArg> args) {
+  if (!enabled()) return;
+  if (!trace().wall_capture()) return;
+  active_ = true;
+  cat_ = cat;
+  name_ = name;
+  args_ = std::move(args);
+  start_ = std::chrono::steady_clock::now();
+}
+
 WallSpan::~WallSpan() {
   if (!active_) return;
   trace().wall_complete(cat_, name_, start_,
-                        std::chrono::steady_clock::now());
+                        std::chrono::steady_clock::now(), std::move(args_));
 }
 
 }  // namespace reshape::obs

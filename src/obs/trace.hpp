@@ -148,6 +148,11 @@ class TraceRecorder {
 class WallSpan {
  public:
   WallSpan(std::string_view cat, std::string_view name);
+  /// With args attached to the recorded span (e.g. a batch size).  Note
+  /// the caller pays for rendering the args even when capture is off, so
+  /// hot sites should keep them small or use the plain constructor.
+  WallSpan(std::string_view cat, std::string_view name,
+           std::vector<TraceArg> args);
   WallSpan(const WallSpan&) = delete;
   WallSpan& operator=(const WallSpan&) = delete;
   ~WallSpan();
@@ -156,6 +161,7 @@ class WallSpan {
   bool active_ = false;
   std::string cat_;
   std::string name_;
+  std::vector<TraceArg> args_;
   std::chrono::steady_clock::time_point start_{};
 };
 

@@ -49,8 +49,8 @@ std::vector<Assignment> to_assignments(const std::vector<pack::Bin>& bins,
 
 }  // namespace
 
-ExecutionPlan StaticPlanner::plan(const corpus::Corpus& data,
-                                  const PlanOptions& options) const {
+ExecutionPlan plan(const model::Predictor& predictor,
+                   const corpus::Corpus& data, const PlanOptions& options) {
   RESHAPE_REQUIRE(!data.empty(), "nothing to plan for");
   RESHAPE_REQUIRE(options.deadline.value() > 0.0, "deadline must be positive");
 
@@ -63,7 +63,7 @@ ExecutionPlan StaticPlanner::plan(const corpus::Corpus& data,
                                      options.miss_probability)
           : options.deadline;
 
-  const Bytes x0 = predictor_.max_volume_within(plan.planning_deadline);
+  const Bytes x0 = predictor.max_volume_within(plan.planning_deadline);
   RESHAPE_REQUIRE(x0.count() > 0,
                   "even an empty input misses this deadline under the model");
   // Files are unsplittable: the largest file must fit within x0.
@@ -97,16 +97,21 @@ ExecutionPlan StaticPlanner::plan(const corpus::Corpus& data,
   for (const Assignment& a : plan.assignments) {
     largest = std::max(largest, a.volume);
   }
-  plan.predicted_makespan = predictor_.predict(largest);
+  plan.predicted_makespan = predictor.predict(largest);
 
   // Each instance bills ceil(hours of its own predicted run).
   double hours = 0.0;
   for (const Assignment& a : plan.assignments) {
-    hours += std::ceil(predictor_.predict(a.volume).hours());
+    hours += std::ceil(predictor.predict(a.volume).hours());
   }
   plan.predicted_instance_hours = hours;
   plan.predicted_cost = options.hourly_rate * hours;
   return plan;
+}
+
+ExecutionPlan StaticPlanner::plan(const corpus::Corpus& data,
+                                  const PlanOptions& options) const {
+  return provision::plan(predictor_, data, options);
 }
 
 }  // namespace reshape::provision

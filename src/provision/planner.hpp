@@ -65,6 +65,14 @@ struct PlanOptions {
   double miss_probability = 0.10;
 };
 
+/// The one-shot planning function: a pure mapping from (predictor, data,
+/// options) to a plan.  Both StaticPlanner and the planning server
+/// (serve::PlanServer) call exactly this, which is what makes a
+/// server-produced plan bit-identical to a direct library call.
+[[nodiscard]] ExecutionPlan plan(const model::Predictor& predictor,
+                                 const corpus::Corpus& data,
+                                 const PlanOptions& options);
+
 class StaticPlanner {
  public:
   explicit StaticPlanner(model::Predictor predictor)

@@ -1,0 +1,112 @@
+// Model identity for the multi-tenant planning service.
+//
+// Fitted performance models are shared across tenants by (app,
+// corpus-shape): the C3O observation is that a model fitted from one
+// tenant's probe runs prices every other tenant's plans for the same
+// application over similarly-shaped data.  The key is therefore not "who
+// asked" but "what workload" — two tenants greping corpora of the same
+// size profile hit the same fit.
+//
+// Lookup is heterogeneous (the Lexicon pattern from the text kernels): the
+// stored key owns its strings, but the hot read path queries with a
+// ModelKeyView of borrowed string_views, so serving a plan request never
+// constructs a std::string.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/digest.hpp"
+#include "corpus/corpus.hpp"
+
+namespace reshape::serve {
+
+/// Borrowed (app, corpus-shape) pair — the hot-path query type.
+struct ModelKeyView {
+  std::string_view app;
+  std::string_view shape;
+
+  friend bool operator==(const ModelKeyView&, const ModelKeyView&) = default;
+};
+
+/// Owning (app, corpus-shape) pair — the stored map key.
+struct ModelKey {
+  std::string app;
+  std::string shape;
+
+  ModelKey() = default;
+  ModelKey(std::string app_, std::string shape_)
+      : app(std::move(app_)), shape(std::move(shape_)) {}
+  explicit ModelKey(ModelKeyView view)
+      : app(view.app), shape(view.shape) {}
+
+  [[nodiscard]] ModelKeyView view() const { return {app, shape}; }
+
+  friend bool operator==(const ModelKey& a, const ModelKey& b) = default;
+};
+
+/// Transparent hash over both spellings of the key.  The two parts are
+/// fed through one streaming FNV-1a with a separator that cannot occur in
+/// either part's contribution ambiguously ("ab"/"c" != "a"/"bc").
+struct ModelKeyHash {
+  using is_transparent = void;
+
+  [[nodiscard]] std::size_t operator()(const ModelKeyView& key) const {
+    Digest64 d;
+    d.update(key.app);
+    d.update_u64(0x1f);  // length-breaking separator
+    d.update(key.shape);
+    return static_cast<std::size_t>(d.value());
+  }
+  [[nodiscard]] std::size_t operator()(const ModelKey& key) const {
+    return (*this)(key.view());
+  }
+};
+
+/// Transparent equality matching ModelKeyHash.
+struct ModelKeyEq {
+  using is_transparent = void;
+
+  [[nodiscard]] bool operator()(const ModelKeyView& a,
+                                const ModelKeyView& b) const {
+    return a == b;
+  }
+  [[nodiscard]] bool operator()(const ModelKey& a, const ModelKey& b) const {
+    return a.view() == b.view();
+  }
+  [[nodiscard]] bool operator()(const ModelKey& a,
+                                const ModelKeyView& b) const {
+    return a.view() == b;
+  }
+  [[nodiscard]] bool operator()(const ModelKeyView& a,
+                                const ModelKey& b) const {
+    return a == b.view();
+  }
+};
+
+/// Buckets a corpus into a coarse shape signature: log2 file count, log2
+/// mean file size and quantized mean complexity.  Corpora in the same
+/// bucket are close enough in shape that one fitted model serves both —
+/// the granularity knob of the collaborative store.  Deterministic, so
+/// the same corpus always lands on the same model key.
+[[nodiscard]] inline std::string corpus_shape_signature(
+    const corpus::Corpus& corpus) {
+  const auto count_bucket =
+      std::bit_width(static_cast<std::uint64_t>(corpus.file_count()));
+  const auto size_bucket = std::bit_width(corpus.mean_file_size().count());
+  const auto complexity_q =
+      static_cast<std::int64_t>(corpus.mean_complexity() * 4.0 + 0.5);
+  std::string sig;
+  sig.reserve(24);
+  sig += 'f';
+  sig += std::to_string(count_bucket);
+  sig += ":s";
+  sig += std::to_string(size_bucket);
+  sig += ":c";
+  sig += std::to_string(complexity_q);
+  return sig;
+}
+
+}  // namespace reshape::serve

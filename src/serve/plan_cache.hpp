@@ -1,0 +1,157 @@
+// Versioned plan-result cache.
+//
+// A plan is a deterministic function of (model snapshot, corpus, options),
+// so a cached plan is exactly as fresh as the model it was computed
+// against.  Every cached entry records the model epoch it was planned
+// under; a lookup must present the key's *current* epoch and only an
+// exact match is served.  Probe ingestion bumps one key's epoch, which
+// kills precisely the plans fitted against that model — every other key's
+// plans stay hot, and no flush traffic exists at all (stale entries die
+// lazily, overwritten by the next store).
+//
+// The cache is sharded like the model store and keyed by (model key,
+// request fingerprint).  The fingerprint digests the corpus content and
+// every plan option; tenants that resubmit an unchanged dataset can skip
+// the O(files) corpus digest by passing a corpus_tag they version
+// themselves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "provision/planner.hpp"
+#include "serve/model_key.hpp"
+
+namespace reshape::serve {
+
+/// Digest of every plan-shaping field of PlanOptions.
+[[nodiscard]] std::uint64_t options_fingerprint(
+    const provision::PlanOptions& options);
+
+/// Digest of the corpus content (file sizes and complexities, in order).
+[[nodiscard]] std::uint64_t corpus_fingerprint(const corpus::Corpus& corpus);
+
+/// The full request fingerprint: corpus identity x options.  `corpus_tag`
+/// non-zero substitutes for the corpus digest (tenant-versioned dataset).
+[[nodiscard]] std::uint64_t request_fingerprint(
+    const corpus::Corpus& corpus, const provision::PlanOptions& options,
+    std::uint64_t corpus_tag = 0);
+
+/// One cached plan and the model version it is valid against.
+struct CachedPlan {
+  provision::ExecutionPlan plan;
+  std::uint64_t model_epoch = 0;
+};
+
+class PlanCache {
+ public:
+  /// `shards` is rounded up to a power of two; each shard holds at most
+  /// `capacity_per_shard` plans, evicting oldest-inserted first.
+  explicit PlanCache(std::size_t shards = 16,
+                     std::size_t capacity_per_shard = 4096);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cached plan for (key, fingerprint) iff it was computed under
+  /// `current_epoch`; nullptr on miss or stale.
+  [[nodiscard]] std::shared_ptr<const CachedPlan> find(
+      ModelKeyView key, std::uint64_t fingerprint,
+      std::uint64_t current_epoch) const;
+
+  /// Stores (overwrites) the plan computed under `model_epoch`.
+  void put(ModelKeyView key, std::uint64_t fingerprint,
+           std::uint64_t model_epoch, provision::ExecutionPlan plan);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Lookups that found an entry fitted against an outdated model — the
+  /// precise-invalidation counter.
+  [[nodiscard]] std::uint64_t stale() const {
+    return stale_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PlanKey {
+    ModelKey model;
+    std::uint64_t fingerprint = 0;
+
+    friend bool operator==(const PlanKey&, const PlanKey&) = default;
+  };
+  struct PlanKeyView {
+    ModelKeyView model;
+    std::uint64_t fingerprint = 0;
+  };
+  struct PlanKeyHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(const PlanKeyView& k) const {
+      Digest64 d;
+      d.update(k.model.app);
+      d.update_u64(0x1f);
+      d.update(k.model.shape);
+      d.update_u64(k.fingerprint);
+      return static_cast<std::size_t>(d.value());
+    }
+    [[nodiscard]] std::size_t operator()(const PlanKey& k) const {
+      return (*this)(PlanKeyView{k.model.view(), k.fingerprint});
+    }
+  };
+  struct PlanKeyEq {
+    using is_transparent = void;
+    [[nodiscard]] static bool eq(const ModelKeyView& a, std::uint64_t fa,
+                                 const ModelKeyView& b, std::uint64_t fb) {
+      return fa == fb && a == b;
+    }
+    [[nodiscard]] bool operator()(const PlanKey& a, const PlanKey& b) const {
+      return eq(a.model.view(), a.fingerprint, b.model.view(), b.fingerprint);
+    }
+    [[nodiscard]] bool operator()(const PlanKey& a,
+                                  const PlanKeyView& b) const {
+      return eq(a.model.view(), a.fingerprint, b.model, b.fingerprint);
+    }
+    [[nodiscard]] bool operator()(const PlanKeyView& a,
+                                  const PlanKey& b) const {
+      return eq(a.model, a.fingerprint, b.model.view(), b.fingerprint);
+    }
+    [[nodiscard]] bool operator()(const PlanKeyView& a,
+                                  const PlanKeyView& b) const {
+      return eq(a.model, a.fingerprint, b.model, b.fingerprint);
+    }
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<PlanKey, std::shared_ptr<const CachedPlan>,
+                       PlanKeyHash, PlanKeyEq>
+        plans;
+    /// Insertion order for FIFO eviction.  Overwrites keep their original
+    /// slot, so each live key appears here exactly once.
+    std::deque<PlanKey> order;
+  };
+
+  [[nodiscard]] Shard& shard_for(const PlanKeyView& key);
+  [[nodiscard]] const Shard& shard_for(const PlanKeyView& key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t mask_ = 0;
+  std::size_t capacity_per_shard_ = 4096;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> stale_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace reshape::serve

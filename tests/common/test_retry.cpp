@@ -141,6 +141,38 @@ TEST(RetryPolicy, AcquisitionPresetClosedForms) {
   EXPECT_LT(policy.exhaustion_probability(p), 0.02);
 }
 
+TEST(RetryPolicy, AdmissionPresetShape) {
+  const RetryPolicy policy = RetryPolicy::for_admission();
+  EXPECT_NO_THROW(policy.validate());
+  EXPECT_EQ(policy.max_attempts, 4);
+  EXPECT_DOUBLE_EQ(policy.initial_backoff.value(), 0.010);
+  EXPECT_DOUBLE_EQ(policy.backoff_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(policy.max_backoff.value(), 0.050);
+  EXPECT_DOUBLE_EQ(policy.jitter, 0.25);
+  // 10ms, 20ms, then the 50ms cap truncates 40ms's doubling successor.
+  EXPECT_DOUBLE_EQ(policy.backoff(0).value(), 0.010);
+  EXPECT_DOUBLE_EQ(policy.backoff(1).value(), 0.020);
+  EXPECT_DOUBLE_EQ(policy.backoff(2).value(), 0.040);
+  EXPECT_DOUBLE_EQ(policy.backoff(3).value(), 0.050);
+  // An admission rejection is instantaneous; nothing to time out.
+  EXPECT_DOUBLE_EQ(policy.attempt_timeout.value(), 0.0);
+}
+
+TEST(RetryPolicy, AdmissionPresetClosedForms) {
+  const RetryPolicy policy = RetryPolicy::for_admission();
+  // At a 50% rejection rate: E[attempts] = (1 - p^4) / (1 - p) = 1.875,
+  // and fewer than 7% of clients exhaust the budget (0.5^4 = 6.25%) —
+  // the retries themselves shed fast when the server stays saturated.
+  const double p = 0.5;
+  EXPECT_NEAR(policy.expected_attempts(p), 1.875, 1e-12);
+  EXPECT_NEAR(policy.exhaustion_probability(p), 0.0625, 1e-15);
+  EXPECT_LT(policy.exhaustion_probability(p), 0.07);
+  // Worst-case un-jittered wait per operation is bounded by the full
+  // schedule: 10 + 20 + 40 = 70 ms — queue-drain scale, not boot scale.
+  const Seconds worst = policy.expected_backoff(1.0);
+  EXPECT_NEAR(worst.value(), 0.070, 1e-12);
+}
+
 TEST(RetryPolicy, ValidateRejectsBadParameters) {
   RetryPolicy ok;
   EXPECT_NO_THROW(ok.validate());

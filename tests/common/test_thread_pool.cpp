@@ -126,6 +126,32 @@ TEST(ThreadPool, ChunkedParallelForThrowingTaskDrainsBeforeRethrow) {
   EXPECT_EQ(covered.load(), 93);  // everything except the throwing chunk
 }
 
+TEST(ThreadPool, QueueDepthTracksWaitingTasks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  // Park the lone worker so subsequently submitted tasks must wait.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> parked;
+  auto blocker = pool.submit([&parked, gate] {
+    parked.set_value();
+    gate.wait();
+  });
+  parked.get_future().wait();
+
+  std::vector<std::future<void>> waiting;
+  for (int i = 0; i < 3; ++i) {
+    waiting.push_back(pool.submit([gate] { gate.wait(); }));
+  }
+  EXPECT_EQ(pool.queue_depth(), 3u);
+
+  release.set_value();
+  blocker.wait();
+  for (auto& f : waiting) f.wait();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
 TEST(ThreadPool, ParallelForRethrowsTheFirstExceptionWhenSeveralThrow) {
   ThreadPool pool(4);
   try {

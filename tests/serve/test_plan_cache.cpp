@@ -1,0 +1,149 @@
+// PlanCache: fingerprinting, epoch-validated hits, FIFO eviction.
+#include "serve/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "provision/planner.hpp"
+
+namespace reshape::serve {
+namespace {
+
+const ModelKeyView kKey{"grep", "f11:s20:c4"};
+
+corpus::Corpus small_corpus(std::uint64_t file_size) {
+  std::vector<corpus::VirtualFile> files;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    files.push_back(corpus::VirtualFile{i, Bytes(file_size), 1.0});
+  }
+  return corpus::Corpus(std::move(files));
+}
+
+provision::ExecutionPlan plan_with_cost(double cost) {
+  provision::ExecutionPlan plan;
+  plan.predicted_cost = Dollars(cost);
+  return plan;
+}
+
+TEST(PlanCacheFingerprint, OptionsChangesChangeTheFingerprint) {
+  provision::PlanOptions a;
+  provision::PlanOptions b = a;
+  EXPECT_EQ(options_fingerprint(a), options_fingerprint(b));
+  b.deadline = Seconds(a.deadline.value() + 1.0);
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+  b = a;
+  b.strategy = provision::PackingStrategy::kAdjusted;
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+  b = a;
+  b.residuals.stddev = 0.25;
+  EXPECT_NE(options_fingerprint(a), options_fingerprint(b));
+}
+
+TEST(PlanCacheFingerprint, ContentDigestDistinguishesCorpora) {
+  const corpus::Corpus small = small_corpus(1u << 20);
+  const corpus::Corpus big = small_corpus(2u << 20);
+  const provision::PlanOptions options;
+  EXPECT_EQ(request_fingerprint(small, options, 0),
+            request_fingerprint(small, options, 0));
+  EXPECT_NE(request_fingerprint(small, options, 0),
+            request_fingerprint(big, options, 0));
+}
+
+TEST(PlanCacheFingerprint, NonZeroTagSkipsTheContentDigest) {
+  const corpus::Corpus small = small_corpus(1u << 20);
+  const corpus::Corpus big = small_corpus(2u << 20);
+  const provision::PlanOptions options;
+  // The tag is the tenant's versioning contract: same tag, same
+  // fingerprint, regardless of content (which is what makes hits O(1)).
+  EXPECT_EQ(request_fingerprint(small, options, 42),
+            request_fingerprint(big, options, 42));
+  EXPECT_NE(request_fingerprint(small, options, 42),
+            request_fingerprint(small, options, 43));
+  // And a tag can never collide with the content-digest domain.
+  EXPECT_NE(request_fingerprint(small, options, 42),
+            request_fingerprint(small, options, 0));
+}
+
+TEST(PlanCache, MissThenHitAtTheSameEpoch) {
+  PlanCache cache;
+  EXPECT_EQ(cache.find(kKey, 7, 1), nullptr);
+  cache.put(kKey, 7, 1, plan_with_cost(3.5));
+
+  const auto hit = cache.find(kKey, 7, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->model_epoch, 1u);
+  EXPECT_DOUBLE_EQ(hit->plan.predicted_cost.amount(), 3.5);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, DifferentFingerprintsMiss) {
+  PlanCache cache;
+  cache.put(kKey, 7, 1, plan_with_cost(3.5));
+  EXPECT_EQ(cache.find(kKey, 8, 1), nullptr);
+  EXPECT_EQ(cache.find(ModelKeyView{"grep", "other"}, 7, 1), nullptr);
+}
+
+TEST(PlanCache, StaleEpochIsAMiss) {
+  PlanCache cache;
+  cache.put(kKey, 7, 1, plan_with_cost(3.5));
+  // The model refit to epoch 2: the cached plan is dead on arrival.
+  EXPECT_EQ(cache.find(kKey, 7, 2), nullptr);
+  EXPECT_EQ(cache.stale(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  // The replan overwrites in place and epoch-2 lookups hit again.
+  cache.put(kKey, 7, 2, plan_with_cost(4.0));
+  const auto hit = cache.find(kKey, 7, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->plan.predicted_cost.amount(), 4.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, FifoEvictionAtCapacity) {
+  PlanCache cache(1, 2);  // one shard, two slots
+  cache.put(kKey, 1, 1, plan_with_cost(1.0));
+  cache.put(kKey, 2, 1, plan_with_cost(2.0));
+  cache.put(kKey, 3, 1, plan_with_cost(3.0));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(kKey, 1, 1), nullptr);  // oldest gone
+  EXPECT_NE(cache.find(kKey, 2, 1), nullptr);
+  EXPECT_NE(cache.find(kKey, 3, 1), nullptr);
+}
+
+TEST(PlanCache, OverwriteKeepsTheOriginalEvictionSlot) {
+  PlanCache cache(1, 2);
+  cache.put(kKey, 1, 1, plan_with_cost(1.0));
+  cache.put(kKey, 2, 1, plan_with_cost(2.0));
+  // Refreshing key 1 must not duplicate its slot in the FIFO order ...
+  cache.put(kKey, 1, 2, plan_with_cost(1.5));
+  EXPECT_EQ(cache.size(), 2u);
+  // ... so the next insertion still evicts key 1 (oldest insertion), and
+  // exactly one entry.
+  cache.put(kKey, 3, 1, plan_with_cost(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.find(kKey, 1, 2), nullptr);
+  EXPECT_NE(cache.find(kKey, 2, 1), nullptr);
+  EXPECT_NE(cache.find(kKey, 3, 1), nullptr);
+}
+
+TEST(PlanCache, HitsReturnSharedSnapshotsThatSurviveEviction) {
+  PlanCache cache(1, 1);
+  cache.put(kKey, 1, 1, plan_with_cost(1.0));
+  const auto held = cache.find(kKey, 1, 1);
+  ASSERT_NE(held, nullptr);
+  cache.put(kKey, 2, 1, plan_with_cost(2.0));  // evicts key 1
+  EXPECT_EQ(cache.find(kKey, 1, 1), nullptr);
+  // The reader's shared_ptr keeps the evicted plan alive and intact.
+  EXPECT_DOUBLE_EQ(held->plan.predicted_cost.amount(), 1.0);
+}
+
+}  // namespace
+}  // namespace reshape::serve
